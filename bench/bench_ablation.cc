@@ -1,0 +1,145 @@
+// E8 — ablations of the design choices DESIGN.md calls out:
+//   (1) Dowling–Gallier counting propagation vs naive T_P iteration inside
+//       S_P (HornMode);
+//   (2) residual-program reduction on/off across alternating rounds;
+//   (3) trace recording cost (off by default).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/alternating.h"
+#include "core/relevance.h"
+#include "core/residual.h"
+#include "core/scc_engine.h"
+#include "ground/grounder.h"
+#include "workload/graphs.h"
+#include "workload/programs.h"
+
+namespace {
+
+std::unique_ptr<afp::Program> g_program;
+std::unique_ptr<afp::GroundProgram> g_ground;
+
+const afp::GroundProgram& WinMoveInstance(int n) {
+  static int current_n = -1;
+  if (current_n != n) {
+    g_program = std::make_unique<afp::Program>(
+        afp::workload::WinMove(afp::graphs::ErdosRenyi(n, 4 * n, 17)));
+    auto g = afp::Grounder::Ground(*g_program);
+    g_ground = std::make_unique<afp::GroundProgram>(std::move(g).value());
+    current_n = n;
+  }
+  return *g_ground;
+}
+
+void BM_HornCounting(benchmark::State& state) {
+  const auto& gp = WinMoveInstance(static_cast<int>(state.range(0)));
+  afp::AfpOptions opts;
+  opts.horn_mode = afp::HornMode::kCounting;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(afp::AlternatingFixpoint(gp, opts));
+  }
+}
+BENCHMARK(BM_HornCounting)->Arg(128)->Arg(512)->Arg(1024);
+
+void BM_HornNaive(benchmark::State& state) {
+  const auto& gp = WinMoveInstance(static_cast<int>(state.range(0)));
+  afp::AfpOptions opts;
+  opts.horn_mode = afp::HornMode::kNaive;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(afp::AlternatingFixpoint(gp, opts));
+  }
+}
+BENCHMARK(BM_HornNaive)->Arg(128)->Arg(512)->Arg(1024);
+
+void BM_PlainAlternating(benchmark::State& state) {
+  const auto& gp = WinMoveInstance(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(afp::AlternatingFixpoint(gp));
+  }
+}
+BENCHMARK(BM_PlainAlternating)->Arg(512)->Arg(1024);
+
+void BM_ResidualReduction(benchmark::State& state) {
+  const auto& gp = WinMoveInstance(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(afp::WellFoundedResidual(gp));
+  }
+}
+BENCHMARK(BM_ResidualReduction)->Arg(512)->Arg(1024);
+
+void BM_TraceRecordingOff(benchmark::State& state) {
+  const auto& gp = WinMoveInstance(512);
+  afp::AfpOptions opts;
+  opts.record_trace = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(afp::AlternatingFixpoint(gp, opts));
+  }
+}
+BENCHMARK(BM_TraceRecordingOff);
+
+void BM_TraceRecordingOn(benchmark::State& state) {
+  const auto& gp = WinMoveInstance(512);
+  afp::AfpOptions opts;
+  opts.record_trace = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(afp::AlternatingFixpoint(gp, opts));
+  }
+}
+BENCHMARK(BM_TraceRecordingOn);
+
+// Single S_P call: the unit the counting solver optimizes. Measured
+// separately so the per-call linearity is visible.
+void BM_SingleSpCounting(benchmark::State& state) {
+  const auto& gp = WinMoveInstance(2048);
+  afp::HornSolver solver(gp.View());
+  afp::Bitset none(gp.num_atoms());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        solver.EventualConsequences(none, afp::HornMode::kCounting));
+  }
+}
+BENCHMARK(BM_SingleSpCounting);
+
+void BM_SingleSpNaive(benchmark::State& state) {
+  const auto& gp = WinMoveInstance(2048);
+  afp::HornSolver solver(gp.View());
+  afp::Bitset none(gp.num_atoms());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        solver.EventualConsequences(none, afp::HornMode::kNaive));
+  }
+}
+BENCHMARK(BM_SingleSpNaive);
+
+// Component-wise engine on the same instances as the monolithic ones.
+void BM_SccEngine(benchmark::State& state) {
+  const auto& gp = WinMoveInstance(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(afp::WellFoundedScc(gp));
+  }
+}
+BENCHMARK(BM_SccEngine)->Arg(512)->Arg(1024);
+
+// Point-query ablation: full solve + lookup vs relevance-sliced solve.
+void BM_PointQueryFullSolve(benchmark::State& state) {
+  const auto& gp = WinMoveInstance(1024);
+  for (auto _ : state) {
+    afp::AfpResult r = afp::AlternatingFixpoint(gp);
+    benchmark::DoNotOptimize(afp::QueryAtom(gp, r.model, "wins(a)"));
+  }
+}
+BENCHMARK(BM_PointQueryFullSolve);
+
+void BM_PointQueryRelevanceSliced(benchmark::State& state) {
+  const auto& gp = WinMoveInstance(1024);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(afp::QueryWithRelevance(gp, "wins(a)"));
+  }
+}
+BENCHMARK(BM_PointQueryRelevanceSliced);
+
+}  // namespace
+
+BENCHMARK_MAIN();

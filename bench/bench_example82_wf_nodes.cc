@@ -1,0 +1,105 @@
+// E4 — Example 8.2: well-founded nodes of a binary relation, defined with a
+// first-order rule body. Reproduces the paper's transformation to a normal
+// program and checks Theorem 8.7's agreement, over several graph shapes.
+
+#include <chrono>
+#include <iostream>
+#include <string>
+
+#include "core/alternating.h"
+#include "fol/general_program.h"
+#include "fol/simplify.h"
+#include "ground/grounder.h"
+#include "util/table_printer.h"
+#include "workload/graphs.h"
+#include "workload/programs.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+afp::GeneralProgram WellFoundedNodes(const afp::Digraph& g) {
+  afp::GeneralProgram gp;
+  afp::Program& b = gp.base();
+  for (auto [u, v] : g.edges) {
+    b.AddFact("e", {afp::workload::NodeName(u), afp::workload::NodeName(v)});
+  }
+  afp::TermId x = b.Var("X"), y = b.Var("Y");
+  afp::SymbolId ys = b.symbols().Intern("Y");
+  gp.AddGeneralRule(
+      b.MakeAtom("w", {x}),
+      afp::Formula::Not(afp::Formula::Exists(
+          {ys}, afp::Formula::And(
+                    {afp::Formula::MakeAtom(b.MakeAtom("e", {y, x})),
+                     afp::Formula::Not(
+                         afp::Formula::MakeAtom(b.MakeAtom("w", {y})))}))));
+  return gp;
+}
+
+void Run(const char* title, const afp::Digraph& g) {
+  afp::GeneralProgram gp = WellFoundedNodes(g);
+
+  auto t0 = Clock::now();
+  auto direct = afp::GeneralAlternatingFixpoint(gp);
+  double direct_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  if (!direct.ok()) {
+    std::cerr << direct.status().ToString() << "\n";
+    std::exit(1);
+  }
+
+  afp::TransformStats stats;
+  auto normal = afp::TransformToNormal(gp, &stats);
+  if (!normal.ok()) {
+    std::cerr << normal.status().ToString() << "\n";
+    std::exit(1);
+  }
+  t0 = Clock::now();
+  auto ground = afp::Grounder::Ground(*normal);
+  if (!ground.ok()) std::exit(1);
+  afp::AfpResult afp_result = afp::AlternatingFixpoint(*ground);
+  double normal_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+
+  int wf_direct = 0, wf_normal = 0, agree = 0;
+  for (int i = 0; i < g.n; ++i) {
+    std::string atom = "w(" + afp::workload::NodeName(i) + ")";
+    bool d = direct->Value(atom) == afp::TruthValue::kTrue;
+    auto nv = afp::QueryAtom(*ground, afp_result.model, atom);
+    bool nrm = nv.ok() && *nv == afp::TruthValue::kTrue;
+    wf_direct += d;
+    wf_normal += nrm;
+    agree += d == nrm;
+  }
+  std::cout << title << ": n=" << g.n << " edges=" << g.edges.size()
+            << "  well-founded nodes: direct=" << wf_direct
+            << " normal=" << wf_normal << "  agreement=" << agree << "/"
+            << g.n << "  (aux rels: " << stats.num_aux
+            << ", direct " << direct_ms << " ms, normal " << normal_ms
+            << " ms)\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "== Example 8.2: w(X) <- not exists Y (e(Y,X) and not w(Y)) "
+               "==\n\n";
+  {
+    afp::GeneralProgram gp = WellFoundedNodes(afp::graphs::Chain(3));
+    afp::TransformStats stats;
+    auto normal = afp::TransformToNormal(gp, &stats);
+    if (normal.ok()) {
+      std::cout << "paper's transformation (fresh names for u/dom):\n"
+                << normal->ToString() << "\n";
+    }
+  }
+  Run("chain(8)      (all well-founded)", afp::graphs::Chain(8));
+  Run("cycle(6)      (none well-founded)", afp::graphs::Cycle(6));
+  Run("figure 4(a)   (acyclic)", afp::graphs::Figure4a());
+  Run("figure 4(b)   (cycle + tail)", afp::graphs::Figure4b());
+  Run("random(12,18)", afp::graphs::ErdosRenyi(12, 18, 3));
+  Run("functional(10)", afp::graphs::RandomFunctional(10, 7));
+  std::cout << "\npaper: positive parts agree on w (Theorems 8.6/8.7); the "
+               "normal program adds\nonly auxiliary (ADB) relations.\n";
+  return 0;
+}

@@ -1,0 +1,48 @@
+// E1 — regenerates Table I of the paper (Example 5.1): the alternating
+// sequence Ĩ_k, S_P(Ĩ_k) for the fixed 9-atom program, followed by the AFP
+// partial model. Compare row-for-row with the paper's Table I.
+
+#include <iostream>
+
+#include "core/alternating.h"
+#include "core/interpretation.h"
+#include "ground/grounder.h"
+#include "util/table_printer.h"
+#include "workload/programs.h"
+
+int main() {
+  std::cout << "== Table I (Example 5.1): alternating fixpoint trace ==\n\n";
+  afp::Program program = afp::workload::Example51();
+  std::cout << "program:\n" << program.ToString() << "\n";
+
+  afp::GroundOptions gopts;
+  gopts.mode = afp::GroundMode::kFull;  // keep every atom of H = p{a..i}
+  auto ground = afp::Grounder::Ground(program, gopts);
+  if (!ground.ok()) {
+    std::cerr << ground.status().ToString() << "\n";
+    return 1;
+  }
+
+  afp::AfpOptions opts;
+  opts.record_trace = true;
+  afp::AfpResult r = afp::AlternatingFixpoint(*ground, opts);
+
+  afp::TablePrinter table({"k", "neg Ĩ_k", "S_P(Ĩ_k)"});
+  for (std::size_t k = 0; k < r.trace.size(); ++k) {
+    table.AddRow({std::to_string(k),
+                  afp::AtomSetToString(*ground, r.trace[k].neg_set, true),
+                  afp::AtomSetToString(*ground, r.trace[k].sp_result, true)});
+  }
+  table.Print(std::cout);
+
+  std::cout << "\nAFP partial model (paper: {p(c), p(i), "
+               "not p(d), not p(e), not p(f), not p(g), not p(h)}; "
+               "p(a), p(b) undefined):\n"
+            << afp::ModelToString(*ground, r.model,
+                                  {.include_edb = true, .include_false = true})
+            << "\npaper row 4 = row 2 marks the least fixpoint of A_P; this "
+               "run used "
+            << r.outer_iterations << " A_P applications and " << r.sp_calls
+            << " S_P calls.\n";
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Example 8.2: the well-founded nodes of a graph, written with a
+// first-order rule body
+//
+//     w(X) <- not exists Y ( e(Y,X) and not w(Y) )
+//
+// evaluated (a) directly in alternating fixpoint logic, and (b) after the
+// elementary-simplification transformation to a normal program
+//
+//     w(X) :- dom(X), not u(X).
+//     u(X) :- e(Y,X), not w(Y).
+//
+// Theorem 8.7: both agree on w.
+
+#include <iostream>
+#include <string>
+
+#include "afp/afp.h"
+#include "workload/graphs.h"
+#include "workload/programs.h"
+
+int main() {
+  // A graph with a cycle (a <-> b feeding c) and a well-founded tail
+  // (d -> e): a, b, c are not well-founded; d, e are.
+  afp::Digraph g;
+  g.n = 5;
+  g.edges = {{0, 1}, {1, 0}, {1, 2}, {3, 4}};
+
+  afp::GeneralProgram gp;
+  afp::Program& b = gp.base();
+  for (auto [u, v] : g.edges) {
+    b.AddFact("e", {afp::workload::NodeName(u), afp::workload::NodeName(v)});
+  }
+  afp::TermId x = b.Var("X"), y = b.Var("Y");
+  afp::SymbolId ys = b.symbols().Intern("Y");
+  gp.AddGeneralRule(
+      b.MakeAtom("w", {x}),
+      afp::Formula::Not(afp::Formula::Exists(
+          {ys}, afp::Formula::And(
+                    {afp::Formula::MakeAtom(b.MakeAtom("e", {y, x})),
+                     afp::Formula::Not(
+                         afp::Formula::MakeAtom(b.MakeAtom("w", {y})))}))));
+
+  std::cout << "general rule: "
+            << b.AtomToString(gp.general_rules()[0].head) << " <- "
+            << afp::FormulaToString(*gp.general_rules()[0].body, b.symbols(),
+                                    b.terms())
+            << "\n\n";
+
+  // (a) Direct evaluation in alternating fixpoint logic.
+  auto direct = afp::GeneralAlternatingFixpoint(gp);
+  if (!direct.ok()) {
+    std::cerr << direct.status().ToString() << "\n";
+    return 1;
+  }
+
+  // (b) Elementary simplifications -> normal program -> alternating
+  // fixpoint.
+  afp::TransformStats stats;
+  auto normal = afp::TransformToNormal(gp, &stats);
+  if (!normal.ok()) {
+    std::cerr << normal.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "transformed normal program (" << stats.num_aux
+            << " auxiliary relation(s)):\n"
+            << normal->ToString() << "\n";
+
+  auto sol = afp::SolveWellFoundedProgram(std::move(normal).value());
+  if (!sol.ok()) {
+    std::cerr << sol.status().ToString() << "\n";
+    return 1;
+  }
+
+  afp::TablePrinter table({"node", "direct AFP", "via normal program"});
+  for (int i = 0; i < g.n; ++i) {
+    std::string atom = "w(" + afp::workload::NodeName(i) + ")";
+    auto nv = sol->Query(atom);
+    table.AddRow({atom, afp::TruthValueName(direct->Value(atom)),
+                  nv.ok() ? afp::TruthValueName(*nv) : "?"});
+  }
+  table.Print(std::cout);
+  std::cout
+      << "\n(Theorem 8.7 preserves the POSITIVE part: w(d), w(e) agree.\n"
+         " The direct evaluation also derives negative w facts — negation\n"
+         " of a universal closure — which the normal program leaves\n"
+         " undefined; this is exactly the paper's remark after Example 8.2\n"
+         " that the AFP on normal programs captures negated existential\n"
+         " closures but not negated universal closures.)\n";
+  return 0;
+}

@@ -1,0 +1,93 @@
+#ifndef AFP_AFP_AFP_H_
+#define AFP_AFP_AFP_H_
+
+/// \file
+/// Umbrella header for the alternating-fixpoint library. Most applications
+/// only need SolveWellFounded() below; the individual headers expose the
+/// full machinery (operators, baselines, analyses).
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "analysis/atom_graph.h"
+#include "analysis/dependency_graph.h"
+#include "analysis/strictness.h"
+#include "ast/program.h"
+#include "core/alternating.h"
+#include "core/explain.h"
+#include "core/horn_solver.h"
+#include "core/interpretation.h"
+#include "core/query.h"
+#include "core/relevance.h"
+#include "core/residual.h"
+#include "core/scc_engine.h"
+#include "fitting/fitting.h"
+#include "fol/formula.h"
+#include "fol/general_program.h"
+#include "fol/simplify.h"
+#include "ground/grounder.h"
+#include "parser/parser.h"
+#include "stable/backtracking.h"
+#include "stable/enumerate.h"
+#include "stable/gl_transform.h"
+#include "stratified/inflationary.h"
+#include "stratified/stratified_eval.h"
+#include "util/status.h"
+#include "util/table_printer.h"
+#include "wfs/unfounded.h"
+#include "wfs/wp_engine.h"
+
+namespace afp {
+
+/// A ground program paired with its well-founded model. The Program is held
+/// behind a unique_ptr so that the GroundProgram's back-reference stays
+/// valid when the solution is moved.
+struct WfsSolution {
+  std::unique_ptr<Program> program;
+  GroundProgram ground;
+  AfpResult afp;
+
+  /// Truth value of a ground atom written as text, e.g. "wins(a)".
+  StatusOr<TruthValue> Query(const std::string& atom_text) const {
+    return QueryAtom(ground, afp.model, atom_text);
+  }
+
+  /// The model rendered as true/false/undef atom lists (IDB only by
+  /// default).
+  std::string ModelText(const ModelPrintOptions& opts = {}) const {
+    return ModelToString(ground, afp.model, opts);
+  }
+};
+
+/// One-call pipeline: parse -> validate -> ground -> alternating fixpoint.
+/// Returns the well-founded partial model of the program text (by
+/// Theorem 7.8 the AFP model is the well-founded model).
+inline StatusOr<WfsSolution> SolveWellFounded(
+    std::string_view program_text, const GroundOptions& ground_options = {},
+    const AfpOptions& afp_options = {}) {
+  AFP_ASSIGN_OR_RETURN(Program parsed, ParseProgram(program_text));
+  auto program = std::make_unique<Program>(std::move(parsed));
+  AFP_ASSIGN_OR_RETURN(GroundProgram ground,
+                       Grounder::Ground(*program, ground_options));
+  WfsSolution solution{std::move(program), std::move(ground), AfpResult{}};
+  solution.afp = AlternatingFixpoint(solution.ground, afp_options);
+  return solution;
+}
+
+/// As SolveWellFounded, for an already constructed Program (takes
+/// ownership).
+inline StatusOr<WfsSolution> SolveWellFoundedProgram(
+    Program program, const GroundOptions& ground_options = {},
+    const AfpOptions& afp_options = {}) {
+  auto owned = std::make_unique<Program>(std::move(program));
+  AFP_ASSIGN_OR_RETURN(GroundProgram ground,
+                       Grounder::Ground(*owned, ground_options));
+  WfsSolution solution{std::move(owned), std::move(ground), AfpResult{}};
+  solution.afp = AlternatingFixpoint(solution.ground, afp_options);
+  return solution;
+}
+
+}  // namespace afp
+
+#endif  // AFP_AFP_AFP_H_

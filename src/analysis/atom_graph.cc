@@ -1,0 +1,108 @@
+#include "analysis/atom_graph.h"
+
+#include <algorithm>
+
+namespace afp {
+
+AtomDependencyGraph::AtomDependencyGraph(const RuleView& view)
+    : num_atoms_(view.num_atoms) {
+  // Build CSR adjacency head -> body atoms.
+  adj_offsets_.assign(num_atoms_ + 1, 0);
+  for (const GroundRule& r : view.rules) {
+    adj_offsets_[r.head + 1] += r.pos_len + r.neg_len;
+  }
+  for (std::size_t i = 1; i < adj_offsets_.size(); ++i) {
+    adj_offsets_[i] += adj_offsets_[i - 1];
+  }
+  adj_.resize(adj_offsets_.back());
+  adj_negative_.resize(adj_offsets_.back());
+  std::vector<std::uint32_t> cursor(adj_offsets_.begin(),
+                                    adj_offsets_.end() - 1);
+  for (const GroundRule& r : view.rules) {
+    for (AtomId a : view.pos(r)) {
+      adj_[cursor[r.head]] = a;
+      adj_negative_[cursor[r.head]] = 0;
+      ++cursor[r.head];
+    }
+    for (AtomId a : view.neg(r)) {
+      adj_[cursor[r.head]] = a;
+      adj_negative_[cursor[r.head]] = 1;
+      ++cursor[r.head];
+    }
+  }
+
+  ComputeSccs(view);
+
+  // Local stratification: no negative arc within a component.
+  for (AtomId h = 0; h < num_atoms_; ++h) {
+    for (std::uint32_t k = adj_offsets_[h]; k < adj_offsets_[h + 1]; ++k) {
+      if (adj_negative_[k] && comp_[h] == comp_[adj_[k]]) {
+        locally_stratified_ = false;
+        return;
+      }
+    }
+  }
+}
+
+void AtomDependencyGraph::ComputeSccs(const RuleView& view) {
+  (void)view;
+  // Iterative Tarjan.
+  constexpr std::uint32_t kUnvisited = UINT32_MAX;
+  std::vector<std::uint32_t> index(num_atoms_, kUnvisited);
+  std::vector<std::uint32_t> lowlink(num_atoms_, 0);
+  std::vector<bool> on_stack(num_atoms_, false);
+  std::vector<AtomId> scc_stack;
+  comp_.assign(num_atoms_, 0);
+  std::uint32_t next_index = 0;
+
+  struct Frame {
+    AtomId v;
+    std::uint32_t edge;  // next adjacency slot to explore
+  };
+  std::vector<Frame> call_stack;
+
+  for (AtomId root = 0; root < num_atoms_; ++root) {
+    if (index[root] != kUnvisited) continue;
+    call_stack.push_back({root, adj_offsets_[root]});
+    index[root] = lowlink[root] = next_index++;
+    scc_stack.push_back(root);
+    on_stack[root] = true;
+
+    while (!call_stack.empty()) {
+      Frame& f = call_stack.back();
+      if (f.edge < adj_offsets_[f.v + 1]) {
+        AtomId w = adj_[f.edge++];
+        if (index[w] == kUnvisited) {
+          index[w] = lowlink[w] = next_index++;
+          scc_stack.push_back(w);
+          on_stack[w] = true;
+          call_stack.push_back({w, adj_offsets_[w]});
+        } else if (on_stack[w]) {
+          lowlink[f.v] = std::min(lowlink[f.v], index[w]);
+        }
+        continue;
+      }
+      // Post-order: pop the frame.
+      AtomId v = f.v;
+      call_stack.pop_back();
+      if (!call_stack.empty()) {
+        AtomId parent = call_stack.back().v;
+        lowlink[parent] = std::min(lowlink[parent], lowlink[v]);
+      }
+      if (lowlink[v] == index[v]) {
+        members_.emplace_back();
+        AtomId w;
+        do {
+          w = scc_stack.back();
+          scc_stack.pop_back();
+          on_stack[w] = false;
+          comp_[w] = static_cast<std::uint32_t>(members_.size() - 1);
+          members_.back().push_back(w);
+        } while (w != v);
+      }
+    }
+  }
+  num_components_ = members_.size();
+}
+
+}  // namespace afp

@@ -1,0 +1,124 @@
+#include "analysis/dependency_graph.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace afp {
+
+const std::map<SymbolId, ArcPolarity> DependencyGraph::kNoArcs;
+
+DependencyGraph DependencyGraph::Build(const Program& program) {
+  DependencyGraph g;
+  for (const Rule& r : program.rules()) {
+    g.predicates_.insert(r.head.predicate);
+    for (const Literal& l : r.body) {
+      g.predicates_.insert(l.atom.predicate);
+      ArcPolarity pol =
+          l.positive ? ArcPolarity::kPositive : ArcPolarity::kNegative;
+      auto& slot = g.arcs_[r.head.predicate];
+      auto [it, inserted] = slot.emplace(l.atom.predicate, pol);
+      if (!inserted && it->second != pol) it->second = ArcPolarity::kMixed;
+    }
+  }
+  return g;
+}
+
+const std::map<SymbolId, ArcPolarity>& DependencyGraph::ArcsFrom(
+    SymbolId p) const {
+  auto it = arcs_.find(p);
+  return it == arcs_.end() ? kNoArcs : it->second;
+}
+
+std::vector<std::vector<SymbolId>> DependencyGraph::Sccs() const {
+  // Iterative Tarjan over the predicate set.
+  std::map<SymbolId, int> index, lowlink;
+  std::map<SymbolId, bool> on_stack;
+  std::vector<SymbolId> stack;
+  std::vector<std::vector<SymbolId>> sccs;
+  int next_index = 0;
+
+  std::function<void(SymbolId)> strongconnect = [&](SymbolId v) {
+    index[v] = lowlink[v] = next_index++;
+    stack.push_back(v);
+    on_stack[v] = true;
+    for (const auto& [w, pol] : ArcsFrom(v)) {
+      (void)pol;
+      if (!index.count(w)) {
+        strongconnect(w);
+        lowlink[v] = std::min(lowlink[v], lowlink[w]);
+      } else if (on_stack[w]) {
+        lowlink[v] = std::min(lowlink[v], index[w]);
+      }
+    }
+    if (lowlink[v] == index[v]) {
+      std::vector<SymbolId> comp;
+      SymbolId w;
+      do {
+        w = stack.back();
+        stack.pop_back();
+        on_stack[w] = false;
+        comp.push_back(w);
+      } while (w != v);
+      sccs.push_back(std::move(comp));
+    }
+  };
+
+  for (SymbolId p : predicates_) {
+    if (!index.count(p)) strongconnect(p);
+  }
+  return sccs;
+}
+
+bool DependencyGraph::IsStratified() const {
+  auto sccs = Sccs();
+  std::map<SymbolId, int> comp;
+  for (std::size_t i = 0; i < sccs.size(); ++i) {
+    for (SymbolId p : sccs[i]) comp[p] = static_cast<int>(i);
+  }
+  for (SymbolId p : predicates_) {
+    for (const auto& [q, pol] : ArcsFrom(p)) {
+      if (pol != ArcPolarity::kPositive && comp[p] == comp[q]) return false;
+    }
+  }
+  return true;
+}
+
+StatusOr<std::map<SymbolId, int>> DependencyGraph::Stratify() const {
+  auto sccs = Sccs();  // reverse topological: callees first
+  std::map<SymbolId, int> comp;
+  for (std::size_t i = 0; i < sccs.size(); ++i) {
+    for (SymbolId p : sccs[i]) comp[p] = static_cast<int>(i);
+  }
+  // Check: no negative/mixed arc within a component.
+  for (SymbolId p : predicates_) {
+    for (const auto& [q, pol] : ArcsFrom(p)) {
+      if (pol != ArcPolarity::kPositive && comp[p] == comp[q]) {
+        return Status::InvalidArgument(
+            "program is not stratified: recursion through negation "
+            "involving predicates in one strongly connected component");
+      }
+    }
+  }
+  // Assign strata in reverse topological order: stratum(p) >= stratum(q)
+  // for positive arcs, > for negative arcs.
+  std::vector<int> scc_stratum(sccs.size(), 0);
+  for (std::size_t i = 0; i < sccs.size(); ++i) {
+    int s = 0;
+    for (SymbolId p : sccs[i]) {
+      for (const auto& [q, pol] : ArcsFrom(p)) {
+        std::size_t cq = static_cast<std::size_t>(comp[q]);
+        if (cq == i) continue;  // same component (positive by the check)
+        int need = scc_stratum[cq] + (pol == ArcPolarity::kPositive ? 0 : 1);
+        s = std::max(s, need);
+      }
+    }
+    scc_stratum[i] = s;
+  }
+  std::map<SymbolId, int> strata;
+  for (std::size_t i = 0; i < sccs.size(); ++i) {
+    for (SymbolId p : sccs[i]) strata[p] = scc_stratum[i];
+  }
+  return strata;
+}
+
+}  // namespace afp

@@ -1,0 +1,54 @@
+#ifndef AFP_ANALYSIS_DEPENDENCY_GRAPH_H_
+#define AFP_ANALYSIS_DEPENDENCY_GRAPH_H_
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "ast/program.h"
+#include "util/status.h"
+
+namespace afp {
+
+/// Polarity of a dependency arc p -> q (Definition 8.3): whether q occurs
+/// only positively, only negatively, or both ways in bodies of rules for p.
+enum class ArcPolarity { kPositive, kNegative, kMixed };
+
+/// The predicate dependency graph of a program (§8.2): nodes are relation
+/// symbols; there is an arc p -> q labeled with the polarity of q's
+/// occurrences in the bodies of rules whose head is p.
+class DependencyGraph {
+ public:
+  /// Builds the graph from the (non-ground) program.
+  static DependencyGraph Build(const Program& program);
+
+  /// All predicates of the program (heads and body occurrences).
+  const std::set<SymbolId>& predicates() const { return predicates_; }
+
+  /// Arcs out of `p` with their polarity.
+  const std::map<SymbolId, ArcPolarity>& ArcsFrom(SymbolId p) const;
+
+  /// Strongly connected components (Tarjan). Components are returned in
+  /// reverse topological order (callees before callers), i.e. if p depends
+  /// on q then q's component appears no later than p's.
+  std::vector<std::vector<SymbolId>> Sccs() const;
+
+  /// True iff no cycle of the graph traverses a negative or mixed arc,
+  /// i.e. negation is not recursive (the stratified class, §2.3).
+  bool IsStratified() const;
+
+  /// Assigns each predicate a stratum number such that positive
+  /// dependencies stay within <= strata and negative dependencies point
+  /// strictly downward. Fails with InvalidArgument for unstratified
+  /// programs (e.g. win-move).
+  StatusOr<std::map<SymbolId, int>> Stratify() const;
+
+ private:
+  std::set<SymbolId> predicates_;
+  std::map<SymbolId, std::map<SymbolId, ArcPolarity>> arcs_;
+  static const std::map<SymbolId, ArcPolarity> kNoArcs;
+};
+
+}  // namespace afp
+
+#endif  // AFP_ANALYSIS_DEPENDENCY_GRAPH_H_

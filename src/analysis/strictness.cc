@@ -1,0 +1,141 @@
+#include "analysis/strictness.h"
+
+#include <deque>
+
+namespace afp {
+
+Strictness::Strictness(const Program& program)
+    : program_(program), graph_(DependencyGraph::Build(program)) {
+  // For each predicate, BFS over the product graph (predicate, parity),
+  // following positive (parity-preserving) and negative (parity-flipping)
+  // arcs. Mixed arcs are handled separately: any path through one makes the
+  // endpoint pair mixed regardless of parity.
+  for (SymbolId src : graph_.predicates()) {
+    auto& reach = reach_[src];
+    std::deque<std::pair<SymbolId, int>> queue;
+    reach.insert({src, 0});  // the null path
+    queue.push_back({src, 0});
+    while (!queue.empty()) {
+      auto [p, parity] = queue.front();
+      queue.pop_front();
+      for (const auto& [q, pol] : graph_.ArcsFrom(p)) {
+        if (pol == ArcPolarity::kMixed) continue;
+        int np = pol == ArcPolarity::kNegative ? 1 - parity : parity;
+        if (reach.insert({q, np}).second) queue.push_back({q, np});
+      }
+    }
+  }
+  // All-arc reachability (for mixed-path detection): q is mixed-reachable
+  // from p iff there is a mixed arc u->v with p ->* u (any arcs) and
+  // v ->* q (any arcs).
+  std::map<SymbolId, std::set<SymbolId>> reach_all;
+  for (SymbolId src : graph_.predicates()) {
+    auto& r = reach_all[src];
+    std::deque<SymbolId> queue{src};
+    r.insert(src);
+    while (!queue.empty()) {
+      SymbolId p = queue.front();
+      queue.pop_front();
+      for (const auto& [q, pol] : graph_.ArcsFrom(p)) {
+        (void)pol;
+        if (r.insert(q).second) queue.push_back(q);
+      }
+    }
+  }
+  for (SymbolId src : graph_.predicates()) {
+    auto& mr = mixed_reach_[src];
+    for (SymbolId u : reach_all[src]) {
+      for (const auto& [v, pol] : graph_.ArcsFrom(u)) {
+        if (pol != ArcPolarity::kMixed) continue;
+        for (SymbolId q : reach_all[v]) mr.insert(q);
+      }
+    }
+  }
+}
+
+PairClass Strictness::Classify(SymbolId p, SymbolId q) const {
+  auto mit = mixed_reach_.find(p);
+  if (mit != mixed_reach_.end() && mit->second.count(q)) {
+    return PairClass::kMixed;
+  }
+  auto rit = reach_.find(p);
+  bool even = false, odd = false;
+  if (rit != reach_.end()) {
+    even = rit->second.count({q, 0}) > 0;
+    odd = rit->second.count({q, 1}) > 0;
+  }
+  if (even && odd) return PairClass::kMixed;
+  if (even) return PairClass::kStrictlyPositive;
+  if (odd) return PairClass::kStrictlyNegative;
+  return PairClass::kUnrelated;
+}
+
+bool Strictness::IsStrict() const {
+  for (SymbolId p : graph_.predicates()) {
+    for (SymbolId q : graph_.predicates()) {
+      if (Classify(p, q) == PairClass::kMixed) return false;
+    }
+  }
+  return true;
+}
+
+bool Strictness::IsStrictInIdb() const {
+  std::set<SymbolId> idb = program_.IdbPredicates();
+  for (SymbolId p : idb) {
+    for (SymbolId q : idb) {
+      if (Classify(p, q) == PairClass::kMixed) return false;
+    }
+  }
+  return true;
+}
+
+StatusOr<std::map<SymbolId, bool>> Strictness::GloballyPositivePartition(
+    const std::set<SymbolId>& positive_roots) const {
+  if (!IsStrictInIdb()) {
+    return Status::InvalidArgument(
+        "program is not strict in the IDB; no globally positive/negative "
+        "partition exists");
+  }
+  std::set<SymbolId> idb = program_.IdbPredicates();
+  std::map<SymbolId, bool> polarity;  // true = globally positive
+  // Constraints: strictly positive pairs share a sign; strictly negative
+  // pairs have opposite signs. Seed from the roots, default the rest to
+  // positive.
+  for (SymbolId r : positive_roots) {
+    if (idb.count(r)) polarity[r] = true;
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (SymbolId p : idb) {
+      for (SymbolId q : idb) {
+        PairClass c = Classify(p, q);
+        if (c != PairClass::kStrictlyPositive &&
+            c != PairClass::kStrictlyNegative) {
+          continue;
+        }
+        bool same_sign = c == PairClass::kStrictlyPositive;
+        bool p_known = polarity.count(p) > 0;
+        bool q_known = polarity.count(q) > 0;
+        if (p_known && q_known) {
+          if ((polarity[p] == polarity[q]) != same_sign) {
+            return Status::InvalidArgument(
+                "inconsistent polarity constraints between '" +
+                program_.symbols().Name(p) + "' and '" +
+                program_.symbols().Name(q) + "'");
+          }
+        } else if (p_known) {
+          polarity[q] = same_sign ? polarity[p] : !polarity[p];
+          changed = true;
+        } else if (q_known) {
+          polarity[p] = same_sign ? polarity[q] : !polarity[q];
+          changed = true;
+        }
+      }
+    }
+  }
+  for (SymbolId p : idb) polarity.emplace(p, true);
+  return polarity;
+}
+
+}  // namespace afp

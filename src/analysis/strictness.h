@@ -1,0 +1,61 @@
+#ifndef AFP_ANALYSIS_STRICTNESS_H_
+#define AFP_ANALYSIS_STRICTNESS_H_
+
+#include <map>
+#include <set>
+#include <utility>
+
+#include "analysis/dependency_graph.h"
+#include "ast/program.h"
+#include "util/status.h"
+
+namespace afp {
+
+/// Classification of an ordered pair of relations (Definition 8.3).
+enum class PairClass {
+  kStrictlyPositive,  // every path has an even number of negative arcs
+  kStrictlyNegative,  // every path has an odd number of negative arcs
+  kUnrelated,         // no path at all
+  kMixed,             // paths of both parities, or a path through a mixed arc
+};
+
+/// Path-parity analysis over the dependency graph (Definition 8.3). The null
+/// path counts: (p, p) is always reachable with even parity.
+class Strictness {
+ public:
+  /// Analyzes `program`'s dependency graph.
+  explicit Strictness(const Program& program);
+
+  /// Classifies the ordered pair (p, q).
+  PairClass Classify(SymbolId p, SymbolId q) const;
+
+  /// A program is strict if every ordered pair of relations is strict
+  /// (not kMixed).
+  bool IsStrict() const;
+
+  /// Strict in the IDB: every ordered pair of IDB relations is strict.
+  bool IsStrictInIdb() const;
+
+  /// For programs strict in the IDB: partitions the IDB relations into
+  /// globally positive / globally negative sets (§8.2), where all pairs
+  /// within a set are strictly positive or unrelated and pairs across sets
+  /// are strictly negative or unrelated. `positive_roots` names relations
+  /// that must land in the positive side (the original IDB of an FP system,
+  /// Definition 8.5). Fails if the program is not strict in the IDB or the
+  /// constraints are unsatisfiable.
+  StatusOr<std::map<SymbolId, bool>> GloballyPositivePartition(
+      const std::set<SymbolId>& positive_roots) const;
+
+ private:
+  const Program& program_;
+  DependencyGraph graph_;
+  // reach_[p] = set of (q, parity) reachable from p over non-mixed arcs.
+  std::map<SymbolId, std::set<std::pair<SymbolId, int>>> reach_;
+  // mixed_reach_[p] = set of q reachable from p via a path containing a
+  // mixed arc.
+  std::map<SymbolId, std::set<SymbolId>> mixed_reach_;
+};
+
+}  // namespace afp
+
+#endif  // AFP_ANALYSIS_STRICTNESS_H_

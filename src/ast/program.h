@@ -1,0 +1,131 @@
+#ifndef AFP_AST_PROGRAM_H_
+#define AFP_AST_PROGRAM_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ast/term.h"
+#include "util/interner.h"
+#include "util/status.h"
+
+namespace afp {
+
+/// An atomic formula p(t1,...,tn). `predicate` is a SymbolId from the owning
+/// Program's interner; args are TermIds from its term table.
+struct Atom {
+  SymbolId predicate;
+  std::vector<TermId> args;
+
+  bool operator==(const Atom& o) const {
+    return predicate == o.predicate && args == o.args;
+  }
+};
+
+/// A literal: an atom or its negation (`not p(...)`).
+struct Literal {
+  Atom atom;
+  bool positive = true;
+};
+
+/// A normal rule `head :- body.` (Definition 3.1). A rule with an empty body
+/// and a ground head is a fact.
+struct Rule {
+  Atom head;
+  std::vector<Literal> body;
+
+  bool IsFact(const TermTable& terms) const;
+};
+
+/// A normal logic program: a finite set of normal rules, together with its
+/// symbol interner and term table. Matches the paper's Definition 3.1.
+///
+/// Predicates whose rules are all facts form the extensional database (EDB);
+/// predicates with at least one nontrivial rule form the intentional
+/// database (IDB) (paper §2.5).
+class Program {
+ public:
+  Program() = default;
+
+  // --- builder conveniences (used by tests, examples, and workload gens) ---
+
+  /// Interns a name.
+  SymbolId Symbol(std::string_view name) { return symbols_.Intern(name); }
+  /// Returns a constant term with the given name.
+  TermId Const(std::string_view name) {
+    return terms_.MakeConstant(symbols_.Intern(name));
+  }
+  /// Returns a variable term with the given name.
+  TermId Var(std::string_view name) {
+    return terms_.MakeVariable(symbols_.Intern(name));
+  }
+  /// Returns a compound term functor(args...).
+  TermId Compound(std::string_view functor, std::vector<TermId> args) {
+    return terms_.MakeCompound(symbols_.Intern(functor), args);
+  }
+  /// Builds an atom pred(args...).
+  Atom MakeAtom(std::string_view pred, std::vector<TermId> args = {}) {
+    return Atom{symbols_.Intern(pred), std::move(args)};
+  }
+  /// Positive literal.
+  static Literal Pos(Atom a) { return Literal{std::move(a), true}; }
+  /// Negative literal.
+  static Literal Neg(Atom a) { return Literal{std::move(a), false}; }
+
+  /// Appends a rule `head :- body.`.
+  void AddRule(Atom head, std::vector<Literal> body = {});
+  /// Appends a ground fact pred(constant_names...).
+  void AddFact(std::string_view pred, std::vector<std::string_view> consts);
+
+  // --- accessors ---
+
+  const std::vector<Rule>& rules() const { return rules_; }
+  const Interner& symbols() const { return symbols_; }
+  Interner& symbols() { return symbols_; }
+  const TermTable& terms() const { return terms_; }
+  TermTable& terms() { return terms_; }
+
+  /// Arity recorded for each predicate (first occurrence wins; see
+  /// Validate() for consistency checking).
+  const std::map<SymbolId, std::uint32_t>& predicate_arity() const {
+    return arity_;
+  }
+
+  /// Predicates defined by at least one non-fact rule (the IDB).
+  std::set<SymbolId> IdbPredicates() const;
+  /// Predicates all of whose rules are facts, plus predicates that occur
+  /// only in rule bodies (the EDB).
+  std::set<SymbolId> EdbPredicates() const;
+
+  /// Renders an atom / literal / rule / the whole program as text in the
+  /// input syntax.
+  std::string AtomToString(const Atom& a) const;
+  std::string LiteralToString(const Literal& l) const;
+  std::string RuleToString(const Rule& r) const;
+  std::string ToString() const;
+
+  /// Checks structural well-formedness:
+  ///  * consistent arity per predicate,
+  ///  * safety / range restriction: every variable in a rule head or in a
+  ///    negative body literal also occurs in some positive body literal.
+  /// Safety guarantees the Herbrand instantiation P_H is faithful to the
+  /// intended relational reading.
+  Status Validate() const;
+
+ private:
+  Interner symbols_;
+  TermTable terms_;
+  std::vector<Rule> rules_;
+  std::map<SymbolId, std::uint32_t> arity_;
+};
+
+/// Parses a program from text (see parser/parser.h for the grammar) and
+/// validates it. Convenience wrapper used everywhere in tests/examples.
+StatusOr<Program> ParseProgram(std::string_view text);
+
+}  // namespace afp
+
+#endif  // AFP_AST_PROGRAM_H_

@@ -1,0 +1,138 @@
+#include "ast/term.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace afp {
+
+TermId TermTable::Intern(Key key) {
+  auto it = index_.find(key);
+  if (it != index_.end()) return it->second;
+
+  Node node;
+  node.kind = key.kind;
+  node.symbol = key.symbol;
+  node.args_offset = static_cast<std::uint32_t>(args_.size());
+  node.args_len = static_cast<std::uint32_t>(key.args.size());
+  node.ground = key.kind != TermKind::kVariable;
+  node.depth = 0;
+  for (TermId a : key.args) {
+    node.ground = node.ground && nodes_[a].ground;
+    node.depth = std::max(node.depth, nodes_[a].depth + 1);
+  }
+  args_.insert(args_.end(), key.args.begin(), key.args.end());
+
+  TermId id = static_cast<TermId>(nodes_.size());
+  nodes_.push_back(node);
+  index_.emplace(std::move(key), id);
+  return id;
+}
+
+TermId TermTable::MakeConstant(SymbolId symbol) {
+  return Intern(Key{TermKind::kConstant, symbol, {}});
+}
+
+TermId TermTable::MakeVariable(SymbolId symbol) {
+  return Intern(Key{TermKind::kVariable, symbol, {}});
+}
+
+TermId TermTable::MakeCompound(SymbolId functor,
+                               std::span<const TermId> args) {
+  assert(!args.empty() && "zero-arity compounds must be constants");
+  return Intern(Key{TermKind::kCompound, functor,
+                    std::vector<TermId>(args.begin(), args.end())});
+}
+
+TermId TermTable::FindConstant(SymbolId symbol) const {
+  auto it = index_.find(Key{TermKind::kConstant, symbol, {}});
+  return it == index_.end() ? kInvalidTerm : it->second;
+}
+
+TermId TermTable::FindCompound(SymbolId functor,
+                               std::span<const TermId> args) const {
+  auto it = index_.find(Key{TermKind::kCompound, functor,
+                            std::vector<TermId>(args.begin(), args.end())});
+  return it == index_.end() ? kInvalidTerm : it->second;
+}
+
+std::string TermTable::ToString(TermId t, const Interner& symbols) const {
+  const Node& n = nodes_[t];
+  std::string out = symbols.Name(n.symbol);
+  if (n.kind == TermKind::kCompound) {
+    out += '(';
+    auto as = args(t);
+    for (std::size_t i = 0; i < as.size(); ++i) {
+      if (i > 0) out += ',';
+      out += ToString(as[i], symbols);
+    }
+    out += ')';
+  }
+  return out;
+}
+
+TermId TermTable::Substitute(
+    TermId t, const std::unordered_map<SymbolId, TermId>& binding) {
+  const Node& n = nodes_[t];
+  switch (n.kind) {
+    case TermKind::kConstant:
+      return t;
+    case TermKind::kVariable: {
+      auto it = binding.find(n.symbol);
+      return it == binding.end() ? t : it->second;
+    }
+    case TermKind::kCompound: {
+      if (n.ground) return t;
+      std::vector<TermId> new_args;
+      auto as = args(t);
+      new_args.reserve(as.size());
+      bool changed = false;
+      for (TermId a : as) {
+        TermId na = Substitute(a, binding);
+        changed = changed || na != a;
+        new_args.push_back(na);
+      }
+      if (!changed) return t;
+      return MakeCompound(n.symbol, new_args);
+    }
+  }
+  return t;
+}
+
+void TermTable::CollectVariables(TermId t, std::vector<SymbolId>& out) const {
+  const Node& n = nodes_[t];
+  if (n.ground) return;
+  if (n.kind == TermKind::kVariable) {
+    out.push_back(n.symbol);
+    return;
+  }
+  for (TermId a : args(t)) CollectVariables(a, out);
+}
+
+bool TermTable::Match(TermId pattern, TermId ground,
+                      std::unordered_map<SymbolId, TermId>& binding) const {
+  const Node& p = nodes_[pattern];
+  switch (p.kind) {
+    case TermKind::kVariable: {
+      auto [it, inserted] = binding.emplace(p.symbol, ground);
+      return inserted || it->second == ground;
+    }
+    case TermKind::kConstant:
+      return pattern == ground;
+    case TermKind::kCompound: {
+      const Node& g = nodes_[ground];
+      if (g.kind != TermKind::kCompound || g.symbol != p.symbol ||
+          g.args_len != p.args_len) {
+        return false;
+      }
+      auto pa = args(pattern);
+      auto ga = args(ground);
+      for (std::size_t i = 0; i < pa.size(); ++i) {
+        if (!Match(pa[i], ga[i], binding)) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace afp

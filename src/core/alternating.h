@@ -1,0 +1,74 @@
+#ifndef AFP_CORE_ALTERNATING_H_
+#define AFP_CORE_ALTERNATING_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/horn_solver.h"
+#include "core/interpretation.h"
+#include "ground/ground_program.h"
+#include "util/bitset.h"
+
+namespace afp {
+
+/// One half-step of the alternating sequence: Ĩ_k together with S_P(Ĩ_k).
+/// These are exactly the two columns of the paper's Table I.
+struct AfpTraceRow {
+  /// The negative set Ĩ_k, as a set of atoms (to be read negated).
+  Bitset neg_set;
+  /// S_P(Ĩ_k): the positive consequences under those negative assumptions.
+  Bitset sp_result;
+};
+
+/// Options for the alternating fixpoint computation.
+struct AfpOptions {
+  HornMode horn_mode = HornMode::kCounting;
+  /// Record every half-step (Ĩ_k, S_P(Ĩ_k)). Costs two bitset copies per
+  /// half-step; leave off for large instances.
+  bool record_trace = false;
+};
+
+/// Result of the alternating fixpoint computation.
+struct AfpResult {
+  /// The alternating fixpoint partial model (A+ ⊎ Ã), Definition 5.2.
+  /// By Theorem 7.8 it equals the well-founded partial model.
+  PartialModel model;
+  /// Number of applications of A_P (full double-steps) until the least
+  /// fixpoint was detected, including the final confirming application.
+  std::size_t outer_iterations = 0;
+  /// Number of S_P evaluations performed (two per A_P application, plus the
+  /// initial one).
+  std::size_t sp_calls = 0;
+  /// Table-I style trace; empty unless AfpOptions::record_trace.
+  std::vector<AfpTraceRow> trace;
+};
+
+/// Computes the alternating fixpoint of the ground program (§5):
+///
+///   Ĩ_0 = ∅,  Ĩ_{k+1} = S̃_P(Ĩ_k),  where S̃_P(Ĩ) = ¬·(H̄ − S_P(Ĩ)).
+///
+/// The even subsequence Ĩ_0 ⊆ Ĩ_2 ⊆ ... increases to Ã, the least fixpoint
+/// of the monotonic A_P = S̃_P ∘ S̃_P; the odd subsequence decreases to
+/// S̃_P(Ã). The returned model has true = S_P(Ã) and false = Ã.
+AfpResult AlternatingFixpoint(const GroundProgram& gp,
+                              const AfpOptions& options = {});
+
+/// As above, but seeds the iteration with Ĩ_0 = `seed_negatives` (a set of
+/// atoms assumed false), computing the least fixpoint of X ↦ A_P(X ∪ seed).
+/// Used by the stable-model enumerator: for any stable model M whose
+/// negative part contains the seed, the result under-approximates M
+/// (Ã ⊆ M̃ and S_P(Ã) ... ⊆ M+ need not hold for inconsistent seeds; the
+/// caller re-checks stability at total leaves).
+AfpResult AlternatingFixpointSeeded(const GroundProgram& gp,
+                                    const Bitset& seed_negatives,
+                                    const AfpOptions& options = {});
+
+/// Convenience: alternating fixpoint on an existing HornSolver (shared
+/// across calls when the same program is solved under many seeds).
+AfpResult AlternatingFixpointWithSolver(const HornSolver& solver,
+                                        const Bitset& seed_negatives,
+                                        const AfpOptions& options);
+
+}  // namespace afp
+
+#endif  // AFP_CORE_ALTERNATING_H_

@@ -1,0 +1,202 @@
+#include "core/explain.h"
+
+#include <vector>
+
+#include "core/horn_solver.h"
+
+namespace afp {
+
+namespace {
+
+/// Derivation ranks of the model's true atoms: the order in which the
+/// counting solver derives them under the model's negative set. Rank gives
+/// each true atom a non-circular proof: some rule has all positive body
+/// atoms of strictly smaller rank.
+std::vector<std::uint32_t> DerivationRanks(const GroundProgram& gp,
+                                           const PartialModel& model) {
+  const RuleView view = gp.View();
+  HornSolver solver(view);
+  constexpr std::uint32_t kUnranked = UINT32_MAX;
+  std::vector<std::uint32_t> rank(view.num_atoms, kUnranked);
+  std::vector<std::uint32_t> remaining(view.rules.size());
+  std::vector<AtomId> queue;
+  std::uint32_t next_rank = 0;
+
+  const Bitset& af = model.false_atoms();
+  for (std::uint32_t ri = 0; ri < view.rules.size(); ++ri) {
+    const GroundRule& r = view.rules[ri];
+    bool enabled = true;
+    for (AtomId a : view.neg(r)) {
+      if (!af.Test(a)) {
+        enabled = false;
+        break;
+      }
+    }
+    remaining[ri] = enabled ? r.pos_len : UINT32_MAX;
+    if (enabled && r.pos_len == 0 && rank[r.head] == kUnranked) {
+      rank[r.head] = next_rank++;
+      queue.push_back(r.head);
+    }
+  }
+  for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+    AtomId a = queue[qi];
+    const auto& off = solver.pos_occ_offsets();
+    const auto& occ = solver.pos_occ_rules();
+    for (std::uint32_t k = off[a]; k < off[a + 1]; ++k) {
+      std::uint32_t ri = occ[k];
+      if (remaining[ri] == UINT32_MAX) continue;
+      if (--remaining[ri] == 0) {
+        AtomId h = view.rules[ri].head;
+        if (rank[h] == kUnranked) {
+          rank[h] = next_rank++;
+          queue.push_back(h);
+        }
+      }
+    }
+  }
+  return rank;
+}
+
+}  // namespace
+
+std::string Justification::ToString() const {
+  std::string out = atom + " is " + TruthValueName(value);
+  if (notes.empty()) {
+    out += " (no rule instance has this head)";
+  }
+  out += "\n";
+  for (const auto& n : notes) {
+    out += "  " + n.rule_text + "\n    " + n.note + "\n";
+  }
+  return out;
+}
+
+StatusOr<Justification> Explain(const GroundProgram& gp,
+                                const PartialModel& model,
+                                const std::string& atom_text) {
+  Justification j;
+  j.atom = atom_text;
+  AFP_ASSIGN_OR_RETURN(AtomId id, ResolveAtom(gp, atom_text));
+  if (id == kInvalidAtom) {
+    j.value = TruthValue::kFalse;
+    return j;
+  }
+  j.value = model.Value(id);
+  const RuleView view = gp.View();
+
+  if (j.value == TruthValue::kTrue) {
+    // Find a non-circular deriving rule via derivation ranks.
+    std::vector<std::uint32_t> rank = DerivationRanks(gp, model);
+    for (std::size_t ri = 0; ri < view.rules.size(); ++ri) {
+      const GroundRule& r = view.rules[ri];
+      if (r.head != id) continue;
+      bool derives = true;
+      for (AtomId a : view.pos(r)) {
+        if (rank[a] == UINT32_MAX || rank[a] >= rank[id]) {
+          derives = false;
+          break;
+        }
+      }
+      if (derives) {
+        for (AtomId a : view.neg(r)) {
+          if (!model.false_atoms().Test(a)) {
+            derives = false;
+            break;
+          }
+        }
+      }
+      if (!derives) continue;
+      std::string note = "fires:";
+      for (AtomId a : view.pos(r)) {
+        note += " " + gp.AtomName(a) + " proved earlier;";
+      }
+      for (AtomId a : view.neg(r)) {
+        note += " " + gp.AtomName(a) + " is false;";
+      }
+      if (r.pos_len + r.neg_len == 0) note += " it is a fact;";
+      j.notes.push_back(JustificationNote{ri, gp.RuleToString(ri), note});
+      return j;  // one well-founded proof suffices
+    }
+    return Status::Internal("true atom without a ranked deriving rule: " +
+                            atom_text);
+  }
+
+  // False / undefined: one note per rule for this head.
+  for (std::size_t ri = 0; ri < view.rules.size(); ++ri) {
+    const GroundRule& r = view.rules[ri];
+    if (r.head != id) continue;
+    std::string note;
+    if (j.value == TruthValue::kFalse) {
+      // Witness of unusability (Definition 6.1).
+      for (AtomId a : view.pos(r)) {
+        if (model.false_atoms().Test(a)) {
+          note = "unusable: positive literal " + gp.AtomName(a) +
+                 " is false (in the same unfounded set or proved false)";
+          break;
+        }
+      }
+      if (note.empty()) {
+        for (AtomId a : view.neg(r)) {
+          if (model.true_atoms().Test(a)) {
+            note = "unusable: literal not " + gp.AtomName(a) +
+                   " is false (" + gp.AtomName(a) + " is true)";
+            break;
+          }
+        }
+      }
+      if (note.empty()) {
+        note = "unusable (witness lies among undefined atoms)";
+      }
+    } else {
+      TruthValue body = BodyValue(gp, r, model);
+      note = std::string("body is ") + TruthValueName(body) +
+             "; the well-founded semantics leaves the head " +
+             TruthValueName(j.value);
+    }
+    j.notes.push_back(JustificationNote{ri, gp.RuleToString(ri), note});
+  }
+  return j;
+}
+
+namespace {
+
+Status ExplainTreeImpl(const GroundProgram& gp, const PartialModel& model,
+                       const std::string& atom_text, int depth,
+                       int max_depth, std::string* out) {
+  AFP_ASSIGN_OR_RETURN(Justification j, Explain(gp, model, atom_text));
+  std::string indent(static_cast<std::size_t>(depth) * 2, ' ');
+  *out += indent + j.atom + " is " + TruthValueName(j.value);
+  if (j.notes.empty()) {
+    *out += " (no rules)\n";
+    return Status::Ok();
+  }
+  *out += "  via  " + j.notes[0].rule_text + "\n";
+  if (j.value != TruthValue::kTrue || depth >= max_depth) {
+    return Status::Ok();
+  }
+  const RuleView view = gp.View();
+  const GroundRule& r = view.rules[j.notes[0].rule_index];
+  for (AtomId a : view.pos(r)) {
+    AFP_RETURN_IF_ERROR(ExplainTreeImpl(gp, model, gp.AtomName(a), depth + 1,
+                                        max_depth, out));
+  }
+  for (AtomId a : view.neg(r)) {
+    *out += std::string(static_cast<std::size_t>(depth + 1) * 2, ' ') +
+            gp.AtomName(a) + " is false (negative premise)\n";
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<std::string> ExplainTree(const GroundProgram& gp,
+                                  const PartialModel& model,
+                                  const std::string& atom_text,
+                                  int max_depth) {
+  std::string out;
+  AFP_RETURN_IF_ERROR(
+      ExplainTreeImpl(gp, model, atom_text, 0, max_depth, &out));
+  return out;
+}
+
+}  // namespace afp

@@ -1,0 +1,57 @@
+#ifndef AFP_CORE_EXPLAIN_H_
+#define AFP_CORE_EXPLAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "core/interpretation.h"
+#include "ground/ground_program.h"
+#include "util/status.h"
+
+namespace afp {
+
+/// A per-rule note in a justification.
+struct JustificationNote {
+  std::size_t rule_index;  // into the ground program
+  std::string rule_text;
+  std::string note;  // why this rule fires / cannot fire
+};
+
+/// Why an atom has its well-founded truth value.
+///
+///  * true atoms carry the deriving rule: one whose positive body atoms
+///    were derived strictly earlier (a well-founded, non-circular proof)
+///    and whose negative atoms are false in the model;
+///  * false atoms carry, for every rule with that head, its "witness of
+///    unusability" in the sense of Definition 6.1 (a body literal false in
+///    the model, or a positive body literal that is itself unfounded);
+///  * undefined atoms carry the rules whose bodies are undefined — the
+///    tangle the well-founded semantics refuses to resolve.
+struct Justification {
+  std::string atom;
+  TruthValue value = TruthValue::kFalse;
+  std::vector<JustificationNote> notes;
+
+  /// Multi-line human-readable rendering.
+  std::string ToString() const;
+};
+
+/// Explains the truth value of `atom_text` in `model` (which must be the
+/// well-founded model of `gp`, e.g. from AlternatingFixpoint). Atoms
+/// outside the grounded base get a one-note justification ("not derivable
+/// by any rule instance").
+StatusOr<Justification> Explain(const GroundProgram& gp,
+                                const PartialModel& model,
+                                const std::string& atom_text);
+
+/// Renders a recursive proof tree for a true atom: the deriving rule, then
+/// the justifications of its positive body atoms, indented, to
+/// `max_depth`. For false/undefined atoms this is Explain's rendering.
+StatusOr<std::string> ExplainTree(const GroundProgram& gp,
+                                  const PartialModel& model,
+                                  const std::string& atom_text,
+                                  int max_depth = 8);
+
+}  // namespace afp
+
+#endif  // AFP_CORE_EXPLAIN_H_

@@ -1,0 +1,108 @@
+#include "core/horn_solver.h"
+
+namespace afp {
+
+HornSolver::HornSolver(RuleView view) : view_(view) {
+  // Build CSR positive-occurrence lists.
+  pos_occ_offsets_.assign(view_.num_atoms + 1, 0);
+  for (const GroundRule& r : view_.rules) {
+    for (AtomId a : view_.pos(r)) ++pos_occ_offsets_[a + 1];
+  }
+  for (std::size_t i = 1; i < pos_occ_offsets_.size(); ++i) {
+    pos_occ_offsets_[i] += pos_occ_offsets_[i - 1];
+  }
+  pos_occ_rules_.resize(pos_occ_offsets_.back());
+  std::vector<std::uint32_t> cursor(pos_occ_offsets_.begin(),
+                                    pos_occ_offsets_.end() - 1);
+  for (std::uint32_t ri = 0; ri < view_.rules.size(); ++ri) {
+    for (AtomId a : view_.pos(view_.rules[ri])) {
+      pos_occ_rules_[cursor[a]++] = ri;
+    }
+  }
+}
+
+Bitset HornSolver::EventualConsequences(const Bitset& assumed_false,
+                                        HornMode mode) const {
+  return mode == HornMode::kCounting ? Counting(assumed_false)
+                                     : Naive(assumed_false);
+}
+
+Bitset HornSolver::Counting(const Bitset& assumed_false) const {
+  Bitset derived(view_.num_atoms);
+  // remaining[r]: positive body atoms of rule r not yet derived. A rule is
+  // "enabled" iff all its negative literals are satisfied by assumed_false;
+  // disabled rules are given an infinite counter.
+  std::vector<std::uint32_t> remaining(view_.rules.size());
+  std::vector<AtomId> queue;
+  queue.reserve(64);
+
+  for (std::uint32_t ri = 0; ri < view_.rules.size(); ++ri) {
+    const GroundRule& r = view_.rules[ri];
+    bool enabled = true;
+    for (AtomId a : view_.neg(r)) {
+      if (!assumed_false.Test(a)) {
+        enabled = false;
+        break;
+      }
+    }
+    if (!enabled) {
+      remaining[ri] = UINT32_MAX;
+      continue;
+    }
+    remaining[ri] = r.pos_len;
+    if (r.pos_len == 0 && !derived.Test(r.head)) {
+      derived.Set(r.head);
+      queue.push_back(r.head);
+    }
+  }
+
+  while (!queue.empty()) {
+    AtomId a = queue.back();
+    queue.pop_back();
+    for (std::uint32_t k = pos_occ_offsets_[a]; k < pos_occ_offsets_[a + 1];
+         ++k) {
+      std::uint32_t ri = pos_occ_rules_[k];
+      if (remaining[ri] == UINT32_MAX) continue;
+      if (--remaining[ri] == 0) {
+        AtomId h = view_.rules[ri].head;
+        if (!derived.Test(h)) {
+          derived.Set(h);
+          queue.push_back(h);
+        }
+      }
+    }
+  }
+  return derived;
+}
+
+Bitset HornSolver::Naive(const Bitset& assumed_false) const {
+  Bitset derived(view_.num_atoms);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const GroundRule& r : view_.rules) {
+      if (derived.Test(r.head)) continue;
+      bool fire = true;
+      for (AtomId a : view_.pos(r)) {
+        if (!derived.Test(a)) {
+          fire = false;
+          break;
+        }
+      }
+      if (!fire) continue;
+      for (AtomId a : view_.neg(r)) {
+        if (!assumed_false.Test(a)) {
+          fire = false;
+          break;
+        }
+      }
+      if (fire) {
+        derived.Set(r.head);
+        changed = true;
+      }
+    }
+  }
+  return derived;
+}
+
+}  // namespace afp

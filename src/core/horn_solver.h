@@ -1,0 +1,62 @@
+#ifndef AFP_CORE_HORN_SOLVER_H_
+#define AFP_CORE_HORN_SOLVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ground/ground_program.h"
+#include "util/bitset.h"
+
+namespace afp {
+
+/// Strategy for computing Horn least fixpoints.
+enum class HornMode {
+  /// Dowling–Gallier style counting propagation: each call runs in time
+  /// linear in the size of the ground program.
+  kCounting,
+  /// Textbook T_P iteration to fixpoint: each round scans every rule;
+  /// worst-case quadratic. Kept as the ablation baseline (bench_ablation).
+  kNaive,
+};
+
+/// Computes the eventual consequence mapping S_P (Definition 4.2): the least
+/// fixpoint of T_{P∪Ĩ}, where a fixed set Ĩ of negative facts is treated
+/// like additional EDB facts (Fig. 3 of the paper). A negative body literal
+/// `not q` is satisfied iff q ∈ assumed_false.
+///
+/// The solver precomputes positive-occurrence indexes once per RuleView, so
+/// it can be applied to many different Ĩ arguments cheaply — exactly the
+/// access pattern of the alternating fixpoint.
+class HornSolver {
+ public:
+  /// Builds indexes over `view`. The view's storage must outlive the solver.
+  explicit HornSolver(RuleView view);
+
+  /// Returns S_P(assumed_false) as a set of (positive) atoms.
+  /// `assumed_false` must have the view's atom universe size.
+  Bitset EventualConsequences(const Bitset& assumed_false,
+                              HornMode mode = HornMode::kCounting) const;
+
+  const RuleView& view() const { return view_; }
+
+  /// For each atom, the rules in which it occurs positively (CSR layout);
+  /// shared with the unfounded-set computation.
+  const std::vector<std::uint32_t>& pos_occ_offsets() const {
+    return pos_occ_offsets_;
+  }
+  const std::vector<std::uint32_t>& pos_occ_rules() const {
+    return pos_occ_rules_;
+  }
+
+ private:
+  Bitset Counting(const Bitset& assumed_false) const;
+  Bitset Naive(const Bitset& assumed_false) const;
+
+  RuleView view_;
+  std::vector<std::uint32_t> pos_occ_offsets_;  // num_atoms + 1
+  std::vector<std::uint32_t> pos_occ_rules_;
+};
+
+}  // namespace afp
+
+#endif  // AFP_CORE_HORN_SOLVER_H_

@@ -1,0 +1,108 @@
+#include "core/query.h"
+
+#include <algorithm>
+
+#include "parser/parser.h"
+
+namespace afp {
+
+namespace {
+
+/// Matches a pattern term (in the scratch program's tables) against a
+/// ground term (in the source program's tables), comparing constants and
+/// functors by name and binding pattern variables to ground TermIds.
+bool MatchCross(const Program& scratch, TermId pattern, const Program& source,
+                TermId ground,
+                std::map<SymbolId, TermId>& binding) {
+  const TermTable& st = scratch.terms();
+  const TermTable& gt = source.terms();
+  switch (st.kind(pattern)) {
+    case TermKind::kVariable: {
+      auto [it, inserted] = binding.emplace(st.symbol(pattern), ground);
+      return inserted || it->second == ground;
+    }
+    case TermKind::kConstant:
+      return gt.kind(ground) == TermKind::kConstant &&
+             scratch.symbols().Name(st.symbol(pattern)) ==
+                 source.symbols().Name(gt.symbol(ground));
+    case TermKind::kCompound: {
+      if (gt.kind(ground) != TermKind::kCompound) return false;
+      if (scratch.symbols().Name(st.symbol(pattern)) !=
+          source.symbols().Name(gt.symbol(ground))) {
+        return false;
+      }
+      auto pa = st.args(pattern);
+      auto ga = gt.args(ground);
+      if (pa.size() != ga.size()) return false;
+      for (std::size_t i = 0; i < pa.size(); ++i) {
+        if (!MatchCross(scratch, pa[i], source, ga[i], binding)) {
+          return false;
+        }
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+bool PassesFilter(TruthValue v, QueryFilter f) {
+  switch (f) {
+    case QueryFilter::kTrueOnly:
+      return v == TruthValue::kTrue;
+    case QueryFilter::kFalseOnly:
+      return v == TruthValue::kFalse;
+    case QueryFilter::kUndefinedOnly:
+      return v == TruthValue::kUndefined;
+    case QueryFilter::kAll:
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+StatusOr<std::vector<QueryMatch>> Select(const GroundProgram& gp,
+                                         const PartialModel& model,
+                                         const std::string& pattern,
+                                         QueryFilter filter) {
+  AFP_ASSIGN_OR_RETURN(Program scratch, Parser::ParseAtomPattern(pattern));
+  const Atom& query = scratch.rules()[0].head;
+  const Program& source = gp.source();
+
+  SymbolId pred =
+      source.symbols().Find(scratch.symbols().Name(query.predicate));
+  std::vector<QueryMatch> out;
+  if (pred == Interner::npos) return out;
+
+  for (AtomId a = 0; a < gp.num_atoms(); ++a) {
+    if (gp.atoms().predicate(a) != pred) continue;
+    auto args = gp.atoms().args(a);
+    if (args.size() != query.args.size()) continue;
+    std::map<SymbolId, TermId> binding;
+    bool matched = true;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      if (!MatchCross(scratch, query.args[i], source, args[i], binding)) {
+        matched = false;
+        break;
+      }
+    }
+    if (!matched) continue;
+    TruthValue v = model.Value(a);
+    if (!PassesFilter(v, filter)) continue;
+    QueryMatch match;
+    match.atom = gp.AtomName(a);
+    match.value = v;
+    for (const auto& [var, term] : binding) {
+      match.bindings.emplace(scratch.symbols().Name(var),
+                             source.terms().ToString(term, source.symbols()));
+    }
+    out.push_back(std::move(match));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const QueryMatch& a, const QueryMatch& b) {
+              return a.atom < b.atom;
+            });
+  return out;
+}
+
+}  // namespace afp

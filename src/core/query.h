@@ -1,0 +1,42 @@
+#ifndef AFP_CORE_QUERY_H_
+#define AFP_CORE_QUERY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/interpretation.h"
+#include "ground/ground_program.h"
+#include "util/status.h"
+
+namespace afp {
+
+/// One answer to a query pattern: the matched ground atom, its truth value,
+/// and the variable bindings that produce it.
+struct QueryMatch {
+  std::string atom;  // e.g. "wins(b)"
+  TruthValue value;
+  std::map<std::string, std::string> bindings;  // e.g. {"X": "b"}
+};
+
+/// Truth-value filter for Select.
+enum class QueryFilter { kTrueOnly, kFalseOnly, kUndefinedOnly, kAll };
+
+/// Evaluates an atom pattern such as "wins(X)" or "tc(a,Y)" against a
+/// model: every ground atom of the same predicate in the grounded base is
+/// matched syntactically; matches passing `filter` are returned, sorted by
+/// atom text. This is the paper's "queries are questions about a concept"
+/// view (§2.5) turned into an API.
+///
+/// Note the closed-world caveat: atoms outside the grounded base are false
+/// but not enumerated (there may be infinitely many); Select reports only
+/// atoms the grounder materialized.
+StatusOr<std::vector<QueryMatch>> Select(const GroundProgram& gp,
+                                         const PartialModel& model,
+                                         const std::string& pattern,
+                                         QueryFilter filter
+                                         = QueryFilter::kTrueOnly);
+
+}  // namespace afp
+
+#endif  // AFP_CORE_QUERY_H_

@@ -1,0 +1,80 @@
+#include "core/relevance.h"
+
+#include <vector>
+
+#include "core/alternating.h"
+#include "parser/parser.h"
+
+namespace afp {
+
+RelevantSlice RelevantSubprogram(const RuleView& view,
+                                 const Bitset& query_atoms) {
+  const std::size_t n = view.num_atoms;
+  // Head -> rules index.
+  std::vector<std::uint32_t> offsets(n + 1, 0);
+  for (const GroundRule& r : view.rules) ++offsets[r.head + 1];
+  for (std::size_t i = 1; i <= n; ++i) offsets[i] += offsets[i - 1];
+  std::vector<std::uint32_t> by_head(view.rules.size());
+  {
+    std::vector<std::uint32_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (std::uint32_t ri = 0; ri < view.rules.size(); ++ri) {
+      by_head[cursor[view.rules[ri].head]++] = ri;
+    }
+  }
+
+  RelevantSlice slice;
+  slice.relevant = Bitset(n);
+  std::vector<AtomId> stack;
+  query_atoms.ForEach([&](std::size_t a) {
+    slice.relevant.Set(a);
+    stack.push_back(static_cast<AtomId>(a));
+  });
+
+  slice.rules.num_atoms = n;
+  while (!stack.empty()) {
+    AtomId a = stack.back();
+    stack.pop_back();
+    for (std::uint32_t k = offsets[a]; k < offsets[a + 1]; ++k) {
+      const GroundRule& r = view.rules[by_head[k]];
+      slice.rules.Add(r.head, view.pos(r), view.neg(r));
+      auto visit = [&](AtomId q) {
+        if (!slice.relevant.Test(q)) {
+          slice.relevant.Set(q);
+          stack.push_back(q);
+        }
+      };
+      for (AtomId q : view.pos(r)) visit(q);
+      for (AtomId q : view.neg(r)) visit(q);
+    }
+  }
+  return slice;
+}
+
+StatusOr<RelevanceQueryResult> QueryWithRelevance(const GroundProgram& gp,
+                                                  const std::string& atom_text,
+                                                  HornMode mode) {
+  RelevanceQueryResult result;
+  result.full_size = gp.TotalSize();
+
+  AFP_ASSIGN_OR_RETURN(AtomId target, ResolveAtom(gp, atom_text));
+  if (target == kInvalidAtom) {
+    result.value = TruthValue::kFalse;  // not in the base: unfounded
+    result.slice_size = 0;
+    return result;
+  }
+
+  Bitset query(gp.num_atoms());
+  query.Set(target);
+  RelevantSlice slice = RelevantSubprogram(gp.View(), query);
+  result.slice_size = slice.rules.pool.size() + slice.rules.rules.size();
+
+  HornSolver solver(slice.rules.View());
+  AfpOptions opts;
+  opts.horn_mode = mode;
+  AfpResult afp = AlternatingFixpointWithSolver(
+      solver, Bitset(gp.num_atoms()), opts);
+  result.value = afp.model.Value(target);
+  return result;
+}
+
+}  // namespace afp

@@ -1,0 +1,82 @@
+#include "core/residual.h"
+
+#include <vector>
+
+#include "ground/owned_rules.h"
+
+namespace afp {
+
+ResidualResult WellFoundedResidual(const GroundProgram& gp, HornMode mode) {
+  ResidualResult result;
+  const std::size_t n = gp.num_atoms();
+
+  OwnedRules current = OwnedRules::CopyOf(gp.View());
+  Bitset decided_true(n);
+  Bitset decided_false(n);
+
+  while (true) {
+    ++result.rounds;
+    result.total_work += current.pool.size() + current.rules.size();
+    HornSolver solver(current.View());
+
+    // Underestimate of the true atoms: only decided-false atoms satisfy
+    // negative literals.
+    Bitset under = solver.EventualConsequences(decided_false, mode);
+    under |= decided_true;
+    // Overestimate: every not-yet-true atom satisfies negative literals.
+    Bitset over = solver.EventualConsequences(Bitset::ComplementOf(under),
+                                              mode);
+    over |= decided_true;
+    Bitset new_false = Bitset::ComplementOf(over);
+
+    if (under == decided_true && new_false == decided_false) break;
+    decided_true = std::move(under);
+    decided_false = std::move(new_false);
+
+    // Rebuild the residual: drop decided heads and certainly-false bodies,
+    // erase certainly-true literals.
+    OwnedRules next;
+    next.num_atoms = n;
+    for (const GroundRule& r : current.rules) {
+      if (decided_true.Test(r.head) || decided_false.Test(r.head)) continue;
+      bool dead = false;
+      for (AtomId a : current.View().pos(r)) {
+        if (decided_false.Test(a)) {
+          dead = true;
+          break;
+        }
+      }
+      if (!dead) {
+        for (AtomId a : current.View().neg(r)) {
+          if (decided_true.Test(a)) {
+            dead = true;
+            break;
+          }
+        }
+      }
+      if (dead) continue;
+      GroundRule nr;
+      nr.head = r.head;
+      nr.pos_offset = static_cast<std::uint32_t>(next.pool.size());
+      for (AtomId a : current.View().pos(r)) {
+        if (!decided_true.Test(a)) next.pool.push_back(a);
+      }
+      nr.pos_len =
+          static_cast<std::uint32_t>(next.pool.size()) - nr.pos_offset;
+      nr.neg_offset = static_cast<std::uint32_t>(next.pool.size());
+      for (AtomId a : current.View().neg(r)) {
+        if (!decided_false.Test(a)) next.pool.push_back(a);
+      }
+      nr.neg_len =
+          static_cast<std::uint32_t>(next.pool.size()) - nr.neg_offset;
+      next.rules.push_back(nr);
+    }
+    current = std::move(next);
+  }
+
+  result.model = PartialModel(std::move(decided_true),
+                              std::move(decided_false));
+  return result;
+}
+
+}  // namespace afp

@@ -1,0 +1,111 @@
+#include "core/scc_engine.h"
+
+#include <vector>
+
+#include "analysis/atom_graph.h"
+#include "core/alternating.h"
+#include "ground/owned_rules.h"
+
+namespace afp {
+
+SccWfsResult WellFoundedScc(const GroundProgram& gp, HornMode mode) {
+  const RuleView view = gp.View();
+  const std::size_t n = gp.num_atoms();
+  AtomDependencyGraph graph(view);
+
+  SccWfsResult result;
+  result.num_components = graph.num_components();
+  result.locally_stratified = graph.IsLocallyStratified();
+
+  // Bucket rules by the component of their head.
+  std::vector<std::vector<std::uint32_t>> comp_rules(graph.num_components());
+  for (std::uint32_t ri = 0; ri < view.rules.size(); ++ri) {
+    comp_rules[graph.component_of()[view.rules[ri].head]].push_back(ri);
+  }
+
+  Bitset global_true(n);
+  Bitset global_false(n);
+  // Scratch map AtomId -> local id, versioned to avoid O(n) clears.
+  std::vector<std::uint32_t> local_id(n, 0);
+  std::vector<std::uint32_t> stamp(n, UINT32_MAX);
+
+  AfpOptions afp_opts;
+  afp_opts.horn_mode = mode;
+
+  std::vector<AtomId> pos_buf, neg_buf;
+  for (std::uint32_t c = 0; c < graph.num_components(); ++c) {
+    const std::vector<AtomId>& members = graph.components()[c];
+    for (std::uint32_t i = 0; i < members.size(); ++i) {
+      local_id[members[i]] = i;
+      stamp[members[i]] = c;
+    }
+    const AtomId sentinel = static_cast<AtomId>(members.size());
+    bool sentinel_used = false;
+
+    OwnedRules local;
+    local.num_atoms = members.size() + 1;
+    for (std::uint32_t ri : comp_rules[c]) {
+      const GroundRule& r = view.rules[ri];
+      pos_buf.clear();
+      neg_buf.clear();
+      bool dead = false;
+      for (AtomId q : view.pos(r)) {
+        if (stamp[q] == c) {
+          pos_buf.push_back(local_id[q]);
+        } else if (global_true.Test(q)) {
+          // erased: satisfied
+        } else if (global_false.Test(q)) {
+          dead = true;
+          break;
+        } else {
+          pos_buf.push_back(sentinel);  // undefined external
+          sentinel_used = true;
+        }
+      }
+      if (!dead) {
+        for (AtomId q : view.neg(r)) {
+          if (stamp[q] == c) {
+            neg_buf.push_back(local_id[q]);
+          } else if (global_false.Test(q)) {
+            // erased: not q holds
+          } else if (global_true.Test(q)) {
+            dead = true;
+            break;
+          } else {
+            pos_buf.push_back(sentinel);  // undefined external caps body
+            sentinel_used = true;
+          }
+        }
+      }
+      if (!dead) local.Add(local_id[r.head], pos_buf, neg_buf);
+    }
+    if (sentinel_used) {
+      // u :- not u — permanently undefined.
+      AtomId s = sentinel;
+      local.Add(s, {}, std::span<const AtomId>(&s, 1));
+    }
+    result.total_local_size += local.pool.size() + local.rules.size();
+
+    HornSolver solver(local.View());
+    AfpResult local_result = AlternatingFixpointWithSolver(
+        solver, Bitset(local.num_atoms), afp_opts);
+    for (std::uint32_t i = 0; i < members.size(); ++i) {
+      switch (local_result.model.Value(i)) {
+        case TruthValue::kTrue:
+          global_true.Set(members[i]);
+          break;
+        case TruthValue::kFalse:
+          global_false.Set(members[i]);
+          break;
+        case TruthValue::kUndefined:
+          break;
+      }
+    }
+  }
+
+  result.model = PartialModel(std::move(global_true),
+                              std::move(global_false));
+  return result;
+}
+
+}  // namespace afp

@@ -1,0 +1,28 @@
+#include "fitting/fitting.h"
+
+namespace afp {
+
+FittingResult FittingFixpoint(const GroundProgram& gp) {
+  FittingResult result;
+  const std::size_t n = gp.num_atoms();
+  const RuleView view = gp.View();
+  PartialModel I = PartialModel::AllUndefined(n);
+
+  while (true) {
+    ++result.iterations;
+    Bitset new_true(n);
+    Bitset has_non_false_rule(n);
+    for (const GroundRule& r : view.rules) {
+      TruthValue body = BodyValue(gp, r, I);
+      if (body == TruthValue::kTrue) new_true.Set(r.head);
+      if (body != TruthValue::kFalse) has_non_false_rule.Set(r.head);
+    }
+    Bitset new_false = Bitset::ComplementOf(has_non_false_rule);
+    if (new_true == I.true_atoms() && new_false == I.false_atoms()) break;
+    I = PartialModel(std::move(new_true), std::move(new_false));
+  }
+  result.model = std::move(I);
+  return result;
+}
+
+}  // namespace afp

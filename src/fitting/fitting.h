@@ -1,0 +1,32 @@
+#ifndef AFP_FITTING_FITTING_H_
+#define AFP_FITTING_FITTING_H_
+
+#include <cstddef>
+
+#include "core/interpretation.h"
+#include "ground/ground_program.h"
+
+namespace afp {
+
+/// Result of the Fitting (Kripke–Kleene) fixpoint.
+struct FittingResult {
+  PartialModel model;
+  std::size_t iterations = 0;
+};
+
+/// Computes the Fitting / Kripke–Kleene three-valued model (§2.1): the least
+/// fixpoint (in the information ordering) of the operator Φ_P where
+///
+///   Φ_P(I).true  = heads of rules whose body is true in I,
+///   Φ_P(I).false = atoms all of whose rules have a body false in I
+///                  (vacuously, atoms with no rules).
+///
+/// This is the program-completion semantics in three-valued logic. It is
+/// weaker than the well-founded semantics: on the 1–2 edge cycle of §2.1 the
+/// unreachable transitive-closure pairs stay undefined here but are false in
+/// the well-founded model (see bench_example22_ntc and the tests).
+FittingResult FittingFixpoint(const GroundProgram& gp);
+
+}  // namespace afp
+
+#endif  // AFP_FITTING_FITTING_H_

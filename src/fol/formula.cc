@@ -1,0 +1,192 @@
+#include "fol/formula.h"
+
+namespace afp {
+
+namespace {
+
+FormulaPtr Node(FormulaKind kind) {
+  auto f = std::make_shared<Formula>();
+  f->kind = kind;
+  return f;
+}
+
+}  // namespace
+
+FormulaPtr Formula::True() { return Node(FormulaKind::kTrue); }
+FormulaPtr Formula::False() { return Node(FormulaKind::kFalse); }
+
+FormulaPtr Formula::MakeAtom(Atom a) {
+  auto f = std::make_shared<Formula>();
+  f->kind = FormulaKind::kAtom;
+  f->atom = std::move(a);
+  return f;
+}
+
+FormulaPtr Formula::MakeNegAtom(Atom a) {
+  auto f = std::make_shared<Formula>();
+  f->kind = FormulaKind::kNegAtom;
+  f->atom = std::move(a);
+  return f;
+}
+
+FormulaPtr Formula::Eq(TermId l, TermId r) {
+  auto f = std::make_shared<Formula>();
+  f->kind = FormulaKind::kEq;
+  f->lhs = l;
+  f->rhs = r;
+  return f;
+}
+
+FormulaPtr Formula::Neq(TermId l, TermId r) {
+  auto f = std::make_shared<Formula>();
+  f->kind = FormulaKind::kNeq;
+  f->lhs = l;
+  f->rhs = r;
+  return f;
+}
+
+FormulaPtr Formula::Not(FormulaPtr f) {
+  auto out = std::make_shared<Formula>();
+  out->kind = FormulaKind::kNot;
+  out->children.push_back(std::move(f));
+  return out;
+}
+
+FormulaPtr Formula::And(std::vector<FormulaPtr> fs) {
+  auto out = std::make_shared<Formula>();
+  out->kind = FormulaKind::kAnd;
+  out->children = std::move(fs);
+  return out;
+}
+
+FormulaPtr Formula::Or(std::vector<FormulaPtr> fs) {
+  auto out = std::make_shared<Formula>();
+  out->kind = FormulaKind::kOr;
+  out->children = std::move(fs);
+  return out;
+}
+
+FormulaPtr Formula::Exists(std::vector<SymbolId> vars, FormulaPtr f) {
+  auto out = std::make_shared<Formula>();
+  out->kind = FormulaKind::kExists;
+  out->quant_vars = std::move(vars);
+  out->children.push_back(std::move(f));
+  return out;
+}
+
+FormulaPtr Formula::Forall(std::vector<SymbolId> vars, FormulaPtr f) {
+  auto out = std::make_shared<Formula>();
+  out->kind = FormulaKind::kForall;
+  out->quant_vars = std::move(vars);
+  out->children.push_back(std::move(f));
+  return out;
+}
+
+namespace {
+
+void CollectFree(const Formula& f, const TermTable& terms,
+                 std::set<SymbolId>& bound, std::set<SymbolId>& out) {
+  switch (f.kind) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+      return;
+    case FormulaKind::kAtom:
+    case FormulaKind::kNegAtom: {
+      std::vector<SymbolId> vars;
+      for (TermId t : f.atom.args) terms.CollectVariables(t, vars);
+      for (SymbolId v : vars) {
+        if (!bound.count(v)) out.insert(v);
+      }
+      return;
+    }
+    case FormulaKind::kEq:
+    case FormulaKind::kNeq: {
+      std::vector<SymbolId> vars;
+      terms.CollectVariables(f.lhs, vars);
+      terms.CollectVariables(f.rhs, vars);
+      for (SymbolId v : vars) {
+        if (!bound.count(v)) out.insert(v);
+      }
+      return;
+    }
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr:
+    case FormulaKind::kNot:
+      for (const auto& c : f.children) CollectFree(*c, terms, bound, out);
+      return;
+    case FormulaKind::kExists:
+    case FormulaKind::kForall: {
+      std::vector<SymbolId> newly_bound;
+      for (SymbolId v : f.quant_vars) {
+        if (bound.insert(v).second) newly_bound.push_back(v);
+      }
+      CollectFree(*f.children[0], terms, bound, out);
+      for (SymbolId v : newly_bound) bound.erase(v);
+      return;
+    }
+  }
+}
+
+std::string AtomText(const Atom& a, const Interner& symbols,
+                     const TermTable& terms) {
+  std::string out = symbols.Name(a.predicate);
+  if (!a.args.empty()) {
+    out += '(';
+    for (std::size_t i = 0; i < a.args.size(); ++i) {
+      if (i > 0) out += ',';
+      out += terms.ToString(a.args[i], symbols);
+    }
+    out += ')';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::set<SymbolId> FreeVariables(const Formula& f, const TermTable& terms) {
+  std::set<SymbolId> bound, out;
+  CollectFree(f, terms, bound, out);
+  return out;
+}
+
+std::string FormulaToString(const Formula& f, const Interner& symbols,
+                            const TermTable& terms) {
+  switch (f.kind) {
+    case FormulaKind::kTrue:
+      return "true";
+    case FormulaKind::kFalse:
+      return "false";
+    case FormulaKind::kAtom:
+      return AtomText(f.atom, symbols, terms);
+    case FormulaKind::kNegAtom:
+      return "not " + AtomText(f.atom, symbols, terms);
+    case FormulaKind::kEq:
+      return terms.ToString(f.lhs, symbols) + " = " +
+             terms.ToString(f.rhs, symbols);
+    case FormulaKind::kNeq:
+      return terms.ToString(f.lhs, symbols) + " != " +
+             terms.ToString(f.rhs, symbols);
+    case FormulaKind::kNot:
+      return "not (" + FormulaToString(*f.children[0], symbols, terms) + ")";
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr: {
+      std::string op = f.kind == FormulaKind::kAnd ? " and " : " or ";
+      std::string out = "(";
+      for (std::size_t i = 0; i < f.children.size(); ++i) {
+        if (i > 0) out += op;
+        out += FormulaToString(*f.children[i], symbols, terms);
+      }
+      return out + ")";
+    }
+    case FormulaKind::kExists:
+    case FormulaKind::kForall: {
+      std::string out = f.kind == FormulaKind::kExists ? "exists" : "forall";
+      for (SymbolId v : f.quant_vars) out += " " + symbols.Name(v);
+      out += " (" + FormulaToString(*f.children[0], symbols, terms) + ")";
+      return out;
+    }
+  }
+  return "?";
+}
+
+}  // namespace afp

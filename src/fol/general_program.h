@@ -1,0 +1,88 @@
+#ifndef AFP_FOL_GENERAL_PROGRAM_H_
+#define AFP_FOL_GENERAL_PROGRAM_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ast/program.h"
+#include "core/interpretation.h"
+#include "fol/formula.h"
+#include "util/status.h"
+
+namespace afp {
+
+/// A rule with a first-order body: head(x̄) <- φ. The free variables of φ
+/// must occur in the head (quantify the rest inside the body).
+struct GeneralRule {
+  Atom head;
+  FormulaPtr body;
+};
+
+/// A general logic program (§8, after Lloyd & Topor): first-order rule
+/// bodies over a function-free vocabulary. The embedded base Program holds
+/// the interner, the term table, and the EDB facts.
+///
+/// A fixpoint-logic (FP) system is the special case where IDB relations
+/// occur only positively in bodies (Theorem 8.1).
+class GeneralProgram {
+ public:
+  GeneralProgram() = default;
+
+  Program& base() { return base_; }
+  const Program& base() const { return base_; }
+
+  /// Appends a general rule. Convenience builders live on base().
+  void AddGeneralRule(Atom head, FormulaPtr body) {
+    rules_.push_back(GeneralRule{std::move(head), std::move(body)});
+  }
+
+  const std::vector<GeneralRule>& general_rules() const { return rules_; }
+
+  /// Head predicates of the general rules (the inductively defined IDB).
+  std::set<SymbolId> IdbPredicates() const;
+
+  /// Structural checks: function-free terms everywhere, body free variables
+  /// contained in head variables, no IDB predicate among the EDB facts.
+  Status Validate() const;
+
+ private:
+  Program base_;
+  std::vector<GeneralRule> rules_;
+};
+
+/// Result of evaluating a general program by the alternating fixpoint.
+struct GeneralAfpResult {
+  /// Ground IDB atoms (rendered) with their three-valued verdicts.
+  std::map<std::string, TruthValue> values;
+  std::size_t outer_iterations = 0;
+
+  /// Truth value of a rendered atom, e.g. "w(a)". Atoms outside the IDB
+  /// universe are false (closed world).
+  TruthValue Value(const std::string& atom_name) const {
+    auto it = values.find(atom_name);
+    return it == values.end() ? TruthValue::kFalse : it->second;
+  }
+};
+
+/// Options for the general alternating fixpoint.
+struct GeneralAfpOptions {
+  /// Upper bound on |IDB predicates| × |domain|^arity ground atoms.
+  std::size_t max_base = 2'000'000;
+};
+
+/// Evaluates the general program under alternating fixpoint logic (§8.1):
+/// rule bodies are assigned truth values per Definition 8.2 (explicit
+/// literal form; positive literals looked up in S_P's output, negative
+/// literals in the fixed Ĩ; connectives and quantifiers standard, ranging
+/// over the active domain), and the S̃_P / A_P machinery of §5 runs on top.
+///
+/// `program` is mutable because evaluation creates ground terms; rules and
+/// facts are not modified.
+StatusOr<GeneralAfpResult> GeneralAlternatingFixpoint(
+    GeneralProgram& program, const GeneralAfpOptions& options = {});
+
+}  // namespace afp
+
+#endif  // AFP_FOL_GENERAL_PROGRAM_H_

@@ -1,0 +1,248 @@
+#include "fol/simplify.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+namespace afp {
+
+namespace {
+
+class TransformImpl {
+ public:
+  TransformImpl(GeneralProgram& gp, TransformStats* stats)
+      : gp_(gp), base_(gp.base()), stats_(stats) {}
+
+  StatusOr<Program> Run() {
+    AFP_RETURN_IF_ERROR(gp_.Validate());
+    CollectUsedNamesAndDomain();
+
+    for (const GeneralRule& r : gp_.general_rules()) {
+      AFP_RETURN_IF_ERROR(
+          EmitRulesFor(r.head, r.body, /*globally_positive=*/true));
+    }
+
+    // Materialize the domain guard if any rule needed it.
+    if (dom_used_) {
+      for (TermId c : domain_) {
+        new_rules_.push_back(Rule{Atom{dom_pred_, {c}}, {}});
+      }
+      if (stats_ != nullptr) {
+        stats_->dom_predicate = base_.symbols().Name(dom_pred_);
+      }
+    }
+
+    // The base holds the interner/terms (already extended with the fresh
+    // symbols) plus the EDB facts; append the generated normal rules.
+    Program result = base_;
+    for (Rule& r : new_rules_) {
+      result.AddRule(std::move(r.head), std::move(r.body));
+    }
+    AFP_RETURN_IF_ERROR(result.Validate());
+    return result;
+  }
+
+ private:
+  void CollectUsedNamesAndDomain() {
+    std::unordered_set<TermId> seen;
+    auto visit_term = [&](auto&& self, TermId t) -> void {
+      if (base_.terms().kind(t) == TermKind::kConstant &&
+          seen.insert(t).second) {
+        domain_.push_back(t);
+      }
+      for (TermId a : base_.terms().args(t)) self(self, a);
+    };
+    auto note_atom = [&](const Atom& a) {
+      used_names_.insert(base_.symbols().Name(a.predicate));
+      for (TermId t : a.args) visit_term(visit_term, t);
+    };
+    for (const Rule& r : base_.rules()) note_atom(r.head);
+    auto visit_formula = [&](auto&& self, const Formula& f) -> void {
+      if (f.kind == FormulaKind::kAtom || f.kind == FormulaKind::kNegAtom) {
+        note_atom(f.atom);
+      } else if (f.kind == FormulaKind::kEq || f.kind == FormulaKind::kNeq) {
+        visit_term(visit_term, f.lhs);
+        visit_term(visit_term, f.rhs);
+      }
+      for (const auto& c : f.children) self(self, *c);
+    };
+    for (const GeneralRule& r : gp_.general_rules()) {
+      note_atom(r.head);
+      visit_formula(visit_formula, *r.body);
+    }
+    dom_pred_ = FreshPredicate("dom");
+  }
+
+  SymbolId FreshPredicate(const std::string& stem) {
+    std::string name = stem;
+    int suffix = 0;
+    while (used_names_.count(name)) {
+      name = stem + std::to_string(suffix++);
+    }
+    used_names_.insert(name);
+    return base_.Symbol(name);
+  }
+
+  /// Emits normal rules defining `head` from the (not yet normalized)
+  /// formula `body`. `globally_positive` tracks the Definition 8.5
+  /// classification of the relation being defined.
+  Status EmitRulesFor(const Atom& head, const FormulaPtr& body,
+                      bool globally_positive) {
+    FormulaPtr sa = StandardizeApart(body, base_, &var_counter_);
+    FormulaPtr nnf = PushNegations(sa, base_.terms(),
+                                   /*keep_negated_exists=*/true);
+    return EmitNormalized(head, nnf, globally_positive);
+  }
+
+  /// As EmitRulesFor, for formulas already in the staging normal form.
+  Status EmitNormalized(const Atom& head, const FormulaPtr& body,
+                        bool globally_positive) {
+    std::vector<FormulaPtr> disjuncts;
+    if (body->kind == FormulaKind::kOr) {
+      disjuncts = body->children;
+    } else {
+      disjuncts.push_back(body);
+    }
+    for (const FormulaPtr& d : disjuncts) {
+      std::vector<Literal> lits;
+      AFP_ASSIGN_OR_RETURN(bool satisfiable,
+                           Flatten(d, globally_positive, lits));
+      if (!satisfiable) continue;  // body contains `false`
+      AddGuards(head, lits);
+      new_rules_.push_back(Rule{head, std::move(lits)});
+    }
+    return Status::Ok();
+  }
+
+  /// Flattens a conjunction-shaped formula into body literals, extracting
+  /// nested disjunctions and negated subformulas into auxiliary relations
+  /// (one elementary simplification, Definition 8.4, per extraction).
+  /// Returns false if the body is unsatisfiable.
+  StatusOr<bool> Flatten(const FormulaPtr& f, bool globally_positive,
+                         std::vector<Literal>& out) {
+    switch (f->kind) {
+      case FormulaKind::kTrue:
+        return true;
+      case FormulaKind::kFalse:
+        return false;
+      case FormulaKind::kAtom:
+        out.push_back(Literal{f->atom, true});
+        return true;
+      case FormulaKind::kNegAtom:
+        out.push_back(Literal{f->atom, false});
+        return true;
+      case FormulaKind::kAnd:
+        for (const auto& c : f->children) {
+          AFP_ASSIGN_OR_RETURN(bool ok, Flatten(c, globally_positive, out));
+          if (!ok) return false;
+        }
+        return true;
+      case FormulaKind::kExists:
+        // Bound variables are implicitly existential in a normal rule body
+        // (they were standardized apart, so no capture is possible).
+        return Flatten(f->children[0], globally_positive, out);
+      case FormulaKind::kOr: {
+        // Positive extraction: the auxiliary relation inherits the
+        // enclosing polarity.
+        AFP_ASSIGN_OR_RETURN(Atom aux,
+                             Extract(f, globally_positive));
+        out.push_back(Literal{std::move(aux), true});
+        return true;
+      }
+      case FormulaKind::kNot: {
+        // Negative extraction: q(Ū) <- ψ(Ū); replace by ¬q(Ū). The aux
+        // relation is globally negative relative to the enclosing polarity.
+        AFP_ASSIGN_OR_RETURN(Atom aux,
+                             Extract(f->children[0], !globally_positive));
+        out.push_back(Literal{std::move(aux), false});
+        return true;
+      }
+      case FormulaKind::kEq:
+      case FormulaKind::kNeq:
+        return Status::InvalidArgument(
+            "equality literals are not supported by the normal-program "
+            "transformation; evaluate the general program directly");
+      case FormulaKind::kForall:
+        // Eliminated by PushNegations(keep_negated_exists=true).
+        return Status::Internal(
+            "universal quantifier survived normalization");
+    }
+    return Status::Internal("unhandled formula kind in Flatten");
+  }
+
+  /// Creates a fresh auxiliary relation for subformula `f` over its free
+  /// variables and emits its defining rules. Returns the head atom to use
+  /// at the occurrence site.
+  StatusOr<Atom> Extract(const FormulaPtr& f, bool globally_positive) {
+    std::set<SymbolId> free = FreeVariables(*f, base_.terms());
+    std::vector<TermId> params;
+    for (SymbolId v : free) params.push_back(base_.terms().MakeVariable(v));
+
+    SymbolId pred = FreshPredicate("adb" + std::to_string(++aux_count_));
+    if (stats_ != nullptr) {
+      stats_->adb_polarity[base_.symbols().Name(pred)] = globally_positive;
+      stats_->num_aux = aux_count_;
+    }
+    Atom head{pred, params};
+    AFP_RETURN_IF_ERROR(EmitNormalized(head, f, globally_positive));
+    return head;
+  }
+
+  /// Adds dom(X) guards for head or negative-literal variables not covered
+  /// by a positive body literal (range restriction, §8.4 finite
+  /// structures).
+  void AddGuards(const Atom& head, std::vector<Literal>& lits) {
+    std::vector<SymbolId> covered;
+    for (const Literal& l : lits) {
+      if (!l.positive) continue;
+      for (TermId t : l.atom.args) {
+        base_.terms().CollectVariables(t, covered);
+      }
+    }
+    std::sort(covered.begin(), covered.end());
+
+    std::vector<SymbolId> need;
+    auto check = [&](const Atom& a) {
+      std::vector<SymbolId> vars;
+      for (TermId t : a.args) base_.terms().CollectVariables(t, vars);
+      for (SymbolId v : vars) {
+        if (!std::binary_search(covered.begin(), covered.end(), v)) {
+          need.push_back(v);
+        }
+      }
+    };
+    check(head);
+    for (const Literal& l : lits) {
+      if (!l.positive) check(l.atom);
+    }
+    std::sort(need.begin(), need.end());
+    need.erase(std::unique(need.begin(), need.end()), need.end());
+    for (SymbolId v : need) {
+      dom_used_ = true;
+      lits.insert(lits.begin(),
+                  Literal{Atom{dom_pred_, {base_.terms().MakeVariable(v)}},
+                          true});
+    }
+  }
+
+  GeneralProgram& gp_;
+  Program& base_;
+  TransformStats* stats_;
+  std::vector<Rule> new_rules_;
+  std::unordered_set<std::string> used_names_;
+  std::vector<TermId> domain_;
+  SymbolId dom_pred_ = 0;
+  bool dom_used_ = false;
+  int aux_count_ = 0;
+  int var_counter_ = 0;
+};
+
+}  // namespace
+
+StatusOr<Program> TransformToNormal(GeneralProgram& program,
+                                    TransformStats* stats) {
+  TransformImpl impl(program, stats);
+  return impl.Run();
+}
+
+}  // namespace afp

@@ -1,0 +1,51 @@
+#ifndef AFP_FOL_SIMPLIFY_H_
+#define AFP_FOL_SIMPLIFY_H_
+
+#include <map>
+#include <string>
+
+#include "ast/program.h"
+#include "fol/general_program.h"
+#include "util/status.h"
+
+namespace afp {
+
+/// Bookkeeping produced by the transformation.
+struct TransformStats {
+  /// Auxiliary (ADB) predicate name -> globally positive? (Definition 8.5:
+  /// the polarity of the subformula the relation replaced; original IDB
+  /// relations are globally positive).
+  std::map<std::string, bool> adb_polarity;
+  /// Name of the domain-guard predicate, or empty if no guard was needed.
+  std::string dom_predicate;
+  int num_aux = 0;
+};
+
+/// Transforms a general logic program into a normal logic program by the
+/// elementary simplifications of §8.3 (Definition 8.4, after Lloyd & Topor):
+///
+///   * rule bodies are standardized apart and negations pushed down, with
+///     ∀X φ rewritten as ¬∃X ¬φ and negated existential subformulas kept
+///     as units (the staging form for extraction);
+///   * a top-level disjunction splits the rule;
+///   * a nested disjunction or a negated existential subformula φ(Ū) is
+///     extracted into a fresh auxiliary relation q(Ū) with rule
+///     q(Ū) <- φ(Ū), and replaced by the literal q(Ū) / ¬q(Ū);
+///   * variables left uncovered by positive body literals are guarded with
+///     a domain predicate (facts for every active-domain constant), which
+///     restores range restriction on finite structures (§8.4) without
+///     changing the defined relations.
+///
+/// By Theorems 8.6/8.7, the positive part of the AFP model of the result
+/// agrees with the original program's AFP model on the original relations
+/// (checked in the tests). Equality literals are not supported here (use
+/// GeneralAlternatingFixpoint for those).
+///
+/// `program` is mutable because the transformation creates fresh predicate
+/// and variable symbols in its tables; its rules are not modified.
+StatusOr<Program> TransformToNormal(GeneralProgram& program,
+                                    TransformStats* stats = nullptr);
+
+}  // namespace afp
+
+#endif  // AFP_FOL_SIMPLIFY_H_

@@ -1,0 +1,38 @@
+#include "ground/atom_table.h"
+
+namespace afp {
+
+AtomId AtomTable::Intern(SymbolId pred, std::span<const TermId> args) {
+  Key key{pred, {args.begin(), args.end()}};
+  auto it = index_.find(key);
+  if (it != index_.end()) return it->second;
+  AtomId id = static_cast<AtomId>(preds_.size());
+  preds_.push_back(pred);
+  args_pool_.insert(args_pool_.end(), args.begin(), args.end());
+  arg_offsets_.push_back(static_cast<std::uint32_t>(args_pool_.size()));
+  index_.emplace(std::move(key), id);
+  return id;
+}
+
+AtomId AtomTable::Find(SymbolId pred, std::span<const TermId> args) const {
+  Key key{pred, {args.begin(), args.end()}};
+  auto it = index_.find(key);
+  return it == index_.end() ? kInvalidAtom : it->second;
+}
+
+std::string AtomTable::ToString(AtomId a, const Interner& symbols,
+                                const TermTable& terms) const {
+  std::string out = symbols.Name(preds_[a]);
+  auto as = args(a);
+  if (!as.empty()) {
+    out += '(';
+    for (std::size_t i = 0; i < as.size(); ++i) {
+      if (i > 0) out += ',';
+      out += terms.ToString(as[i], symbols);
+    }
+    out += ')';
+  }
+  return out;
+}
+
+}  // namespace afp

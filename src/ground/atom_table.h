@@ -1,0 +1,70 @@
+#ifndef AFP_GROUND_ATOM_TABLE_H_
+#define AFP_GROUND_ATOM_TABLE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ast/term.h"
+#include "util/interner.h"
+
+namespace afp {
+
+/// Dense id of a ground atom within an AtomTable. The set of interned atoms
+/// plays the role of the (relevant portion of the) Herbrand base H (§3).
+using AtomId = std::uint32_t;
+inline constexpr AtomId kInvalidAtom = static_cast<AtomId>(-1);
+
+/// Hash-consed store of ground atoms p(t1,...,tn). Each distinct atom gets a
+/// dense AtomId, so sets of atoms / negative literals (the paper's I+, Ĩ)
+/// can be represented as bitsets.
+class AtomTable {
+ public:
+  AtomTable() = default;
+
+  /// Returns the id for pred(args...), interning it if new. All args must be
+  /// ground terms.
+  AtomId Intern(SymbolId pred, std::span<const TermId> args);
+
+  /// Returns the id if interned, kInvalidAtom otherwise.
+  AtomId Find(SymbolId pred, std::span<const TermId> args) const;
+
+  std::size_t size() const { return preds_.size(); }
+
+  SymbolId predicate(AtomId a) const { return preds_[a]; }
+  std::span<const TermId> args(AtomId a) const {
+    return {args_pool_.data() + arg_offsets_[a],
+            arg_offsets_[a + 1] - arg_offsets_[a]};
+  }
+
+  /// Renders the atom, e.g. "move(a,b)".
+  std::string ToString(AtomId a, const Interner& symbols,
+                       const TermTable& terms) const;
+
+ private:
+  struct Key {
+    SymbolId pred;
+    std::vector<TermId> args;
+    bool operator==(const Key& o) const {
+      return pred == o.pred && args == o.args;
+    }
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      std::size_t h = k.pred;
+      for (TermId a : k.args) h = h * 1000003u + a;
+      return h;
+    }
+  };
+
+  std::vector<SymbolId> preds_;
+  std::vector<std::uint32_t> arg_offsets_{0};  // size()+1 entries
+  std::vector<TermId> args_pool_;
+  std::unordered_map<Key, AtomId, KeyHash> index_;
+};
+
+}  // namespace afp
+
+#endif  // AFP_GROUND_ATOM_TABLE_H_

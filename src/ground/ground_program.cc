@@ -1,0 +1,57 @@
+#include "ground/ground_program.h"
+
+#include <algorithm>
+
+namespace afp {
+
+bool GroundProgram::AddRule(AtomId head, std::span<const AtomId> pos,
+                            std::span<const AtomId> neg, bool dedupe) {
+  if (dedupe) {
+    RuleKey key{head, {pos.begin(), pos.end()}, {neg.begin(), neg.end()}};
+    std::sort(key.pos.begin(), key.pos.end());
+    std::sort(key.neg.begin(), key.neg.end());
+    if (!seen_rules_.insert(std::move(key)).second) return false;
+  }
+  GroundRule r;
+  r.head = head;
+  r.pos_offset = static_cast<std::uint32_t>(body_pool_.size());
+  r.pos_len = static_cast<std::uint32_t>(pos.size());
+  body_pool_.insert(body_pool_.end(), pos.begin(), pos.end());
+  r.neg_offset = static_cast<std::uint32_t>(body_pool_.size());
+  r.neg_len = static_cast<std::uint32_t>(neg.size());
+  body_pool_.insert(body_pool_.end(), neg.begin(), neg.end());
+  rules_.push_back(r);
+  return true;
+}
+
+std::string GroundProgram::RuleToString(std::size_t i) const {
+  const GroundRule& r = rules_[i];
+  std::string out = AtomName(r.head);
+  if (r.pos_len + r.neg_len > 0) {
+    out += " :- ";
+    bool first = true;
+    for (AtomId a : pos(r)) {
+      if (!first) out += ", ";
+      first = false;
+      out += AtomName(a);
+    }
+    for (AtomId a : neg(r)) {
+      if (!first) out += ", ";
+      first = false;
+      out += "not " + AtomName(a);
+    }
+  }
+  out += '.';
+  return out;
+}
+
+std::string GroundProgram::ToString() const {
+  std::string out;
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    out += RuleToString(i);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace afp

@@ -1,0 +1,116 @@
+#ifndef AFP_GROUND_GROUND_PROGRAM_H_
+#define AFP_GROUND_GROUND_PROGRAM_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "ast/program.h"
+#include "ground/atom_table.h"
+
+namespace afp {
+
+/// One instantiated rule of P_H: head :- pos..., not neg....
+/// Offsets index into the owning container's shared body pool.
+struct GroundRule {
+  AtomId head;
+  std::uint32_t pos_offset;
+  std::uint32_t pos_len;
+  std::uint32_t neg_offset;
+  std::uint32_t neg_len;
+};
+
+/// A borrowed, index-free view of a set of ground rules over a fixed atom
+/// universe. Both GroundProgram and the residual-program reducer produce
+/// views; the solvers consume them.
+struct RuleView {
+  std::size_t num_atoms = 0;
+  std::span<const GroundRule> rules;
+  std::span<const AtomId> body_pool;
+
+  std::span<const AtomId> pos(const GroundRule& r) const {
+    return body_pool.subspan(r.pos_offset, r.pos_len);
+  }
+  std::span<const AtomId> neg(const GroundRule& r) const {
+    return body_pool.subspan(r.neg_offset, r.neg_len);
+  }
+};
+
+/// The Herbrand instantiation P_H of a program (Definition 3.4), restricted
+/// to its relevant ground rules: a pool of GroundRules over dense AtomIds.
+///
+/// A GroundProgram borrows the Program it was grounded from (for symbol and
+/// term rendering); it must not outlive it.
+class GroundProgram {
+ public:
+  /// `source` provides the interner/term table used for rendering atom
+  /// names. Must outlive this object.
+  explicit GroundProgram(const Program* source) : source_(source) {}
+
+  AtomTable& atoms() { return atoms_; }
+  const AtomTable& atoms() const { return atoms_; }
+  const Program& source() const { return *source_; }
+
+  std::size_t num_atoms() const { return atoms_.size(); }
+  std::size_t num_rules() const { return rules_.size(); }
+  /// Sum of body lengths plus one head per rule; the "size of the program"
+  /// in the complexity discussions.
+  std::size_t TotalSize() const { return body_pool_.size() + rules_.size(); }
+
+  /// Appends a ground rule. When `dedupe` is true, structurally identical
+  /// rules are silently skipped. Returns true if the rule was added.
+  bool AddRule(AtomId head, std::span<const AtomId> pos,
+               std::span<const AtomId> neg, bool dedupe = true);
+
+  const GroundRule& rule(std::size_t i) const { return rules_[i]; }
+  std::span<const AtomId> pos(const GroundRule& r) const {
+    return {body_pool_.data() + r.pos_offset, r.pos_len};
+  }
+  std::span<const AtomId> neg(const GroundRule& r) const {
+    return {body_pool_.data() + r.neg_offset, r.neg_len};
+  }
+
+  /// Borrowed view for the solvers.
+  RuleView View() const {
+    return RuleView{atoms_.size(), rules_, body_pool_};
+  }
+
+  /// Renders atom `a`, e.g. "wins(3)".
+  std::string AtomName(AtomId a) const {
+    return atoms_.ToString(a, source_->symbols(), source_->terms());
+  }
+  /// Renders rule `i` in input syntax.
+  std::string RuleToString(std::size_t i) const;
+  /// Renders the whole ground program (tests/debugging).
+  std::string ToString() const;
+
+ private:
+  struct RuleKey {
+    AtomId head;
+    std::vector<AtomId> pos;
+    std::vector<AtomId> neg;
+    bool operator==(const RuleKey& o) const {
+      return head == o.head && pos == o.pos && neg == o.neg;
+    }
+  };
+  struct RuleKeyHash {
+    std::size_t operator()(const RuleKey& k) const {
+      std::size_t h = k.head;
+      for (AtomId a : k.pos) h = h * 1000003u + a;
+      for (AtomId a : k.neg) h = h * 999979u + a + 1;
+      return h;
+    }
+  };
+
+  const Program* source_;
+  AtomTable atoms_;
+  std::vector<GroundRule> rules_;
+  std::vector<AtomId> body_pool_;
+  std::unordered_set<RuleKey, RuleKeyHash> seen_rules_;
+};
+
+}  // namespace afp
+
+#endif  // AFP_GROUND_GROUND_PROGRAM_H_

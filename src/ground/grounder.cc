@@ -1,0 +1,420 @@
+#include "ground/grounder.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace afp {
+
+namespace {
+
+using Binding = std::unordered_map<SymbolId, TermId>;
+
+/// A fully instantiated rule awaiting final assembly.
+struct PendingRule {
+  AtomId head;
+  std::vector<AtomId> pos;
+  std::vector<AtomId> neg;
+};
+
+/// Structural signature used to suppress duplicate instances during
+/// enumeration (the naive mode re-discovers instances every round).
+struct RuleSig {
+  AtomId head;
+  std::vector<AtomId> pos;
+  std::vector<AtomId> neg;
+  bool operator==(const RuleSig& o) const {
+    return head == o.head && pos == o.pos && neg == o.neg;
+  }
+};
+struct RuleSigHash {
+  std::size_t operator()(const RuleSig& s) const {
+    std::size_t h = s.head;
+    for (AtomId a : s.pos) h = h * 1000003u + a;
+    for (AtomId a : s.neg) h = h * 999979u + a + 1;
+    return h;
+  }
+};
+
+/// Which derivation rounds a join position may draw candidates from.
+enum class RoundFilter { kOld, kDelta, kUpTo };
+
+class GrounderImpl {
+ public:
+  GrounderImpl(Program& program, const GroundOptions& opts)
+      : program_(program), opts_(opts) {}
+
+  StatusOr<GroundProgram> Run() {
+    // Split facts from proper rules; facts seed round 0.
+    for (const Rule& r : program_.rules()) {
+      if (r.IsFact(program_.terms())) {
+        AFP_ASSIGN_OR_RETURN(AtomId id, InternAtom(r.head.predicate,
+                                                   r.head.args));
+        if (!derived_[id]) MarkDerived(id, 0);
+        fact_atoms_.push_back(id);
+      } else {
+        rules_.push_back(&r);
+      }
+    }
+
+    if (opts_.mode == GroundMode::kFull) {
+      AFP_RETURN_IF_ERROR(FullInstantiation());
+    } else {
+      AFP_RETURN_IF_ERROR(SmartInstantiation());
+    }
+    return Assemble();
+  }
+
+ private:
+  // --- atom bookkeeping ---
+
+  StatusOr<AtomId> InternAtom(SymbolId pred, std::span<const TermId> args) {
+    AtomId id = atoms_.Intern(pred, args);
+    if (id >= derived_.size()) {
+      if (atoms_.size() > opts_.max_atoms) {
+        return Status::ResourceExhausted(
+            "grounding exceeded max_atoms=" +
+            std::to_string(opts_.max_atoms) +
+            " (infinite Herbrand universe? raise GroundOptions::max_atoms)");
+      }
+      derived_.push_back(false);
+      round_.push_back(0);
+    }
+    return id;
+  }
+
+  void MarkDerived(AtomId id, std::uint32_t round) {
+    derived_[id] = true;
+    round_[id] = round;
+    by_pred_[atoms_.predicate(id)].push_back(id);
+    derived_log_.push_back(id);
+  }
+
+  // --- full (active-domain) instantiation ---
+
+  Status FullInstantiation() {
+    // Active domain: every constant occurring anywhere in the program.
+    std::vector<TermId> domain;
+    {
+      std::unordered_set<TermId> seen;
+      auto visit_term = [&](auto&& self, TermId t) -> void {
+        const TermTable& tt = program_.terms();
+        if (tt.kind(t) == TermKind::kConstant) {
+          if (seen.insert(t).second) domain.push_back(t);
+        }
+        for (TermId a : tt.args(t)) self(self, a);
+      };
+      for (const Rule& r : program_.rules()) {
+        for (TermId t : r.head.args) visit_term(visit_term, t);
+        for (const Literal& l : r.body) {
+          for (TermId t : l.atom.args) visit_term(visit_term, t);
+        }
+      }
+    }
+
+    for (const Rule* r : rules_) {
+      std::vector<SymbolId> vars;
+      auto collect_atom = [&](const Atom& a) {
+        for (TermId t : a.args) program_.terms().CollectVariables(t, vars);
+      };
+      collect_atom(r->head);
+      for (const Literal& l : r->body) collect_atom(l.atom);
+      std::sort(vars.begin(), vars.end());
+      vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
+
+      Binding binding;
+      AFP_RETURN_IF_ERROR(EnumerateAssignments(*r, vars, 0, domain, binding));
+    }
+    // In full mode every interned atom belongs to the base; mark everything
+    // derived so no simplification drops it.
+    for (std::size_t i = 0; i < derived_.size(); ++i) derived_[i] = true;
+    return Status::Ok();
+  }
+
+  Status EnumerateAssignments(const Rule& r, const std::vector<SymbolId>& vars,
+                              std::size_t i, const std::vector<TermId>& domain,
+                              Binding& binding) {
+    if (i == vars.size()) return EmitInstance(r, binding);
+    for (TermId c : domain) {
+      binding[vars[i]] = c;
+      AFP_RETURN_IF_ERROR(EnumerateAssignments(r, vars, i + 1, domain,
+                                               binding));
+    }
+    binding.erase(vars[i]);
+    return Status::Ok();
+  }
+
+  // --- smart (derivability-driven) instantiation ---
+
+  Status SmartInstantiation() {
+    // Trigger index: for each predicate, the (rule, positive-literal index)
+    // pairs whose literal has that predicate. A round only revisits rules
+    // triggered by the previous round's newly derived atoms.
+    std::unordered_map<SymbolId,
+                       std::vector<std::pair<const Rule*, std::size_t>>>
+        triggers;
+    std::vector<const Rule*> body_free_rules;
+    for (const Rule* r : rules_) {
+      std::size_t num_pos = 0;
+      for (const Literal& l : r->body) {
+        if (l.positive) {
+          triggers[l.atom.predicate].push_back({r, num_pos});
+          ++num_pos;
+        }
+      }
+      if (num_pos == 0) body_free_rules.push_back(r);
+    }
+
+    std::size_t delta_begin = 0;  // derived_log_ range of the last round
+    std::size_t delta_end = derived_log_.size();  // facts = round 0
+    std::uint32_t round = 1;
+    while (true) {
+      current_emit_round_ = round;
+      std::size_t log_before = derived_log_.size();
+      if (round == 1) {
+        // Fully ground rules (no positive literals): exactly once.
+        for (const Rule* r : body_free_rules) {
+          Binding empty;
+          AFP_RETURN_IF_ERROR(EmitInstance(*r, empty));
+        }
+      }
+      if (!opts_.semi_naive) {
+        // Naive: re-join everything derived so far, every round.
+        for (const Rule* r : rules_) {
+          std::size_t num_pos = 0;
+          for (const Literal& l : r->body) num_pos += l.positive;
+          if (num_pos == 0) continue;
+          Binding binding;
+          std::vector<AtomId> matched;
+          AFP_RETURN_IF_ERROR(Join(*r, /*delta_pos=*/num_pos, 0, round,
+                                   binding, matched));
+        }
+      } else {
+        // Semi-naive: fire only the rules whose bodies mention a predicate
+        // that gained atoms in the previous round, at that delta position.
+        std::set<SymbolId> delta_preds;
+        for (std::size_t i = delta_begin; i < delta_end; ++i) {
+          delta_preds.insert(atoms_.predicate(derived_log_[i]));
+        }
+        for (SymbolId pred : delta_preds) {
+          auto it = triggers.find(pred);
+          if (it == triggers.end()) continue;
+          for (const auto& [r, dp] : it->second) {
+            Binding binding;
+            std::vector<AtomId> matched;
+            AFP_RETURN_IF_ERROR(Join(*r, dp, 0, round, binding, matched));
+          }
+        }
+      }
+      if (derived_log_.size() == log_before) break;  // no new atoms
+      delta_begin = log_before;
+      delta_end = derived_log_.size();
+      ++round;
+    }
+    return Status::Ok();
+  }
+
+  /// Joins the positive body literals of `r` left to right. `pos_index`
+  /// counts positive literals seen so far; `delta_pos` selects the literal
+  /// constrained to the previous round's delta (or num_pos for naive mode,
+  /// meaning "no delta constraint": everything matches kUpTo).
+  Status Join(const Rule& r, std::size_t delta_pos, std::size_t pos_index,
+              std::uint32_t round, Binding& binding,
+              std::vector<AtomId>& matched) {
+    // Find the pos_index-th positive literal.
+    std::size_t seen = 0;
+    const Literal* lit = nullptr;
+    for (const Literal& l : r.body) {
+      if (!l.positive) continue;
+      if (seen == pos_index) {
+        lit = &l;
+        break;
+      }
+      ++seen;
+    }
+    if (lit == nullptr) return EmitInstance(r, binding);  // all joined
+
+    RoundFilter filter = RoundFilter::kUpTo;
+    if (opts_.semi_naive) {
+      if (pos_index < delta_pos) {
+        filter = RoundFilter::kOld;
+      } else if (pos_index == delta_pos) {
+        filter = RoundFilter::kDelta;
+      }
+    }
+
+    auto it = by_pred_.find(lit->atom.predicate);
+    if (it == by_pred_.end()) return Status::Ok();
+    // Candidates derived in later rounds were appended later, so the list is
+    // sorted by round; we simply filter. Index-based iteration: EmitInstance
+    // may append to this same vector (atoms derived this round), which the
+    // round filter then rejects.
+    const std::vector<AtomId>& candidates = it->second;
+    for (std::size_t ci = 0; ci < candidates.size(); ++ci) {
+      AtomId cand = candidates[ci];
+      std::uint32_t cr = round_[cand];
+      if (cr > round - 1) break;  // derived this round; not visible yet
+      if (filter == RoundFilter::kOld && cr >= round - 1) break;
+      if (filter == RoundFilter::kDelta && cr != round - 1) continue;
+      std::vector<SymbolId> trail;
+      if (MatchAtom(lit->atom, cand, binding, trail)) {
+        matched.push_back(cand);
+        AFP_RETURN_IF_ERROR(Join(r, delta_pos, pos_index + 1, round, binding,
+                                 matched));
+        matched.pop_back();
+      }
+      for (SymbolId v : trail) binding.erase(v);
+    }
+    return Status::Ok();
+  }
+
+  bool MatchAtom(const Atom& pattern, AtomId cand, Binding& binding,
+                 std::vector<SymbolId>& trail) {
+    auto cand_args = atoms_.args(cand);
+    if (cand_args.size() != pattern.args.size()) return false;
+    for (std::size_t i = 0; i < cand_args.size(); ++i) {
+      if (!MatchTerm(pattern.args[i], cand_args[i], binding, trail)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool MatchTerm(TermId pattern, TermId ground, Binding& binding,
+                 std::vector<SymbolId>& trail) {
+    const TermTable& tt = program_.terms();
+    switch (tt.kind(pattern)) {
+      case TermKind::kVariable: {
+        SymbolId v = tt.symbol(pattern);
+        auto [it, inserted] = binding.emplace(v, ground);
+        if (inserted) {
+          trail.push_back(v);
+          return true;
+        }
+        return it->second == ground;
+      }
+      case TermKind::kConstant:
+        return pattern == ground;
+      case TermKind::kCompound: {
+        if (tt.kind(ground) != TermKind::kCompound ||
+            tt.symbol(ground) != tt.symbol(pattern) ||
+            tt.args(ground).size() != tt.args(pattern).size()) {
+          return false;
+        }
+        auto pa = tt.args(pattern);
+        auto ga = tt.args(ground);
+        for (std::size_t i = 0; i < pa.size(); ++i) {
+          if (!MatchTerm(pa[i], ga[i], binding, trail)) return false;
+        }
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // --- instance emission ---
+
+  Status EmitInstance(const Rule& r, const Binding& binding) {
+    PendingRule pr;
+    // Head: substitute and intern; must be ground by safety.
+    {
+      std::vector<TermId> args;
+      args.reserve(r.head.args.size());
+      for (TermId t : r.head.args) {
+        TermId g = program_.terms().Substitute(t, binding);
+        if (!program_.terms().IsGround(g)) {
+          return Status::Internal("non-ground head after substitution in '" +
+                                  program_.RuleToString(r) + "'");
+        }
+        args.push_back(g);
+      }
+      AFP_ASSIGN_OR_RETURN(pr.head, InternAtom(r.head.predicate, args));
+    }
+    for (const Literal& l : r.body) {
+      std::vector<TermId> args;
+      args.reserve(l.atom.args.size());
+      for (TermId t : l.atom.args) {
+        TermId g = program_.terms().Substitute(t, binding);
+        if (!program_.terms().IsGround(g)) {
+          return Status::Internal(
+              "non-ground body literal after substitution in '" +
+              program_.RuleToString(r) + "'");
+        }
+        args.push_back(g);
+      }
+      AFP_ASSIGN_OR_RETURN(AtomId id, InternAtom(l.atom.predicate, args));
+      (l.positive ? pr.pos : pr.neg).push_back(id);
+    }
+
+    RuleSig sig{pr.head, pr.pos, pr.neg};
+    if (!emitted_.insert(std::move(sig)).second) return Status::Ok();
+    if (pending_.size() >= opts_.max_rules) {
+      return Status::ResourceExhausted(
+          "grounding exceeded max_rules=" + std::to_string(opts_.max_rules));
+    }
+    if (!derived_[pr.head]) MarkDerived(pr.head, current_emit_round_);
+    pending_.push_back(std::move(pr));
+    return Status::Ok();
+  }
+
+  // --- final assembly ---
+
+  StatusOr<GroundProgram> Assemble() {
+    const bool simplify = opts_.simplify && opts_.mode != GroundMode::kFull;
+    GroundProgram gp(&program_);
+
+    // Compact the atom table: in simplify mode, only derivable atoms remain
+    // in the base (everything else is certainly false and gets erased from
+    // rule bodies below).
+    std::vector<AtomId> remap(atoms_.size(), kInvalidAtom);
+    for (AtomId a = 0; a < atoms_.size(); ++a) {
+      if (!simplify || derived_[a]) {
+        remap[a] = gp.atoms().Intern(atoms_.predicate(a), atoms_.args(a));
+      }
+    }
+
+    for (AtomId f : fact_atoms_) {
+      gp.AddRule(remap[f], {}, {});
+    }
+    std::vector<AtomId> pos, neg;
+    for (const PendingRule& pr : pending_) {
+      pos.clear();
+      neg.clear();
+      for (AtomId a : pr.pos) pos.push_back(remap[a]);
+      for (AtomId a : pr.neg) {
+        if (simplify && !derived_[a]) continue;  // certainly-true literal
+        neg.push_back(remap[a]);
+      }
+      gp.AddRule(remap[pr.head], pos, neg);
+    }
+    return gp;
+  }
+
+  Program& program_;
+  const GroundOptions& opts_;
+  std::vector<const Rule*> rules_;  // non-fact rules
+
+  AtomTable atoms_;
+  std::vector<bool> derived_;
+  std::vector<std::uint32_t> round_;
+  std::vector<AtomId> derived_log_;  // derivation order, grouped by round
+  std::unordered_map<SymbolId, std::vector<AtomId>> by_pred_;
+  std::vector<AtomId> fact_atoms_;
+  std::vector<PendingRule> pending_;
+  std::unordered_set<RuleSig, RuleSigHash> emitted_;
+  std::uint32_t current_emit_round_ = 1;
+};
+
+}  // namespace
+
+StatusOr<GroundProgram> Grounder::Ground(Program& program,
+                                         const GroundOptions& options) {
+  AFP_RETURN_IF_ERROR(program.Validate());
+  GrounderImpl impl(program, options);
+  return impl.Run();
+}
+
+}  // namespace afp

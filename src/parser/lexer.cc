@@ -1,0 +1,113 @@
+#include "parser/lexer.h"
+
+#include <cctype>
+
+namespace afp {
+
+namespace {
+
+bool IsIdentStart(char c) { return std::islower(static_cast<unsigned char>(c)); }
+bool IsVarStart(char c) {
+  return std::isupper(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+StatusOr<std::vector<Token>> Lexer::Tokenize(std::string_view text) {
+  std::vector<Token> tokens;
+  int line = 1, column = 1;
+  std::size_t i = 0;
+
+  auto advance = [&](std::size_t n) {
+    for (std::size_t k = 0; k < n; ++k) {
+      if (text[i + k] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+    i += n;
+  };
+  auto error = [&](const std::string& msg) {
+    return Status::InvalidArgument("lex error at " + std::to_string(line) +
+                                   ":" + std::to_string(column) + ": " + msg);
+  };
+
+  while (i < text.size()) {
+    char c = text[i];
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance(1);
+      continue;
+    }
+    if (c == '%') {  // line comment
+      while (i < text.size() && text[i] != '\n') advance(1);
+      continue;
+    }
+    int tl = line, tc = column;
+    auto emit = [&](TokenKind kind, std::string tok_text, std::size_t len) {
+      tokens.push_back(Token{kind, std::move(tok_text), tl, tc});
+      advance(len);
+    };
+
+    if (c == '(') { emit(TokenKind::kLParen, "(", 1); continue; }
+    if (c == ')') { emit(TokenKind::kRParen, ")", 1); continue; }
+    if (c == ',') { emit(TokenKind::kComma, ",", 1); continue; }
+    if (c == '.') { emit(TokenKind::kDot, ".", 1); continue; }
+    if (c == ':' ) {
+      if (i + 1 < text.size() && text[i + 1] == '-') {
+        emit(TokenKind::kIf, ":-", 2);
+        continue;
+      }
+      return error("expected ':-'");
+    }
+    if (c == '\\') {
+      if (i + 1 < text.size() && text[i + 1] == '+') {
+        emit(TokenKind::kNot, "\\+", 2);
+        continue;
+      }
+      return error("expected '\\+'");
+    }
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i + (c == '-' ? 1 : 0);
+      if (j >= text.size() || !std::isdigit(static_cast<unsigned char>(text[j]))) {
+        return error("expected digits after '-'");
+      }
+      while (j < text.size() && std::isdigit(static_cast<unsigned char>(text[j])))
+        ++j;
+      emit(TokenKind::kInteger, std::string(text.substr(i, j - i)), j - i);
+      continue;
+    }
+    if (c == '\'') {  // quoted constant
+      std::size_t j = i + 1;
+      while (j < text.size() && text[j] != '\'' && text[j] != '\n') ++j;
+      if (j >= text.size() || text[j] != '\'') {
+        return error("unterminated quoted atom");
+      }
+      emit(TokenKind::kIdent, std::string(text.substr(i + 1, j - i - 1)),
+           j - i + 1);
+      continue;
+    }
+    if (IsIdentStart(c) || IsVarStart(c)) {
+      std::size_t j = i + 1;
+      while (j < text.size() && IsIdentChar(text[j])) ++j;
+      std::string word(text.substr(i, j - i));
+      if (word == "not") {
+        emit(TokenKind::kNot, std::move(word), j - i);
+      } else if (IsIdentStart(c)) {
+        emit(TokenKind::kIdent, std::move(word), j - i);
+      } else {
+        emit(TokenKind::kVariable, std::move(word), j - i);
+      }
+      continue;
+    }
+    return error(std::string("unexpected character '") + c + "'");
+  }
+  tokens.push_back(Token{TokenKind::kEof, "", line, column});
+  return tokens;
+}
+
+}  // namespace afp

@@ -1,0 +1,45 @@
+#ifndef AFP_PARSER_LEXER_H_
+#define AFP_PARSER_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace afp {
+
+/// Token kinds produced by the Lexer.
+enum class TokenKind : std::uint8_t {
+  kIdent,     // lowercase-initial identifier or quoted atom: p, edge, 'A b'
+  kVariable,  // uppercase- or underscore-initial identifier: X, _G1
+  kInteger,   // 0, 42, -7  (treated as a constant symbol)
+  kLParen,
+  kRParen,
+  kComma,
+  kDot,
+  kIf,        // ":-"
+  kNot,       // "not" or "\+"
+  kEof,
+};
+
+/// A token with its source position (1-based line/column) for diagnostics.
+struct Token {
+  TokenKind kind;
+  std::string text;
+  int line;
+  int column;
+};
+
+/// Splits logic-program source text into tokens. `%` starts a line comment.
+class Lexer {
+ public:
+  /// Tokenizes the whole input, returning an error with position info on the
+  /// first lexical problem. The token stream always ends with kEof.
+  static StatusOr<std::vector<Token>> Tokenize(std::string_view text);
+};
+
+}  // namespace afp
+
+#endif  // AFP_PARSER_LEXER_H_

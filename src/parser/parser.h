@@ -1,0 +1,43 @@
+#ifndef AFP_PARSER_PARSER_H_
+#define AFP_PARSER_PARSER_H_
+
+#include <string_view>
+
+#include "ast/program.h"
+#include "util/status.h"
+
+namespace afp {
+
+/// Parses a normal logic program (Definition 3.1) in conventional syntax:
+///
+///   % a comment
+///   edge(1,2).                       % ground facts
+///   wins(X) :- move(X,Y), not wins(Y).
+///   u(X) :- e(Y,X), \+ w(Y).         % "\+" is a synonym for "not"
+///
+/// Identifiers starting with a lowercase letter (or quoted with single
+/// quotes) are constants/functors/predicates; identifiers starting with an
+/// uppercase letter or '_' are variables; integers are constants. Compound
+/// terms f(g(X),a) are allowed in argument positions.
+///
+/// The returned program is validated (consistent arities and safety /
+/// range restriction). Errors carry line:column positions.
+/// Reserved predicate name used to encode integrity constraints
+/// (":- body." becomes "__bot :- body, not __bot."). A program with a
+/// violated constraint has no stable model containing the body, and __bot
+/// surfaces as undefined in the well-founded model when the body can hold.
+inline constexpr char kConstraintAtomName[] = "__bot";
+
+class Parser {
+ public:
+  static StatusOr<Program> Parse(std::string_view text);
+
+  /// Parses a single atom — possibly containing variables, e.g. "tc(a,Y)" —
+  /// into a scratch Program whose single (body-free) rule head is the atom.
+  /// Skips validation, so unsafe patterns are fine; used by the query API.
+  static StatusOr<Program> ParseAtomPattern(std::string_view text);
+};
+
+}  // namespace afp
+
+#endif  // AFP_PARSER_PARSER_H_

@@ -1,0 +1,128 @@
+#include "stable/backtracking.h"
+
+#include "core/alternating.h"
+#include "ground/owned_rules.h"
+#include "stable/gl_transform.h"
+
+namespace afp {
+
+namespace {
+
+/// Conditions the program on a set of assumptions: atoms in `assumed_true`
+/// become facts; rules whose head is in `assumed_false` are deleted (so
+/// those atoms are unfounded in the conditioned program).
+OwnedRules Condition(const RuleView& base, const Bitset& assumed_true,
+                     const Bitset& assumed_false, bool delete_false_heads) {
+  OwnedRules out;
+  out.num_atoms = base.num_atoms;
+  for (const GroundRule& r : base.rules) {
+    if (delete_false_heads && assumed_false.Test(r.head)) continue;
+    out.Add(r.head, base.pos(r), base.neg(r));
+  }
+  assumed_true.ForEach([&](std::size_t a) {
+    out.Add(static_cast<AtomId>(a), {}, {});
+  });
+  return out;
+}
+
+}  // namespace
+
+StableModelSearch::StableModelSearch(const GroundProgram& gp,
+                                     StableSearchOptions options)
+    : gp_(gp), options_(options), base_solver_(gp.View()) {
+  // Atoms not derivable even with every negative literal granted can never
+  // belong to a stable model (S_P is monotonic); they are statically false.
+  Bitset all(gp.num_atoms());
+  all.SetAll();
+  statically_false_ = Bitset::ComplementOf(
+      base_solver_.EventualConsequences(all, options_.horn_mode));
+}
+
+std::vector<Bitset> StableModelSearch::Enumerate() {
+  stats_ = StableSearchStats{};
+  std::vector<Bitset> out;
+  const std::size_t n = gp_.num_atoms();
+  Search(Bitset(n), Bitset(n), &out);
+  return out;
+}
+
+std::size_t StableModelSearch::Count() {
+  stats_ = StableSearchStats{};
+  const std::size_t n = gp_.num_atoms();
+  Search(Bitset(n), Bitset(n), nullptr);
+  return stats_.models;
+}
+
+void StableModelSearch::Search(const Bitset& assumed_true,
+                               const Bitset& assumed_false,
+                               std::vector<Bitset>* out) {
+  if (done()) return;
+  ++stats_.nodes;
+  const std::size_t n = gp_.num_atoms();
+
+  Bitset decided_true(n);
+  Bitset decided_false(n);
+  if (options_.wfs_propagation) {
+    // Well-founded deduction on the conditioned program. Every stable model
+    // compatible with the assumptions extends this partial model, so its
+    // decided atoms never need to be branched on.
+    OwnedRules conditioned = Condition(gp_.View(), assumed_true,
+                                       assumed_false,
+                                       /*delete_false_heads=*/true);
+    HornSolver solver(conditioned.View());
+    AfpOptions afp_opts;
+    afp_opts.horn_mode = options_.horn_mode;
+    AfpResult afp = AlternatingFixpointWithSolver(solver, Bitset(n),
+                                                  afp_opts);
+    decided_true = afp.model.true_atoms();
+    decided_false = afp.model.false_atoms();
+  } else {
+    // Positive-closure-only propagation (the Saccà–Zaniolo flavor): derive
+    // what follows from the assumed-false set, detect direct conflicts, and
+    // leave everything else to branching.
+    OwnedRules conditioned = Condition(gp_.View(), assumed_true,
+                                       assumed_false,
+                                       /*delete_false_heads=*/false);
+    HornSolver solver(conditioned.View());
+    decided_true = solver.EventualConsequences(assumed_false,
+                                               options_.horn_mode);
+    if (!decided_true.IsDisjointWith(assumed_false)) return;  // conflict
+    decided_false = assumed_false;
+    decided_false |= statically_false_;
+  }
+
+  // Find an undecided atom to branch on.
+  AtomId branch = kInvalidAtom;
+  for (std::size_t a = 0; a < n; ++a) {
+    if (!decided_true.Test(a) && !decided_false.Test(a)) {
+      branch = static_cast<AtomId>(a);
+      break;
+    }
+  }
+
+  if (branch == kInvalidAtom) {
+    // Total leaf: verify stability against the *original* program.
+    ++stats_.leaves;
+    ++stats_.stable_checks;
+    if (IsStableModel(base_solver_, decided_true)) {
+      ++stats_.models;
+      if (out != nullptr) out->push_back(decided_true);
+    }
+    return;
+  }
+
+  // Assume-false first (the negative premises are what gets guessed in the
+  // backtracking fixpoint), then assume-true.
+  {
+    Bitset f = assumed_false;
+    f.Set(branch);
+    Search(assumed_true, f, out);
+  }
+  {
+    Bitset t = assumed_true;
+    t.Set(branch);
+    Search(t, assumed_false, out);
+  }
+}
+
+}  // namespace afp

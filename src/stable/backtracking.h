@@ -1,0 +1,74 @@
+#ifndef AFP_STABLE_BACKTRACKING_H_
+#define AFP_STABLE_BACKTRACKING_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/horn_solver.h"
+#include "ground/ground_program.h"
+#include "util/bitset.h"
+
+namespace afp {
+
+/// Options for the backtracking stable-model search.
+struct StableSearchOptions {
+  /// Stop after this many models (SIZE_MAX = all).
+  std::size_t max_models = static_cast<std::size_t>(-1);
+  /// Propagate with the full well-founded (alternating fixpoint) deduction
+  /// at every search node. When false, only the positive Horn closure is
+  /// propagated — close in spirit to the Saccà–Zaniolo backtracking
+  /// fixpoint the paper cites (§2.4), whose running time "may be
+  /// unpleasant". bench_stable_np compares the two.
+  bool wfs_propagation = true;
+  HornMode horn_mode = HornMode::kCounting;
+};
+
+/// Search statistics.
+struct StableSearchStats {
+  std::size_t nodes = 0;        // search tree nodes visited
+  std::size_t leaves = 0;       // total candidates reached
+  std::size_t stable_checks = 0;
+  std::size_t models = 0;
+};
+
+/// Constructs stable models by backtracking search over assumed literals.
+///
+/// At each node the program is conditioned on the assumptions (assumed-true
+/// atoms become facts; rules for assumed-false atoms are deleted), the
+/// well-founded model of the conditioned program is computed via the
+/// alternating fixpoint, and the search branches on an atom left undefined.
+/// Every total leaf is verified against the original program with the
+/// Gelfond–Lifschitz condition. Since every stable model extends the
+/// well-founded partial model (§2.4), the WFS propagation prunes the
+/// search without losing models.
+class StableModelSearch {
+ public:
+  explicit StableModelSearch(const GroundProgram& gp,
+                             StableSearchOptions options = {});
+
+  /// Runs the search; returns the stable models found (as positive-atom
+  /// sets), in search order.
+  std::vector<Bitset> Enumerate();
+
+  /// Counts stable models without storing them.
+  std::size_t Count();
+
+  const StableSearchStats& stats() const { return stats_; }
+
+ private:
+  void Search(const Bitset& assumed_true, const Bitset& assumed_false,
+              std::vector<Bitset>* out);
+  bool done() const {
+    return stats_.models >= options_.max_models;
+  }
+
+  const GroundProgram& gp_;
+  StableSearchOptions options_;
+  HornSolver base_solver_;
+  Bitset statically_false_;  // atoms underivable under any assumptions
+  StableSearchStats stats_;
+};
+
+}  // namespace afp
+
+#endif  // AFP_STABLE_BACKTRACKING_H_

@@ -1,0 +1,28 @@
+#include "stable/enumerate.h"
+
+#include "core/horn_solver.h"
+#include "stable/gl_transform.h"
+
+namespace afp {
+
+StatusOr<std::vector<Bitset>> EnumerateStableModelsBruteForce(
+    const GroundProgram& gp, std::size_t max_universe) {
+  const std::size_t n = gp.num_atoms();
+  if (n > max_universe) {
+    return Status::ResourceExhausted(
+        "brute-force stable enumeration over " + std::to_string(n) +
+        " atoms exceeds max_universe=" + std::to_string(max_universe));
+  }
+  HornSolver solver(gp.View());
+  std::vector<Bitset> models;
+  for (std::uint64_t mask = 0; mask < (1ULL << n); ++mask) {
+    Bitset pos(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if ((mask >> i) & 1) pos.Set(i);
+    }
+    if (IsStableModel(solver, pos)) models.push_back(std::move(pos));
+  }
+  return models;
+}
+
+}  // namespace afp

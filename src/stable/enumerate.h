@@ -1,0 +1,23 @@
+#ifndef AFP_STABLE_ENUMERATE_H_
+#define AFP_STABLE_ENUMERATE_H_
+
+#include <vector>
+
+#include "ground/ground_program.h"
+#include "util/bitset.h"
+#include "util/status.h"
+
+namespace afp {
+
+/// Enumerates all stable models by testing every subset of the atom
+/// universe against the Gelfond–Lifschitz condition — the "brute force
+/// generation and testing of all subsets of the ground atoms" the paper
+/// mentions (§2.4). Exponential; refuses universes larger than
+/// `max_universe` atoms. Used as ground truth in tests and as the
+/// worst-case baseline in bench_stable_np.
+StatusOr<std::vector<Bitset>> EnumerateStableModelsBruteForce(
+    const GroundProgram& gp, std::size_t max_universe = 24);
+
+}  // namespace afp
+
+#endif  // AFP_STABLE_ENUMERATE_H_

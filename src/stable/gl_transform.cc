@@ -1,0 +1,33 @@
+#include "stable/gl_transform.h"
+
+namespace afp {
+
+std::vector<ReductRule> GlReduct(const RuleView& view, const Bitset& pos) {
+  std::vector<ReductRule> reduct;
+  for (const GroundRule& r : view.rules) {
+    bool keep = true;
+    for (AtomId a : view.neg(r)) {
+      if (pos.Test(a)) {  // cannot believe not a while believing a
+        keep = false;
+        break;
+      }
+    }
+    if (!keep) continue;
+    ReductRule rr;
+    rr.head = r.head;
+    auto p = view.pos(r);
+    rr.pos.assign(p.begin(), p.end());
+    reduct.push_back(std::move(rr));
+  }
+  return reduct;
+}
+
+Bitset ReductLeastModel(const HornSolver& solver, const Bitset& pos) {
+  return solver.EventualConsequences(Bitset::ComplementOf(pos));
+}
+
+bool IsStableModel(const HornSolver& solver, const Bitset& pos) {
+  return ReductLeastModel(solver, pos) == pos;
+}
+
+}  // namespace afp

@@ -1,0 +1,37 @@
+#ifndef AFP_STABLE_GL_TRANSFORM_H_
+#define AFP_STABLE_GL_TRANSFORM_H_
+
+#include <vector>
+
+#include "core/horn_solver.h"
+#include "ground/ground_program.h"
+#include "util/bitset.h"
+
+namespace afp {
+
+/// One Horn rule of a Gelfond–Lifschitz reduct.
+struct ReductRule {
+  AtomId head;
+  std::vector<AtomId> pos;
+};
+
+/// Materializes the Gelfond–Lifschitz reduct P^M of the program with respect
+/// to the candidate total model M (given by its positive atoms): rules with
+/// a negative literal whose atom is in M are deleted, and the remaining
+/// rules lose their negative literals (§4, the three-stage stability
+/// transformation).
+std::vector<ReductRule> GlReduct(const RuleView& view, const Bitset& pos);
+
+/// Least model of the reduct P^M. Computed without materializing the reduct:
+/// by Definition 4.2, lfp(P^M) = S_P(M̃), the eventual consequences under
+/// assumed-false set M̃ = complement of M.
+Bitset ReductLeastModel(const HornSolver& solver, const Bitset& pos);
+
+/// True iff M (given by its positive atoms) is a stable model: the least
+/// model of P^M equals M. Equivalently (paper §4), M̃ is a fixpoint of the
+/// stability transformation S̃_P.
+bool IsStableModel(const HornSolver& solver, const Bitset& pos);
+
+}  // namespace afp
+
+#endif  // AFP_STABLE_GL_TRANSFORM_H_

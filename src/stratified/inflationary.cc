@@ -1,0 +1,39 @@
+#include "stratified/inflationary.h"
+
+namespace afp {
+
+InflationaryResult InflationaryFixpoint(const GroundProgram& gp) {
+  InflationaryResult result;
+  const RuleView view = gp.View();
+  Bitset current(gp.num_atoms());
+
+  while (true) {
+    ++result.rounds;
+    Bitset next = current;
+    for (const GroundRule& r : view.rules) {
+      if (next.Test(r.head) && current.Test(r.head)) continue;
+      bool fire = true;
+      for (AtomId a : view.pos(r)) {
+        if (!current.Test(a)) {
+          fire = false;
+          break;
+        }
+      }
+      if (fire) {
+        for (AtomId a : view.neg(r)) {
+          if (current.Test(a)) {  // q already concluded: ¬q unavailable
+            fire = false;
+            break;
+          }
+        }
+      }
+      if (fire) next.Set(r.head);
+    }
+    if (next == current) break;
+    current = std::move(next);
+  }
+  result.true_atoms = std::move(current);
+  return result;
+}
+
+}  // namespace afp

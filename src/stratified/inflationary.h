@@ -1,0 +1,32 @@
+#ifndef AFP_STRATIFIED_INFLATIONARY_H_
+#define AFP_STRATIFIED_INFLATIONARY_H_
+
+#include <cstddef>
+
+#include "ground/ground_program.h"
+#include "util/bitset.h"
+
+namespace afp {
+
+/// Result of the inflationary fixpoint.
+struct InflationaryResult {
+  /// Atoms true at the fixpoint; everything else is false (IFP is
+  /// two-valued).
+  Bitset true_atoms;
+  std::size_t rounds = 0;
+};
+
+/// Computes the inflationary fixpoint semantics (IFP, §2.2 and §3.4):
+///
+///   I_{t+1} = I_t ∪ C_P(I_t, ¬·conj(I_t)),
+///
+/// i.e. every rule is evaluated simultaneously against the current set,
+/// with `not q` true iff q has not *yet* been derived, and conclusions are
+/// never retracted. This reproduces Example 2.2's anomaly: evaluating the
+/// complement-of-transitive-closure program inflationarily puts every pair
+/// into np, because in round one nothing is in p yet.
+InflationaryResult InflationaryFixpoint(const GroundProgram& gp);
+
+}  // namespace afp
+
+#endif  // AFP_STRATIFIED_INFLATIONARY_H_

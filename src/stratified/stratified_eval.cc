@@ -1,0 +1,70 @@
+#include "stratified/stratified_eval.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "analysis/dependency_graph.h"
+
+namespace afp {
+
+StatusOr<StratifiedResult> StratifiedEvaluate(const GroundProgram& gp) {
+  DependencyGraph graph = DependencyGraph::Build(gp.source());
+  AFP_ASSIGN_OR_RETURN(auto strata, graph.Stratify());
+
+  int max_stratum = 0;
+  for (const auto& [pred, s] : strata) max_stratum = std::max(max_stratum, s);
+
+  const RuleView view = gp.View();
+  const std::size_t n = gp.num_atoms();
+
+  // Bucket ground rules by the stratum of their head predicate.
+  std::vector<std::vector<std::uint32_t>> by_stratum(max_stratum + 1);
+  for (std::uint32_t ri = 0; ri < view.rules.size(); ++ri) {
+    SymbolId pred = gp.atoms().predicate(view.rules[ri].head);
+    auto it = strata.find(pred);
+    int s = it == strata.end() ? 0 : it->second;
+    by_stratum[s].push_back(ri);
+  }
+
+  // Process strata bottom-up. Within a stratum, negative literals refer to
+  // strictly lower (hence completed) strata: ¬q holds iff q was not derived.
+  Bitset derived(n);
+  for (int s = 0; s <= max_stratum; ++s) {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (std::uint32_t ri : by_stratum[s]) {
+        const GroundRule& r = view.rules[ri];
+        if (derived.Test(r.head)) continue;
+        bool fire = true;
+        for (AtomId a : view.pos(r)) {
+          if (!derived.Test(a)) {
+            fire = false;
+            break;
+          }
+        }
+        if (fire) {
+          for (AtomId a : view.neg(r)) {
+            if (derived.Test(a)) {
+              fire = false;
+              break;
+            }
+          }
+        }
+        if (fire) {
+          derived.Set(r.head);
+          changed = true;
+        }
+      }
+    }
+  }
+
+  StratifiedResult result;
+  result.num_strata = max_stratum + 1;
+  Bitset false_atoms = Bitset::ComplementOf(derived);
+  result.model = PartialModel(std::move(derived), std::move(false_atoms));
+  return result;
+}
+
+}  // namespace afp

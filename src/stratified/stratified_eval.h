@@ -1,0 +1,33 @@
+#ifndef AFP_STRATIFIED_STRATIFIED_EVAL_H_
+#define AFP_STRATIFIED_STRATIFIED_EVAL_H_
+
+#include <cstddef>
+
+#include "core/interpretation.h"
+#include "ground/ground_program.h"
+#include "util/status.h"
+
+namespace afp {
+
+/// Result of stratified evaluation.
+struct StratifiedResult {
+  /// The perfect model: a total model (every atom true or false).
+  PartialModel model;
+  /// Number of strata processed.
+  int num_strata = 0;
+};
+
+/// Evaluates a stratified program by iterated least fixpoints (§2.3): the
+/// strata of the predicate dependency graph are processed bottom-up, each
+/// stratum computing a least fixpoint with negation evaluated against the
+/// completed lower strata. Fails with InvalidArgument if the source program
+/// is not (predicate-)stratified.
+///
+/// On stratified programs the result coincides with the well-founded
+/// (total) model, the unique stable model, and the perfect model — pinned
+/// by the property tests.
+StatusOr<StratifiedResult> StratifiedEvaluate(const GroundProgram& gp);
+
+}  // namespace afp
+
+#endif  // AFP_STRATIFIED_STRATIFIED_EVAL_H_

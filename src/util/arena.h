@@ -1,0 +1,77 @@
+#ifndef AFP_UTIL_ARENA_H_
+#define AFP_UTIL_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace afp {
+
+/// A simple bump allocator. All allocations live until the arena is
+/// destroyed; there is no per-object free. Used for term and atom payloads,
+/// which are created in bulk during parsing/grounding and released wholesale.
+///
+/// Not thread-safe; each engine owns its own arena.
+class Arena {
+ public:
+  explicit Arena(std::size_t block_bytes = 1 << 16)
+      : block_bytes_(block_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Allocates `bytes` with the given alignment. Never returns null; memory
+  /// is uninitialized.
+  void* Allocate(std::size_t bytes,
+                 std::size_t align = alignof(std::max_align_t)) {
+    char* out = TryCurrentBlock(bytes, align);
+    if (out == nullptr) {
+      std::size_t size = bytes + align > block_bytes_ ? bytes + align
+                                                      : block_bytes_;
+      blocks_.push_back(std::make_unique<char[]>(size));
+      cur_block_size_ = size;
+      pos_ = 0;
+      out = TryCurrentBlock(bytes, align);
+    }
+    total_allocated_ += bytes;
+    return out;
+  }
+
+  /// Allocates and value-initializes an array of `n` items of type T.
+  template <typename T>
+  T* AllocateArray(std::size_t n) {
+    T* out = static_cast<T*>(Allocate(n * sizeof(T), alignof(T)));
+    for (std::size_t i = 0; i < n; ++i) new (out + i) T();
+    return out;
+  }
+
+  /// Total bytes handed out (diagnostics only).
+  std::size_t total_allocated() const { return total_allocated_; }
+
+ private:
+  /// Returns an aligned slot in the current block, or nullptr if it does
+  /// not fit (or no block exists yet).
+  char* TryCurrentBlock(std::size_t bytes, std::size_t align) {
+    if (blocks_.empty()) return nullptr;
+    char* base = blocks_.back().get();
+    std::uintptr_t addr = reinterpret_cast<std::uintptr_t>(base) + pos_;
+    std::uintptr_t aligned =
+        (addr + align - 1) & ~static_cast<std::uintptr_t>(align - 1);
+    std::size_t new_pos =
+        aligned - reinterpret_cast<std::uintptr_t>(base) + bytes;
+    if (new_pos > cur_block_size_) return nullptr;
+    pos_ = new_pos;
+    return reinterpret_cast<char*>(aligned);
+  }
+
+  std::size_t block_bytes_;
+  std::size_t cur_block_size_ = 0;
+  std::size_t pos_ = 0;
+  std::size_t total_allocated_ = 0;
+  std::vector<std::unique_ptr<char[]>> blocks_;
+};
+
+}  // namespace afp
+
+#endif  // AFP_UTIL_ARENA_H_

@@ -1,0 +1,148 @@
+#ifndef AFP_UTIL_BITSET_H_
+#define AFP_UTIL_BITSET_H_
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+#ifdef _MSC_VER
+#include <intrin.h>
+#endif
+
+namespace afp {
+
+/// Fixed-universe dynamic bitset used to represent sets of ground atoms.
+/// The universe size is set at construction (the Herbrand base size); all
+/// binary operations require equal universe sizes.
+class Bitset {
+ public:
+  Bitset() = default;
+  explicit Bitset(std::size_t universe, bool all_set = false)
+      : size_(universe), words_((universe + 63) / 64, all_set ? ~0ULL : 0ULL) {
+    TrimLastWord();
+  }
+
+  std::size_t universe_size() const { return size_; }
+
+  void Set(std::size_t i) { words_[i >> 6] |= 1ULL << (i & 63); }
+  void Reset(std::size_t i) { words_[i >> 6] &= ~(1ULL << (i & 63)); }
+  bool Test(std::size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+
+  void Clear() {
+    for (auto& w : words_) w = 0;
+  }
+  void SetAll() {
+    for (auto& w : words_) w = ~0ULL;
+    TrimLastWord();
+  }
+
+  /// Number of set bits.
+  std::size_t Count() const {
+    std::size_t n = 0;
+    for (std::uint64_t w : words_) n += Popcount(w);
+    return n;
+  }
+
+  bool None() const {
+    for (std::uint64_t w : words_) {
+      if (w != 0) return false;
+    }
+    return true;
+  }
+
+  /// In-place union.
+  Bitset& operator|=(const Bitset& o) {
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= o.words_[i];
+    return *this;
+  }
+  /// In-place intersection.
+  Bitset& operator&=(const Bitset& o) {
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= o.words_[i];
+    return *this;
+  }
+  /// In-place difference (this \ o).
+  Bitset& Subtract(const Bitset& o) {
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~o.words_[i];
+    return *this;
+  }
+  /// In-place complement within the universe.
+  Bitset& Complement() {
+    for (auto& w : words_) w = ~w;
+    TrimLastWord();
+    return *this;
+  }
+
+  /// Returns the complement of `s` within its universe.
+  static Bitset ComplementOf(const Bitset& s) {
+    Bitset out = s;
+    out.Complement();
+    return out;
+  }
+
+  bool operator==(const Bitset& o) const {
+    return size_ == o.size_ && words_ == o.words_;
+  }
+  bool operator!=(const Bitset& o) const { return !(*this == o); }
+
+  /// True iff this is a subset of `o`.
+  bool IsSubsetOf(const Bitset& o) const {
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      if (words_[i] & ~o.words_[i]) return false;
+    }
+    return true;
+  }
+
+  /// True iff the two sets share no element.
+  bool IsDisjointWith(const Bitset& o) const {
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      if (words_[i] & o.words_[i]) return false;
+    }
+    return true;
+  }
+
+  /// Calls fn(i) for every set bit i in increasing order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+      std::uint64_t w = words_[wi];
+      while (w) {
+        std::size_t bit = CountTrailingZeros(w);
+        fn(wi * 64 + bit);
+        w &= w - 1;
+      }
+    }
+  }
+
+ private:
+  void TrimLastWord() {
+    if (size_ % 64 != 0 && !words_.empty()) {
+      words_.back() &= (1ULL << (size_ % 64)) - 1;
+    }
+  }
+
+  static std::size_t Popcount(std::uint64_t w) {
+#ifdef _MSC_VER
+    return static_cast<std::size_t>(__popcnt64(w));
+#else
+    return static_cast<std::size_t>(__builtin_popcountll(w));
+#endif
+  }
+  static std::size_t CountTrailingZeros(std::uint64_t w) {
+#ifdef _MSC_VER
+    unsigned long idx;
+    _BitScanForward64(&idx, w);
+    return idx;
+#else
+    return static_cast<std::size_t>(__builtin_ctzll(w));
+#endif
+  }
+
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace afp
+
+#endif  // AFP_UTIL_BITSET_H_

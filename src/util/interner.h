@@ -1,0 +1,49 @@
+#ifndef AFP_UTIL_INTERNER_H_
+#define AFP_UTIL_INTERNER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace afp {
+
+/// Dense integer id for an interned string (predicate, function, constant or
+/// variable name). Ids are stable for the lifetime of the Interner.
+using SymbolId = std::uint32_t;
+
+/// Bidirectional string <-> SymbolId map. Interning makes symbol comparison
+/// O(1) and lets terms/atoms store 4-byte ids instead of strings.
+class Interner {
+ public:
+  /// Returns the id for `name`, interning it if new.
+  SymbolId Intern(std::string_view name) {
+    auto it = ids_.find(std::string(name));
+    if (it != ids_.end()) return it->second;
+    SymbolId id = static_cast<SymbolId>(names_.size());
+    names_.emplace_back(name);
+    ids_.emplace(names_.back(), id);
+    return id;
+  }
+
+  /// Returns the id for `name` if interned, or npos otherwise.
+  static constexpr SymbolId npos = static_cast<SymbolId>(-1);
+  SymbolId Find(std::string_view name) const {
+    auto it = ids_.find(std::string(name));
+    return it == ids_.end() ? npos : it->second;
+  }
+
+  /// Returns the string for an id. Precondition: id < size().
+  const std::string& Name(SymbolId id) const { return names_[id]; }
+
+  std::size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, SymbolId> ids_;
+};
+
+}  // namespace afp
+
+#endif  // AFP_UTIL_INTERNER_H_

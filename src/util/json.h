@@ -1,0 +1,46 @@
+#ifndef AFP_UTIL_JSON_H_
+#define AFP_UTIL_JSON_H_
+
+#include <string>
+#include <vector>
+
+namespace afp {
+
+/// Minimal JSON writer — enough to export models and run statistics for
+/// external tooling without pulling in a dependency. Produces compact,
+/// valid JSON; strings are escaped per RFC 8259.
+class JsonWriter {
+ public:
+  /// Escapes and quotes a string value.
+  static std::string Quote(const std::string& s);
+
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray(const std::string& key = "");
+  JsonWriter& EndArray();
+
+  JsonWriter& Key(const std::string& key);
+  JsonWriter& Value(const std::string& s);
+  JsonWriter& Value(const char* s);
+  JsonWriter& Value(bool b);
+  JsonWriter& Value(std::uint64_t n);
+  JsonWriter& Value(double d);
+
+  template <typename T>
+  JsonWriter& KeyValue(const std::string& key, T&& v) {
+    Key(key);
+    return Value(std::forward<T>(v));
+  }
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void MaybeComma();
+
+  std::string out_;
+  std::vector<bool> needs_comma_;
+};
+
+}  // namespace afp
+
+#endif  // AFP_UTIL_JSON_H_

@@ -1,0 +1,125 @@
+#ifndef AFP_UTIL_STATUS_H_
+#define AFP_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace afp {
+
+/// Error categories used across the library. Modeled on absl::StatusCode,
+/// restricted to the cases that actually arise here.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // malformed input (parse errors, unsafe rules, ...)
+  kNotFound,          // lookup misses (unknown predicate, ...)
+  kResourceExhausted, // grounding/search guards tripped
+  kFailedPrecondition,// API misuse (e.g. querying before solving)
+  kInternal,          // invariant violation; indicates a library bug
+};
+
+/// Returns a short stable name for `code` ("OK", "INVALID_ARGUMENT", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A lightweight success-or-error result, in the style of absl::Status.
+/// The library does not throw exceptions across its public API; fallible
+/// operations return Status or StatusOr<T>.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  /// Constructs a status with the given code and human-readable message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// True iff this status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "CODE_NAME: message", for logs and test failure output.
+  std::string ToString() const;
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Accessing the value of a
+/// non-OK StatusOr is a programming error (asserts in debug builds).
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from value: allows `return value;` in StatusOr functions.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error status: allows `return Status::...;`.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "StatusOr constructed from OK status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK Status out of the current function.
+#define AFP_RETURN_IF_ERROR(expr)                   \
+  do {                                              \
+    ::afp::Status afp_status_ = (expr);             \
+    if (!afp_status_.ok()) return afp_status_;      \
+  } while (0)
+
+/// Evaluates a StatusOr expression, propagating errors and otherwise
+/// assigning the value to `lhs`.
+#define AFP_ASSIGN_OR_RETURN(lhs, expr)             \
+  AFP_ASSIGN_OR_RETURN_IMPL_(                       \
+      AFP_STATUS_CONCAT_(afp_statusor_, __LINE__), lhs, expr)
+#define AFP_STATUS_CONCAT_INNER_(a, b) a##b
+#define AFP_STATUS_CONCAT_(a, b) AFP_STATUS_CONCAT_INNER_(a, b)
+#define AFP_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr)  \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+}  // namespace afp
+
+#endif  // AFP_UTIL_STATUS_H_

@@ -1,0 +1,30 @@
+#ifndef AFP_UTIL_TABLE_PRINTER_H_
+#define AFP_UTIL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace afp {
+
+/// Renders aligned plain-text tables. Used by the bench harness to print the
+/// paper's tables (Table I, the Figure 4 traces, etc.) in a uniform format.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends one row; missing cells are rendered empty, extra cells dropped.
+  void AddRow(std::vector<std::string> row);
+
+  /// Writes the table with a header rule to `os`.
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace afp
+
+#endif  // AFP_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,90 @@
+#include "wfs/unfounded.h"
+
+#include <vector>
+
+namespace afp {
+
+Bitset GreatestUnfoundedSet(const HornSolver& solver, const PartialModel& I) {
+  const RuleView& view = solver.view();
+  // X = least set such that p ∈ X whenever some rule for p has no body
+  // literal false in I and all its positive body atoms are in X. Then
+  // U_P(I) = H − X.
+  Bitset x(view.num_atoms);
+  std::vector<std::uint32_t> remaining(view.rules.size());
+  std::vector<AtomId> queue;
+
+  for (std::uint32_t ri = 0; ri < view.rules.size(); ++ri) {
+    const GroundRule& r = view.rules[ri];
+    bool usable = true;
+    for (AtomId a : view.pos(r)) {
+      if (I.false_atoms().Test(a)) {  // positive literal false in I
+        usable = false;
+        break;
+      }
+    }
+    if (usable) {
+      for (AtomId a : view.neg(r)) {
+        if (I.true_atoms().Test(a)) {  // ¬a false in I
+          usable = false;
+          break;
+        }
+      }
+    }
+    if (!usable) {
+      remaining[ri] = UINT32_MAX;
+      continue;
+    }
+    remaining[ri] = r.pos_len;
+    if (r.pos_len == 0 && !x.Test(r.head)) {
+      x.Set(r.head);
+      queue.push_back(r.head);
+    }
+  }
+
+  const auto& off = solver.pos_occ_offsets();
+  const auto& occ = solver.pos_occ_rules();
+  while (!queue.empty()) {
+    AtomId a = queue.back();
+    queue.pop_back();
+    for (std::uint32_t k = off[a]; k < off[a + 1]; ++k) {
+      std::uint32_t ri = occ[k];
+      if (remaining[ri] == UINT32_MAX) continue;
+      if (--remaining[ri] == 0) {
+        AtomId h = view.rules[ri].head;
+        if (!x.Test(h)) {
+          x.Set(h);
+          queue.push_back(h);
+        }
+      }
+    }
+  }
+  return Bitset::ComplementOf(x);
+}
+
+bool IsUnfoundedSet(const RuleView& view, const PartialModel& I,
+                    const Bitset& candidate) {
+  // Every rule whose head is in the candidate must have a witness of
+  // unusability (Definition 6.1).
+  for (const GroundRule& r : view.rules) {
+    if (!candidate.Test(r.head)) continue;
+    bool witness = false;
+    for (AtomId a : view.pos(r)) {
+      if (I.false_atoms().Test(a) || candidate.Test(a)) {
+        witness = true;
+        break;
+      }
+    }
+    if (!witness) {
+      for (AtomId a : view.neg(r)) {
+        if (I.true_atoms().Test(a)) {
+          witness = true;
+          break;
+        }
+      }
+    }
+    if (!witness) return false;
+  }
+  return true;
+}
+
+}  // namespace afp

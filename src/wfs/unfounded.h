@@ -1,0 +1,30 @@
+#ifndef AFP_WFS_UNFOUNDED_H_
+#define AFP_WFS_UNFOUNDED_H_
+
+#include "core/horn_solver.h"
+#include "core/interpretation.h"
+#include "util/bitset.h"
+
+namespace afp {
+
+/// Computes the greatest unfounded set U_P(I) of the program with respect to
+/// the partial interpretation I (Definition 6.1).
+///
+/// An atom p belongs to an unfounded set U iff every rule for p has a
+/// "witness of unusability": a body literal false in I, or a positive body
+/// literal in U. The union of all unfounded sets is itself unfounded; it is
+/// computed here through its complement X = H − U, which is the least set
+/// closed under "p has a rule with no false literal whose positive body lies
+/// in X" — a Horn-style least fixpoint evaluated by counting propagation.
+///
+/// `solver` supplies the positive-occurrence index for the rule view.
+Bitset GreatestUnfoundedSet(const HornSolver& solver, const PartialModel& I);
+
+/// Returns true iff `candidate` is an unfounded set of the program w.r.t. I,
+/// by direct check of Definition 6.1 (used in tests and assertions).
+bool IsUnfoundedSet(const RuleView& view, const PartialModel& I,
+                    const Bitset& candidate);
+
+}  // namespace afp
+
+#endif  // AFP_WFS_UNFOUNDED_H_

@@ -1,0 +1,47 @@
+#include "wfs/wp_engine.h"
+
+#include "core/horn_solver.h"
+#include "wfs/unfounded.h"
+
+namespace afp {
+
+Bitset ImmediateConsequences(const RuleView& view, const PartialModel& I) {
+  Bitset out(view.num_atoms);
+  for (const GroundRule& r : view.rules) {
+    if (out.Test(r.head)) continue;
+    bool body_true = true;
+    for (AtomId a : view.pos(r)) {
+      if (!I.true_atoms().Test(a)) {
+        body_true = false;
+        break;
+      }
+    }
+    if (body_true) {
+      for (AtomId a : view.neg(r)) {
+        if (!I.false_atoms().Test(a)) {
+          body_true = false;
+          break;
+        }
+      }
+    }
+    if (body_true) out.Set(r.head);
+  }
+  return out;
+}
+
+WpResult WellFoundedViaWp(const GroundProgram& gp) {
+  WpResult result;
+  HornSolver solver(gp.View());  // provides the shared occurrence index
+  PartialModel I = PartialModel::AllUndefined(gp.num_atoms());
+  while (true) {
+    ++result.iterations;
+    Bitset new_true = ImmediateConsequences(gp.View(), I);
+    Bitset new_false = GreatestUnfoundedSet(solver, I);
+    if (new_true == I.true_atoms() && new_false == I.false_atoms()) break;
+    I = PartialModel(std::move(new_true), std::move(new_false));
+  }
+  result.model = std::move(I);
+  return result;
+}
+
+}  // namespace afp

@@ -1,0 +1,35 @@
+#ifndef AFP_WFS_WP_ENGINE_H_
+#define AFP_WFS_WP_ENGINE_H_
+
+#include <cstddef>
+
+#include "core/interpretation.h"
+#include "ground/ground_program.h"
+
+namespace afp {
+
+/// Result of the W_P iteration.
+struct WpResult {
+  /// The well-founded partial model: least fixpoint of W_P (Definition 6.2).
+  PartialModel model;
+  /// Number of W_P applications until the fixpoint (including the final
+  /// confirming application).
+  std::size_t iterations = 0;
+};
+
+/// One application of the immediate consequence transformation T_P
+/// (Definition 3.7): heads of rules whose body is true in I, where a
+/// negative literal `not q` is true iff ¬q ∈ I (i.e. q is false in I).
+Bitset ImmediateConsequences(const RuleView& view, const PartialModel& I);
+
+/// Computes the well-founded partial model by the original
+/// Van Gelder–Ross–Schlipf construction (§6): iterate
+/// W_P(I) = T_P(I) ∪ ¬·U_P(I) from the empty interpretation. This is the
+/// baseline the alternating fixpoint is compared against (Theorem 7.8
+/// guarantees both return the same model; bench_afp_vs_wfs measures the
+/// relative cost).
+WpResult WellFoundedViaWp(const GroundProgram& gp);
+
+}  // namespace afp
+
+#endif  // AFP_WFS_WP_ENGINE_H_

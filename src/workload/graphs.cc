@@ -1,0 +1,90 @@
+#include "workload/graphs.h"
+
+#include <random>
+#include <set>
+
+namespace afp {
+namespace graphs {
+
+Digraph ErdosRenyi(int n, int m, std::uint64_t seed) {
+  Digraph g;
+  g.n = n;
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> pick(0, n - 1);
+  std::set<std::pair<int, int>> seen;
+  // Cap m at the number of possible edges to guarantee termination.
+  std::int64_t max_edges = static_cast<std::int64_t>(n) * (n - 1);
+  if (m > max_edges) m = static_cast<int>(max_edges);
+  while (static_cast<int>(seen.size()) < m) {
+    int u = pick(rng), v = pick(rng);
+    if (u == v) continue;
+    if (seen.insert({u, v}).second) g.edges.push_back({u, v});
+  }
+  return g;
+}
+
+Digraph Chain(int n) {
+  Digraph g;
+  g.n = n;
+  for (int i = 0; i + 1 < n; ++i) g.edges.push_back({i, i + 1});
+  return g;
+}
+
+Digraph Cycle(int n) {
+  Digraph g;
+  g.n = n;
+  for (int i = 0; i < n; ++i) g.edges.push_back({i, (i + 1) % n});
+  return g;
+}
+
+Digraph RandomFunctional(int n, std::uint64_t seed) {
+  Digraph g;
+  g.n = n;
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> pick(0, n - 1);
+  for (int i = 0; i < n; ++i) {
+    int j = pick(rng);
+    if (j == i) j = (i + 1) % n;
+    g.edges.push_back({i, j});
+  }
+  return g;
+}
+
+Digraph CompleteBipartite(int half) {
+  Digraph g;
+  g.n = 2 * half;
+  for (int i = 0; i < half; ++i) {
+    for (int j = half; j < 2 * half; ++j) g.edges.push_back({i, j});
+  }
+  return g;
+}
+
+Digraph Figure4a() {
+  // Nodes a..i = 0..8. Sinks: c(2), d(3), f(5), h(7), i(8).
+  Digraph g;
+  g.n = 9;
+  g.edges = {{0, 1}, {0, 4}, {0, 6},   // a -> b, e, g
+             {1, 2}, {1, 3},           // b -> c, d
+             {4, 5},                   // e -> f
+             {6, 7}, {6, 8}};          // g -> h, i
+  return g;
+}
+
+Digraph Figure4b() {
+  // a <-> b, b -> c, c -> d.
+  Digraph g;
+  g.n = 4;
+  g.edges = {{0, 1}, {1, 0}, {1, 2}, {2, 3}};
+  return g;
+}
+
+Digraph Figure4c() {
+  // a <-> b, b -> c.
+  Digraph g;
+  g.n = 3;
+  g.edges = {{0, 1}, {1, 0}, {1, 2}};
+  return g;
+}
+
+}  // namespace graphs
+}  // namespace afp

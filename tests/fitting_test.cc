@@ -1,0 +1,132 @@
+// Fitting / Kripke–Kleene semantics tests (§2.1), including the classic
+// transitive-closure weakness the paper uses to motivate well-founded
+// semantics.
+
+#include "fitting/fitting.h"
+
+#include <gtest/gtest.h>
+
+#include "core/alternating.h"
+#include "ground/grounder.h"
+#include "workload/graphs.h"
+#include "workload/programs.h"
+
+namespace afp {
+namespace {
+
+// Fitting's three-valued completion semantics distinguishes "underivable"
+// (false) from "loops forever" (undefined), so the ground program must keep
+// rule instances whose positive bodies are never derivable: full
+// instantiation, not the derivability-driven smart mode.
+GroundProgram MustGround(Program& p) {
+  GroundOptions opts;
+  opts.mode = GroundMode::kFull;
+  auto g = Grounder::Ground(p, opts);
+  EXPECT_TRUE(g.ok()) << g.status().ToString();
+  return std::move(g).value();
+}
+
+StatusOr<TruthValue> Value(const GroundProgram& gp, const PartialModel& m,
+                           const std::string& atom) {
+  return QueryAtom(gp, m, atom);
+}
+
+TEST(Fitting, SimpleFactsAndChains) {
+  auto parsed = ParseProgram("a. b :- a. c :- b, not d. d :- e.");
+  ASSERT_TRUE(parsed.ok());
+  Program p = std::move(parsed).value();
+  GroundProgram gp = MustGround(p);
+  FittingResult r = FittingFixpoint(gp);
+  EXPECT_EQ(*Value(gp, r.model, "a"), TruthValue::kTrue);
+  EXPECT_EQ(*Value(gp, r.model, "b"), TruthValue::kTrue);
+  // e has no rule -> false; hence d false; hence c true.
+  EXPECT_EQ(*Value(gp, r.model, "d"), TruthValue::kFalse);
+  EXPECT_EQ(*Value(gp, r.model, "c"), TruthValue::kTrue);
+}
+
+TEST(Fitting, InconsistentCompletionStaysUndefined) {
+  // p :- not p: the completion p <-> not p is inconsistent in 2-valued
+  // logic; three-valued Fitting leaves p undefined.
+  auto parsed = ParseProgram("p :- not p.");
+  ASSERT_TRUE(parsed.ok());
+  Program p = std::move(parsed).value();
+  GroundProgram gp = MustGround(p);
+  FittingResult r = FittingFixpoint(gp);
+  EXPECT_EQ(*Value(gp, r.model, "p"), TruthValue::kUndefined);
+}
+
+TEST(Fitting, PositiveLoopUndefinedWhereWfsFalse) {
+  // p :- q. q :- p. Fitting: undefined (the completion admits {p,q});
+  // WFS: false (unfounded set). This is Minker's transitive-closure
+  // objection in miniature.
+  auto parsed = ParseProgram("p :- q. q :- p.");
+  ASSERT_TRUE(parsed.ok());
+  Program p = std::move(parsed).value();
+  GroundProgram gp = MustGround(p);
+  FittingResult fit = FittingFixpoint(gp);
+  AfpResult wfs = AlternatingFixpoint(gp);
+  EXPECT_EQ(*Value(gp, fit.model, "p"), TruthValue::kUndefined);
+  EXPECT_EQ(*Value(gp, wfs.model, "p"), TruthValue::kFalse);
+}
+
+TEST(Fitting, TwoCycleTransitiveClosure) {
+  // Edges 1->2, 2->1 and isolated node 3 (§2.1): the search for a path
+  // from 1 to 3 loops; Fitting leaves tc(a,c) undefined, WFS makes it
+  // false.
+  Digraph g;
+  g.n = 3;
+  g.edges = {{0, 1}, {1, 0}};
+  Program p = workload::TransitiveClosureComplement(g);
+  GroundProgram gp = MustGround(p);
+  FittingResult fit = FittingFixpoint(gp);
+  AfpResult wfs = AlternatingFixpoint(gp);
+
+  EXPECT_EQ(*Value(gp, fit.model, "tc(a,c)"), TruthValue::kUndefined);
+  EXPECT_EQ(*Value(gp, fit.model, "ntc(a,c)"), TruthValue::kUndefined);
+  EXPECT_EQ(*Value(gp, wfs.model, "tc(a,c)"), TruthValue::kFalse);
+  EXPECT_EQ(*Value(gp, wfs.model, "ntc(a,c)"), TruthValue::kTrue);
+  // Where Fitting does decide, it agrees with WFS.
+  EXPECT_EQ(*Value(gp, fit.model, "tc(a,b)"), TruthValue::kTrue);
+  EXPECT_EQ(*Value(gp, wfs.model, "tc(a,b)"), TruthValue::kTrue);
+}
+
+TEST(Fitting, FittingModelIsContainedInWfsModel) {
+  // Fitting <= WFS in the information order, on random programs.
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    Program p = workload::RandomPropositional(
+        /*num_atoms=*/20, /*num_rules=*/35, /*body_len=*/3,
+        /*neg_prob_percent=*/40, seed);
+    GroundOptions opts;
+    opts.mode = GroundMode::kFull;
+    auto ground = Grounder::Ground(p, opts);
+    ASSERT_TRUE(ground.ok());
+    GroundProgram gp = std::move(ground).value();
+    FittingResult fit = FittingFixpoint(gp);
+    AfpResult wfs = AlternatingFixpoint(gp);
+    EXPECT_TRUE(fit.model.true_atoms().IsSubsetOf(wfs.model.true_atoms()))
+        << "seed " << seed;
+    EXPECT_TRUE(fit.model.false_atoms().IsSubsetOf(wfs.model.false_atoms()))
+        << "seed " << seed;
+  }
+}
+
+TEST(Fitting, ModelSatisfiesProgram) {
+  Program p = workload::Example51();
+  GroundOptions opts;
+  opts.mode = GroundMode::kFull;
+  auto ground = Grounder::Ground(p, opts);
+  ASSERT_TRUE(ground.ok());
+  GroundProgram gp = std::move(ground).value();
+  FittingResult r = FittingFixpoint(gp);
+  EXPECT_TRUE(Satisfies(gp, r.model));
+}
+
+TEST(Fitting, IterationsBounded) {
+  Program p = workload::WinMove(graphs::Chain(15));
+  GroundProgram gp = MustGround(p);
+  FittingResult r = FittingFixpoint(gp);
+  EXPECT_LE(r.iterations, gp.num_atoms() + 2);
+}
+
+}  // namespace
+}  // namespace afp

@@ -1,0 +1,189 @@
+// Deeper first-order edge cases: nested quantifiers, double negation,
+// standardize-apart capture avoidance, polarity bookkeeping (Def. 8.5),
+// and transforms of multi-rule general programs.
+
+#include <gtest/gtest.h>
+
+#include "core/alternating.h"
+#include "fol/formula.h"
+#include "fol/general_program.h"
+#include "fol/simplify.h"
+#include "ground/grounder.h"
+
+namespace afp {
+namespace {
+
+TEST(FolEdge, DoubleNegationCancels) {
+  Program pr;
+  FormulaPtr f = Formula::Not(Formula::Not(Formula::MakeAtom(pr.MakeAtom("p"))));
+  FormulaPtr nnf = PushNegations(f, pr.terms(), false);
+  EXPECT_EQ(nnf->kind, FormulaKind::kAtom);
+  FormulaPtr staged = PushNegations(f, pr.terms(), true);
+  EXPECT_EQ(staged->kind, FormulaKind::kAtom);
+}
+
+TEST(FolEdge, TripleNegation) {
+  Program pr;
+  FormulaPtr f = Formula::Not(Formula::Not(Formula::Not(
+      Formula::MakeAtom(pr.MakeAtom("p")))));
+  FormulaPtr nnf = PushNegations(f, pr.terms(), false);
+  EXPECT_EQ(nnf->kind, FormulaKind::kNegAtom);
+}
+
+TEST(FolEdge, NestedQuantifiersStandardizeApart) {
+  // exists X (p(X) and exists X q(X)): inner X must not collide after
+  // standardization.
+  Program pr;
+  SymbolId xs = pr.symbols().Intern("X");
+  TermId x = pr.Var("X");
+  FormulaPtr inner = Formula::Exists(
+      {xs}, Formula::MakeAtom(pr.MakeAtom("q", {x})));
+  FormulaPtr f = Formula::Exists(
+      {xs},
+      Formula::And({Formula::MakeAtom(pr.MakeAtom("p", {x})), inner}));
+  int counter = 0;
+  FormulaPtr sa = StandardizeApart(f, pr, &counter);
+  ASSERT_EQ(sa->kind, FormulaKind::kExists);
+  const Formula& outer = *sa;
+  const Formula& conj = *outer.children[0];
+  ASSERT_EQ(conj.kind, FormulaKind::kAnd);
+  const Formula& p_atom = *conj.children[0];
+  const Formula& inner_q = *conj.children[1];
+  ASSERT_EQ(inner_q.kind, FormulaKind::kExists);
+  // Outer bound var renames p's arg; inner bound var renames q's arg;
+  // and they differ.
+  SymbolId outer_var = outer.quant_vars[0];
+  SymbolId inner_var = inner_q.quant_vars[0];
+  EXPECT_NE(outer_var, inner_var);
+  EXPECT_EQ(pr.terms().symbol(p_atom.atom.args[0]), outer_var);
+  EXPECT_EQ(pr.terms().symbol(inner_q.children[0]->atom.args[0]), inner_var);
+}
+
+TEST(FolEdge, FreeVariablesOfToStringRoundTrip) {
+  Program pr;
+  SymbolId ys = pr.symbols().Intern("Y");
+  TermId x = pr.Var("X"), y = pr.Var("Y");
+  FormulaPtr f = Formula::Forall(
+      {ys}, Formula::Or({Formula::MakeNegAtom(pr.MakeAtom("e", {y, x})),
+                         Formula::MakeAtom(pr.MakeAtom("w", {y}))}));
+  std::string text = FormulaToString(*f, pr.symbols(), pr.terms());
+  EXPECT_EQ(text, "forall Y ((not e(Y,X) or w(Y)))");
+  auto free = FreeVariables(*f, pr.terms());
+  ASSERT_EQ(free.size(), 1u);
+  EXPECT_TRUE(free.count(pr.symbols().Intern("X")));
+}
+
+TEST(FolEdge, ConjunctionOfNegatedExistsYieldsTwoAuxRelations) {
+  // p <- ¬∃X a(X) ∧ ¬∃X b(X): two independent extractions.
+  GeneralProgram gp;
+  Program& b = gp.base();
+  b.AddFact("a", {"c1"});
+  SymbolId xs = b.symbols().Intern("X");
+  TermId x = b.Var("X");
+  gp.AddGeneralRule(
+      b.MakeAtom("p"),
+      Formula::And(
+          {Formula::Not(Formula::Exists(
+               {xs}, Formula::MakeAtom(b.MakeAtom("a", {x})))),
+           Formula::Not(Formula::Exists(
+               {xs}, Formula::MakeAtom(b.MakeAtom("b", {x}))))}));
+  TransformStats stats;
+  auto normal = TransformToNormal(gp, &stats);
+  ASSERT_TRUE(normal.ok()) << normal.status().ToString();
+  EXPECT_EQ(stats.num_aux, 2);
+  for (const auto& [name, positive] : stats.adb_polarity) {
+    EXPECT_FALSE(positive) << name;  // both replace negative subformulas
+  }
+
+  // a(c1) holds, so ∃X a(X) holds, so p must be false; b has no facts.
+  auto ground = Grounder::Ground(*normal);
+  ASSERT_TRUE(ground.ok());
+  AfpResult afp = AlternatingFixpoint(*ground);
+  auto p_val = QueryAtom(*ground, afp.model, "p");
+  ASSERT_TRUE(p_val.ok());
+  EXPECT_EQ(*p_val, TruthValue::kFalse);
+}
+
+TEST(FolEdge, NestedNegationsAlternatePolarity) {
+  // p(X) <- ¬∃Y [e(X,Y) ∧ ¬∃Z e(Y,Z)]:
+  // "no successor of X is a sink". Aux1 (outer) is globally negative,
+  // aux2 (inner) globally positive again.
+  GeneralProgram gp;
+  Program& b = gp.base();
+  b.AddFact("e", {"a", "b"});
+  b.AddFact("e", {"b", "c"});
+  SymbolId ys = b.symbols().Intern("Y"), zs = b.symbols().Intern("Z");
+  TermId x = b.Var("X"), y = b.Var("Y"), z = b.Var("Z");
+  gp.AddGeneralRule(
+      b.MakeAtom("p", {x}),
+      Formula::Not(Formula::Exists(
+          {ys},
+          Formula::And(
+              {Formula::MakeAtom(b.MakeAtom("e", {x, y})),
+               Formula::Not(Formula::Exists(
+                   {zs}, Formula::MakeAtom(b.MakeAtom("e", {y, z}))))}))));
+  TransformStats stats;
+  auto normal = TransformToNormal(gp, &stats);
+  ASSERT_TRUE(normal.ok()) << normal.status().ToString();
+  ASSERT_EQ(stats.num_aux, 2);
+  int positives = 0, negatives = 0;
+  for (const auto& [name, positive] : stats.adb_polarity) {
+    (positive ? positives : negatives)++;
+  }
+  EXPECT_EQ(positives, 1);
+  EXPECT_EQ(negatives, 1);
+
+  // Direct and transformed evaluations agree on p.
+  auto direct = GeneralAlternatingFixpoint(gp);
+  ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+  auto ground = Grounder::Ground(*normal);
+  ASSERT_TRUE(ground.ok());
+  AfpResult afp = AlternatingFixpoint(*ground);
+  for (const char* node : {"a", "b", "c"}) {
+    std::string atom = std::string("p(") + node + ")";
+    auto nv = QueryAtom(*ground, afp.model, atom);
+    ASSERT_TRUE(nv.ok());
+    EXPECT_EQ(direct->Value(atom) == TruthValue::kTrue,
+              *nv == TruthValue::kTrue)
+        << atom;
+  }
+  // Semantics check: a's only successor b has a successor -> p(a) true;
+  // b's successor c is a sink -> p(b) false; c has no successors -> p(c)
+  // vacuously true.
+  EXPECT_EQ(direct->Value("p(a)"), TruthValue::kTrue);
+  EXPECT_EQ(direct->Value("p(b)"), TruthValue::kFalse);
+  EXPECT_EQ(direct->Value("p(c)"), TruthValue::kTrue);
+}
+
+TEST(FolEdge, TrueAndFalseConstants) {
+  GeneralProgram gp;
+  Program& b = gp.base();
+  b.AddFact("seed", {"a"});
+  gp.AddGeneralRule(b.MakeAtom("t"), Formula::True());
+  gp.AddGeneralRule(b.MakeAtom("f"), Formula::False());
+  auto r = GeneralAlternatingFixpoint(gp);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->Value("t"), TruthValue::kTrue);
+  EXPECT_EQ(r->Value("f"), TruthValue::kFalse);
+}
+
+TEST(FolEdge, EmptyDomainQuantifiers) {
+  // No constants at all: ∀ over the empty domain is true, ∃ false.
+  GeneralProgram gp;
+  Program& b = gp.base();
+  SymbolId xs = b.symbols().Intern("X");
+  TermId x = b.Var("X");
+  gp.AddGeneralRule(
+      b.MakeAtom("all_ok"),
+      Formula::Forall({xs}, Formula::MakeAtom(b.MakeAtom("q", {x}))));
+  gp.AddGeneralRule(
+      b.MakeAtom("some_q"),
+      Formula::Exists({xs}, Formula::MakeAtom(b.MakeAtom("q", {x}))));
+  auto r = GeneralAlternatingFixpoint(gp);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->Value("all_ok"), TruthValue::kTrue);
+  EXPECT_EQ(r->Value("some_q"), TruthValue::kFalse);
+}
+
+}  // namespace
+}  // namespace afp

@@ -1,0 +1,306 @@
+// First-order rule bodies (§8): formula machinery, negation pushing,
+// elementary simplifications, Example 8.2, and the Theorem 8.1/8.7
+// agreement between direct evaluation and the transformed normal program.
+
+#include "fol/general_program.h"
+
+#include <gtest/gtest.h>
+
+#include "core/alternating.h"
+#include "fol/formula.h"
+#include "fol/simplify.h"
+#include "ground/grounder.h"
+#include "workload/graphs.h"
+#include "workload/programs.h"
+
+namespace afp {
+namespace {
+
+/// Builds Example 8.2: w(X) <- ¬∃Y[e(Y,X) ∧ ¬w(Y)] over the given edges.
+GeneralProgram WellFoundedNodes(const Digraph& g) {
+  GeneralProgram gp;
+  Program& b = gp.base();
+  for (auto [u, v] : g.edges) {
+    b.AddFact("e", {workload::NodeName(u), workload::NodeName(v)});
+  }
+  TermId x = b.Var("X"), y = b.Var("Y");
+  SymbolId ys = b.symbols().Intern("Y");
+  FormulaPtr body = Formula::Not(Formula::Exists(
+      {ys},
+      Formula::And({Formula::MakeAtom(b.MakeAtom("e", {y, x})),
+                    Formula::Not(Formula::MakeAtom(b.MakeAtom("w", {y})))})));
+  gp.AddGeneralRule(b.MakeAtom("w", {x}), body);
+  return gp;
+}
+
+TEST(Formula, FreeVariablesRespectQuantifiers) {
+  Program p;
+  TermId x = p.Var("X"), y = p.Var("Y");
+  SymbolId ys = p.symbols().Intern("Y");
+  FormulaPtr f = Formula::Exists(
+      {ys}, Formula::And({Formula::MakeAtom(p.MakeAtom("e", {y, x})),
+                          Formula::MakeAtom(p.MakeAtom("q", {y}))}));
+  auto free = FreeVariables(*f, p.terms());
+  ASSERT_EQ(free.size(), 1u);
+  EXPECT_TRUE(free.count(p.symbols().Intern("X")));
+}
+
+TEST(Formula, PushNegationsFullNnf) {
+  // ¬∃X p(X) -> ∀X ¬p(X) (the paper's Example 8.1 rewriting).
+  Program pr;
+  TermId x = pr.Var("X");
+  SymbolId xs = pr.symbols().Intern("X");
+  FormulaPtr f = Formula::Not(
+      Formula::Exists({xs}, Formula::MakeAtom(pr.MakeAtom("p", {x}))));
+  FormulaPtr nnf = PushNegations(f, pr.terms(), /*keep_negated_exists=*/false);
+  ASSERT_EQ(nnf->kind, FormulaKind::kForall);
+  EXPECT_EQ(nnf->children[0]->kind, FormulaKind::kNegAtom);
+}
+
+TEST(Formula, PushNegationsKeepsNegatedExists) {
+  Program pr;
+  TermId x = pr.Var("X");
+  SymbolId xs = pr.symbols().Intern("X");
+  FormulaPtr f = Formula::Not(
+      Formula::Exists({xs}, Formula::MakeAtom(pr.MakeAtom("p", {x}))));
+  FormulaPtr staged =
+      PushNegations(f, pr.terms(), /*keep_negated_exists=*/true);
+  ASSERT_EQ(staged->kind, FormulaKind::kNot);
+  EXPECT_EQ(staged->children[0]->kind, FormulaKind::kExists);
+}
+
+TEST(Formula, ForallEliminatedInStagingForm) {
+  // ∀X p(X)  ==staging==>  ¬∃X ¬p(X).
+  Program pr;
+  TermId x = pr.Var("X");
+  SymbolId xs = pr.symbols().Intern("X");
+  FormulaPtr f =
+      Formula::Forall({xs}, Formula::MakeAtom(pr.MakeAtom("p", {x})));
+  FormulaPtr staged =
+      PushNegations(f, pr.terms(), /*keep_negated_exists=*/true);
+  ASSERT_EQ(staged->kind, FormulaKind::kNot);
+  ASSERT_EQ(staged->children[0]->kind, FormulaKind::kExists);
+  EXPECT_EQ(staged->children[0]->children[0]->kind, FormulaKind::kNegAtom);
+}
+
+TEST(Formula, DeMorganThroughConnectives) {
+  Program pr;
+  FormulaPtr f = Formula::Not(
+      Formula::And({Formula::MakeAtom(pr.MakeAtom("a")),
+                    Formula::Or({Formula::MakeAtom(pr.MakeAtom("b")),
+                                 Formula::MakeAtom(pr.MakeAtom("c"))})}));
+  FormulaPtr nnf = PushNegations(f, pr.terms(), false);
+  ASSERT_EQ(nnf->kind, FormulaKind::kOr);
+  EXPECT_EQ(nnf->children[0]->kind, FormulaKind::kNegAtom);
+  ASSERT_EQ(nnf->children[1]->kind, FormulaKind::kAnd);
+  EXPECT_EQ(nnf->children[1]->children[0]->kind, FormulaKind::kNegAtom);
+}
+
+TEST(GeneralProgram, ValidateRejectsFreeBodyVariables) {
+  GeneralProgram gp;
+  Program& b = gp.base();
+  gp.AddGeneralRule(b.MakeAtom("p"),
+                    Formula::MakeAtom(b.MakeAtom("q", {b.Var("Z")})));
+  EXPECT_FALSE(gp.Validate().ok());
+}
+
+TEST(GeneralProgram, ValidateRejectsFunctionSymbols) {
+  GeneralProgram gp;
+  Program& b = gp.base();
+  TermId fx = b.Compound("f", {b.Const("a")});
+  gp.AddGeneralRule(b.MakeAtom("p"),
+                    Formula::MakeAtom(b.MakeAtom("q", {fx})));
+  EXPECT_FALSE(gp.Validate().ok());
+}
+
+TEST(GeneralAfp, Example82WellFoundedNodesAcyclic) {
+  // Chain a -> b -> c: every node is well-founded (no infinite descending
+  // chain INTO it). w(X) <- no Y with e(Y,X) and ¬w(Y).
+  GeneralProgram gp = WellFoundedNodes(graphs::Chain(3));
+  auto r = GeneralAlternatingFixpoint(gp);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->Value("w(a)"), TruthValue::kTrue);
+  EXPECT_EQ(r->Value("w(b)"), TruthValue::kTrue);
+  EXPECT_EQ(r->Value("w(c)"), TruthValue::kTrue);
+}
+
+TEST(GeneralAfp, Example82CycleIsNotWellFounded) {
+  // a <-> b cycle plus c with edge b -> c: none of them well-founded; an
+  // isolated node d is.
+  Digraph g;
+  g.n = 4;
+  g.edges = {{0, 1}, {1, 0}, {1, 2}};
+  GeneralProgram gp = WellFoundedNodes(g);
+  // Mention node d in the domain through a self-contained fact.
+  gp.base().AddFact("isolated", {"d"});
+  auto r = GeneralAlternatingFixpoint(gp);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->Value("w(a)"), TruthValue::kFalse);
+  EXPECT_EQ(r->Value("w(b)"), TruthValue::kFalse);
+  EXPECT_EQ(r->Value("w(c)"), TruthValue::kFalse);
+  EXPECT_EQ(r->Value("w(d)"), TruthValue::kTrue);
+}
+
+TEST(GeneralAfp, Theorem81FpSystemsTwoValued) {
+  // Positive-IDB general program: AFP coincides with fixpoint logic
+  // (total on the IDB universe it derives; everything else false).
+  GeneralProgram gp;
+  Program& b = gp.base();
+  b.AddFact("e", {"a", "b"});
+  b.AddFact("e", {"b", "c"});
+  TermId x = b.Var("X"), y = b.Var("Y"), z = b.Var("Z");
+  SymbolId zs = b.symbols().Intern("Z");
+  gp.AddGeneralRule(b.MakeAtom("tc", {x, y}),
+                    Formula::Or({Formula::MakeAtom(b.MakeAtom("e", {x, y})),
+                                 Formula::Exists(
+                                     {zs},
+                                     Formula::And({Formula::MakeAtom(
+                                                       b.MakeAtom("e", {x, z})),
+                                                   Formula::MakeAtom(b.MakeAtom(
+                                                       "tc", {z, y}))}))}));
+  auto r = GeneralAlternatingFixpoint(gp);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->Value("tc(a,b)"), TruthValue::kTrue);
+  EXPECT_EQ(r->Value("tc(a,c)"), TruthValue::kTrue);
+  EXPECT_EQ(r->Value("tc(c,a)"), TruthValue::kFalse);
+  for (const auto& [name, value] : r->values) {
+    EXPECT_NE(value, TruthValue::kUndefined) << name;
+  }
+}
+
+TEST(Transform, Example82ProducesPaperNormalForm) {
+  GeneralProgram gp = WellFoundedNodes(graphs::Chain(3));
+  TransformStats stats;
+  auto normal = TransformToNormal(gp, &stats);
+  ASSERT_TRUE(normal.ok()) << normal.status().ToString();
+  EXPECT_EQ(stats.num_aux, 1);           // one extracted subformula (u)
+  EXPECT_FALSE(stats.dom_predicate.empty());  // w(X) :- dom(X), not u(X)
+  // The auxiliary relation replaced a negatively occurring subformula.
+  ASSERT_EQ(stats.adb_polarity.size(), 1u);
+  EXPECT_FALSE(stats.adb_polarity.begin()->second);
+
+  std::string text = normal->ToString();
+  // Shape check: one rule "w(X) :- dom(X), not adbN(X)." and one
+  // "adbN(...) :- e(Y,X), not w(Y)." modulo variable names.
+  EXPECT_NE(text.find("not w("), std::string::npos);
+  EXPECT_NE(text.find("e("), std::string::npos);
+}
+
+TEST(Transform, Theorem87PositivePartPreserved) {
+  // Direct general AFP vs transformed normal program: the w relation
+  // agrees on every node, for several graphs.
+  std::vector<Digraph> graphs_to_try = {
+      graphs::Chain(4), graphs::Cycle(3), graphs::Figure4a(),
+      graphs::Figure4b()};
+  for (const Digraph& g : graphs_to_try) {
+    GeneralProgram gp = WellFoundedNodes(g);
+    auto direct = GeneralAlternatingFixpoint(gp);
+    ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+
+    auto normal = TransformToNormal(gp);
+    ASSERT_TRUE(normal.ok()) << normal.status().ToString();
+    auto ground = Grounder::Ground(*normal);
+    ASSERT_TRUE(ground.ok()) << ground.status().ToString();
+    AfpResult afp = AlternatingFixpoint(*ground);
+
+    for (int i = 0; i < g.n; ++i) {
+      std::string atom = "w(" + workload::NodeName(i) + ")";
+      auto normal_value = QueryAtom(*ground, afp.model, atom);
+      ASSERT_TRUE(normal_value.ok());
+      // Theorem 8.6/8.7: positive parts agree on the original (globally
+      // positive) relations.
+      EXPECT_EQ(direct->Value(atom) == TruthValue::kTrue,
+                *normal_value == TruthValue::kTrue)
+          << atom << " over graph with n=" << g.n;
+    }
+  }
+}
+
+TEST(Transform, NestedDisjunctionSplitsRules) {
+  GeneralProgram gp;
+  Program& b = gp.base();
+  b.AddFact("q", {"a"});
+  b.AddFact("r", {"b"});
+  TermId x = b.Var("X");
+  gp.AddGeneralRule(b.MakeAtom("p", {x}),
+                    Formula::Or({Formula::MakeAtom(b.MakeAtom("q", {x})),
+                                 Formula::MakeAtom(b.MakeAtom("r", {x}))}));
+  auto normal = TransformToNormal(gp);
+  ASSERT_TRUE(normal.ok()) << normal.status().ToString();
+  // Two rules for p (one per disjunct), no aux needed at top level.
+  int p_rules = 0;
+  for (const Rule& r : normal->rules()) {
+    if (normal->symbols().Name(r.head.predicate) == "p" && !r.body.empty()) {
+      ++p_rules;
+    }
+  }
+  EXPECT_EQ(p_rules, 2);
+
+  auto ground = Grounder::Ground(*normal);
+  ASSERT_TRUE(ground.ok());
+  AfpResult afp = AlternatingFixpoint(*ground);
+  EXPECT_EQ(*QueryAtom(*ground, afp.model, "p(a)"), TruthValue::kTrue);
+  EXPECT_EQ(*QueryAtom(*ground, afp.model, "p(b)"), TruthValue::kTrue);
+}
+
+TEST(Transform, UniversalQuantifierRoundTrip) {
+  // all_covered <- ∀X (¬node(X) ∨ covered(X)).
+  GeneralProgram gp;
+  Program& b = gp.base();
+  b.AddFact("node", {"a"});
+  b.AddFact("node", {"b"});
+  b.AddFact("covered", {"a"});
+  b.AddFact("covered", {"b"});
+  TermId x = b.Var("X");
+  SymbolId xs = b.symbols().Intern("X");
+  gp.AddGeneralRule(
+      b.MakeAtom("all_covered"),
+      Formula::Forall(
+          {xs},
+          Formula::Or({Formula::Not(Formula::MakeAtom(b.MakeAtom("node", {x}))),
+                       Formula::MakeAtom(b.MakeAtom("covered", {x}))})));
+  auto direct = GeneralAlternatingFixpoint(gp);
+  ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+  EXPECT_EQ(direct->Value("all_covered"), TruthValue::kTrue);
+
+  auto normal = TransformToNormal(gp);
+  ASSERT_TRUE(normal.ok()) << normal.status().ToString();
+  auto ground = Grounder::Ground(*normal);
+  ASSERT_TRUE(ground.ok()) << ground.status().ToString();
+  AfpResult afp = AlternatingFixpoint(*ground);
+  EXPECT_EQ(*QueryAtom(*ground, afp.model, "all_covered"),
+            TruthValue::kTrue);
+}
+
+TEST(Transform, EqualityRejected) {
+  GeneralProgram gp;
+  Program& b = gp.base();
+  b.AddFact("q", {"a"});
+  TermId x = b.Var("X");
+  gp.AddGeneralRule(
+      b.MakeAtom("p", {x}),
+      Formula::And({Formula::MakeAtom(b.MakeAtom("q", {x})),
+                    Formula::Eq(x, b.Const("a"))}));
+  auto normal = TransformToNormal(gp);
+  ASSERT_FALSE(normal.ok());
+  EXPECT_EQ(normal.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GeneralAfp, EqualitySupportedDirectly) {
+  GeneralProgram gp;
+  Program& b = gp.base();
+  b.AddFact("q", {"a"});
+  b.AddFact("q", {"b"});
+  TermId x = b.Var("X");
+  gp.AddGeneralRule(
+      b.MakeAtom("p", {x}),
+      Formula::And({Formula::MakeAtom(b.MakeAtom("q", {x})),
+                    Formula::Eq(x, b.Const("a"))}));
+  auto r = GeneralAlternatingFixpoint(gp);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->Value("p(a)"), TruthValue::kTrue);
+  EXPECT_EQ(r->Value("p(b)"), TruthValue::kFalse);
+}
+
+}  // namespace
+}  // namespace afp

@@ -1,0 +1,172 @@
+// Grounder tests: smart vs full vs naive instantiation, simplification of
+// never-derivable negative literals, function-symbol guards, dedup.
+
+#include "ground/grounder.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/graphs.h"
+#include "workload/programs.h"
+
+namespace afp {
+namespace {
+
+GroundProgram MustGround(Program& p, GroundOptions opts = {}) {
+  auto g = Grounder::Ground(p, opts);
+  EXPECT_TRUE(g.ok()) << g.status().ToString();
+  return std::move(g).value();
+}
+
+TEST(Grounder, PropositionalProgramGroundsToItself) {
+  auto parsed = ParseProgram("p :- q, not r. q. r :- not p.");
+  ASSERT_TRUE(parsed.ok());
+  Program p = std::move(parsed).value();
+  GroundProgram gp = MustGround(p);
+  EXPECT_EQ(gp.num_atoms(), 3u);
+  EXPECT_EQ(gp.num_rules(), 3u);
+}
+
+TEST(Grounder, InstantiatesOnlyDerivableJoins) {
+  // Smart grounding instantiates wins(x) only for x with an out-edge; the
+  // rule for node c (no move) never materializes.
+  Program p = workload::WinMove(graphs::Figure4c());  // a<->b, b->c
+  GroundProgram gp = MustGround(p);
+  // Rules: 3 move facts + 3 wins rules (one per edge).
+  EXPECT_EQ(gp.num_rules(), 6u);
+}
+
+TEST(Grounder, SimplifyDropsUnderivableNegatives) {
+  // q can never be derived, so "not q" is certainly true and disappears;
+  // the atom q is dropped from the base.
+  auto parsed = ParseProgram("p :- not q.");
+  ASSERT_TRUE(parsed.ok());
+  Program p = std::move(parsed).value();
+
+  GroundOptions simplify;
+  simplify.simplify = true;
+  GroundProgram gp1 = MustGround(p, simplify);
+  EXPECT_EQ(gp1.num_atoms(), 1u);  // only p
+  EXPECT_EQ(gp1.rule(0).neg_len, 0u);
+
+  GroundOptions keep;
+  keep.simplify = false;
+  GroundProgram gp2 = MustGround(p, keep);
+  EXPECT_EQ(gp2.num_atoms(), 2u);  // p and q
+  EXPECT_EQ(gp2.rule(0).neg_len, 1u);
+}
+
+TEST(Grounder, FullModeEnumeratesActiveDomain) {
+  // wins(X) :- move(X,Y), not wins(Y) over 2 constants: full instantiation
+  // gives 4 rule instances (plus the move fact).
+  auto parsed = ParseProgram("move(a,b). wins(X) :- move(X,Y), not wins(Y).");
+  ASSERT_TRUE(parsed.ok());
+  Program p = std::move(parsed).value();
+  GroundOptions opts;
+  opts.mode = GroundMode::kFull;
+  GroundProgram gp = MustGround(p, opts);
+  EXPECT_EQ(gp.num_rules(), 1u + 4u);
+}
+
+TEST(Grounder, SemiNaiveAndNaiveAgree) {
+  Program p1 = workload::TransitiveClosureComplement(
+      graphs::ErdosRenyi(8, 14, /*seed=*/42));
+  Program p2 = workload::TransitiveClosureComplement(
+      graphs::ErdosRenyi(8, 14, /*seed=*/42));
+  GroundOptions semi;
+  semi.semi_naive = true;
+  GroundOptions naive;
+  naive.semi_naive = false;
+  GroundProgram g1 = MustGround(p1, semi);
+  GroundProgram g2 = MustGround(p2, naive);
+  EXPECT_EQ(g1.num_atoms(), g2.num_atoms());
+  EXPECT_EQ(g1.num_rules(), g2.num_rules());
+}
+
+TEST(Grounder, RecursiveJoinChainGrounding) {
+  // Transitive closure over a chain: tc has n*(n+1)/2 ... pairs (i,j), i<j.
+  Program p = workload::TransitiveClosureComplement(graphs::Chain(5));
+  GroundProgram gp = MustGround(p);
+  // tc(i,j) derivable for all 0 <= i < j < 5: 10 atoms.
+  int tc_count = 0;
+  for (AtomId a = 0; a < gp.num_atoms(); ++a) {
+    if (gp.AtomName(a).rfind("tc(", 0) == 0) ++tc_count;
+  }
+  EXPECT_EQ(tc_count, 10);
+}
+
+TEST(Grounder, DuplicateRuleInstancesAreDeduped) {
+  // Both body orders produce the same ground instance set.
+  auto parsed = ParseProgram("e(a,b). p(X) :- e(X,Y), e(X,Y).");
+  ASSERT_TRUE(parsed.ok());
+  Program p = std::move(parsed).value();
+  GroundProgram gp = MustGround(p);
+  EXPECT_EQ(gp.num_rules(), 2u);  // the fact + one p rule
+}
+
+TEST(Grounder, FunctionSymbolsWithFiniteClosureTerminate) {
+  // s(X) recursion bounded by the base predicate: finite.
+  auto parsed = ParseProgram(R"(
+    n(z).
+    n(s(X)) :- n(X), bound(X).
+    bound(z).
+  )");
+  ASSERT_TRUE(parsed.ok());
+  Program p = std::move(parsed).value();
+  GroundProgram gp = MustGround(p);
+  // n(z), n(s(z)), bound(z) derivable.
+  EXPECT_GE(gp.num_atoms(), 3u);
+}
+
+TEST(Grounder, InfiniteHerbrandUniverseTripsGuard) {
+  auto parsed = ParseProgram("n(z). n(s(X)) :- n(X).");
+  ASSERT_TRUE(parsed.ok());
+  Program p = std::move(parsed).value();
+  GroundOptions opts;
+  opts.max_atoms = 1000;
+  auto g = Grounder::Ground(p, opts);
+  ASSERT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(Grounder, RuleWithOnlyNegativeBody) {
+  auto parsed = ParseProgram("p :- not q. q.");
+  ASSERT_TRUE(parsed.ok());
+  Program p = std::move(parsed).value();
+  GroundProgram gp = MustGround(p);
+  EXPECT_EQ(gp.num_rules(), 2u);
+  EXPECT_EQ(gp.num_atoms(), 2u);
+}
+
+TEST(Grounder, GroundRuleRendering) {
+  auto parsed = ParseProgram("move(a,b). wins(X) :- move(X,Y), not wins(Y).");
+  ASSERT_TRUE(parsed.ok());
+  Program p = std::move(parsed).value();
+  GroundOptions opts;
+  opts.simplify = false;
+  GroundProgram gp = MustGround(p, opts);
+  std::string all = gp.ToString();
+  EXPECT_NE(all.find("move(a,b)."), std::string::npos);
+  EXPECT_NE(all.find("wins(a) :- move(a,b), not wins(b)."),
+            std::string::npos);
+}
+
+TEST(Grounder, RejectsInvalidProgram) {
+  Program p;
+  p.AddRule(p.MakeAtom("p", {p.Var("X")}), {});  // unsafe
+  auto g = Grounder::Ground(p);
+  EXPECT_FALSE(g.ok());
+}
+
+TEST(Grounder, TotalSizeAccounting) {
+  auto parsed = ParseProgram("p :- q, not r. q.");
+  ASSERT_TRUE(parsed.ok());
+  Program p = std::move(parsed).value();
+  GroundOptions opts;
+  opts.simplify = false;
+  GroundProgram gp = MustGround(p, opts);
+  // 2 rules + body atoms (q, r) = 4.
+  EXPECT_EQ(gp.TotalSize(), 4u);
+}
+
+}  // namespace
+}  // namespace afp

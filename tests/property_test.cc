@@ -1,0 +1,228 @@
+// Parameterized property sweeps over random program families: the
+// cross-engine equivalences and containments the paper proves, checked on
+// hundreds of generated instances (TEST_P / INSTANTIATE_TEST_SUITE_P).
+
+#include <gtest/gtest.h>
+
+#include <ostream>
+
+#include "core/alternating.h"
+#include "core/residual.h"
+#include "core/scc_engine.h"
+#include "fitting/fitting.h"
+#include "ground/grounder.h"
+#include "stable/backtracking.h"
+#include "stable/gl_transform.h"
+#include "wfs/wp_engine.h"
+#include "workload/graphs.h"
+#include "workload/programs.h"
+
+namespace afp {
+namespace {
+
+struct FamilyParam {
+  const char* name;
+  int num_atoms;
+  int num_rules;
+  int body_len;
+  int neg_prob;
+  int num_seeds;
+};
+
+void PrintTo(const FamilyParam& p, std::ostream* os) { *os << p.name; }
+
+class RandomProgramProperty : public ::testing::TestWithParam<FamilyParam> {
+ protected:
+  GroundProgram Ground(Program& p) {
+    GroundOptions opts;
+    opts.mode = GroundMode::kFull;
+    auto g = Grounder::Ground(p, opts);
+    EXPECT_TRUE(g.ok()) << g.status().ToString();
+    return std::move(g).value();
+  }
+
+  Program Make(std::uint64_t seed) {
+    const FamilyParam& f = GetParam();
+    return workload::RandomPropositional(f.num_atoms, f.num_rules,
+                                         f.body_len, f.neg_prob, seed);
+  }
+};
+
+TEST_P(RandomProgramProperty, Theorem78FourEnginesAgree) {
+  for (int seed = 0; seed < GetParam().num_seeds; ++seed) {
+    Program p = Make(seed);
+    GroundProgram gp = Ground(p);
+    AfpResult afp = AlternatingFixpoint(gp);
+    EXPECT_EQ(afp.model, WellFoundedViaWp(gp).model) << "seed " << seed;
+    EXPECT_EQ(afp.model, WellFoundedResidual(gp).model) << "seed " << seed;
+    EXPECT_EQ(afp.model, WellFoundedScc(gp).model) << "seed " << seed;
+  }
+}
+
+TEST_P(RandomProgramProperty, WellFoundedModelSatisfiesProgram) {
+  for (int seed = 0; seed < GetParam().num_seeds; ++seed) {
+    Program p = Make(seed);
+    GroundProgram gp = Ground(p);
+    AfpResult afp = AlternatingFixpoint(gp);
+    EXPECT_TRUE(afp.model.IsConsistent()) << "seed " << seed;
+    EXPECT_TRUE(Satisfies(gp, afp.model)) << "seed " << seed;
+  }
+}
+
+TEST_P(RandomProgramProperty, FittingIsNoMoreDefinedThanWfs) {
+  for (int seed = 0; seed < GetParam().num_seeds; ++seed) {
+    Program p = Make(seed);
+    GroundProgram gp = Ground(p);
+    AfpResult afp = AlternatingFixpoint(gp);
+    FittingResult fit = FittingFixpoint(gp);
+    EXPECT_TRUE(fit.model.true_atoms().IsSubsetOf(afp.model.true_atoms()))
+        << "seed " << seed;
+    EXPECT_TRUE(fit.model.false_atoms().IsSubsetOf(afp.model.false_atoms()))
+        << "seed " << seed;
+  }
+}
+
+TEST_P(RandomProgramProperty, StableModelsExtendWfsAndAreStable) {
+  for (int seed = 0; seed < GetParam().num_seeds; ++seed) {
+    Program p = Make(seed);
+    GroundProgram gp = Ground(p);
+    if (gp.num_atoms() > 16) continue;  // keep enumeration cheap
+    AfpResult wfs = AlternatingFixpoint(gp);
+    HornSolver solver(gp.View());
+    StableModelSearch search(gp);
+    auto models = search.Enumerate();
+    for (const Bitset& m : models) {
+      EXPECT_TRUE(wfs.model.true_atoms().IsSubsetOf(m)) << "seed " << seed;
+      EXPECT_TRUE(wfs.model.false_atoms().IsDisjointWith(m))
+          << "seed " << seed;
+      EXPECT_TRUE(IsStableModel(solver, m)) << "seed " << seed;
+      // Definition-level double check: materialize the reduct and take its
+      // least model by naive iteration.
+      auto reduct = GlReduct(gp.View(), m);
+      Bitset lfp(gp.num_atoms());
+      bool changed = true;
+      while (changed) {
+        changed = false;
+        for (const auto& rr : reduct) {
+          if (lfp.Test(rr.head)) continue;
+          bool fire = true;
+          for (AtomId a : rr.pos) {
+            if (!lfp.Test(a)) {
+              fire = false;
+              break;
+            }
+          }
+          if (fire) {
+            lfp.Set(rr.head);
+            changed = true;
+          }
+        }
+      }
+      EXPECT_EQ(lfp, m) << "seed " << seed;
+    }
+    // If the WFS model is total, it is the unique stable model.
+    if (wfs.model.IsTotal()) {
+      ASSERT_EQ(models.size(), 1u) << "seed " << seed;
+      EXPECT_EQ(models[0], wfs.model.true_atoms()) << "seed " << seed;
+    }
+  }
+}
+
+TEST_P(RandomProgramProperty, SeedingWithWfsFalseSetIsIdempotent) {
+  // Ã is the least fixpoint of A_P: seeding with any subset of Ã (here all
+  // of it) must return exactly the same model.
+  for (int seed = 0; seed < GetParam().num_seeds; ++seed) {
+    Program p = Make(seed);
+    GroundProgram gp = Ground(p);
+    AfpResult plain = AlternatingFixpoint(gp);
+    AfpResult seeded =
+        AlternatingFixpointSeeded(gp, plain.model.false_atoms());
+    EXPECT_EQ(plain.model, seeded.model) << "seed " << seed;
+  }
+}
+
+TEST_P(RandomProgramProperty, HornModesAgree) {
+  for (int seed = 0; seed < GetParam().num_seeds; ++seed) {
+    Program p = Make(seed);
+    GroundProgram gp = Ground(p);
+    AfpOptions naive;
+    naive.horn_mode = HornMode::kNaive;
+    EXPECT_EQ(AlternatingFixpoint(gp).model,
+              AlternatingFixpoint(gp, naive).model)
+        << "seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, RandomProgramProperty,
+    ::testing::Values(
+        FamilyParam{"sparse_light_negation", 12, 15, 2, 25, 20},
+        FamilyParam{"sparse_heavy_negation", 12, 15, 2, 75, 20},
+        FamilyParam{"dense_mixed", 14, 40, 3, 50, 15},
+        FamilyParam{"unary_rules", 10, 20, 1, 50, 20},
+        FamilyParam{"wide_bodies", 10, 16, 5, 40, 15},
+        FamilyParam{"pure_negative", 8, 12, 2, 100, 20},
+        FamilyParam{"pure_positive", 16, 30, 3, 0, 10}),
+    [](const ::testing::TestParamInfo<FamilyParam>& info) {
+      return info.param.name;
+    });
+
+// --- graph-family sweeps for the win-move workload ---
+
+struct GraphParam {
+  const char* name;
+  int n;
+  int m;
+  int num_seeds;
+};
+
+void PrintTo(const GraphParam& p, std::ostream* os) { *os << p.name; }
+
+class WinMoveProperty : public ::testing::TestWithParam<GraphParam> {};
+
+TEST_P(WinMoveProperty, EnginesAgreeAndModelIsGameConsistent) {
+  const GraphParam& g = GetParam();
+  for (int seed = 0; seed < g.num_seeds; ++seed) {
+    Program p = workload::WinMove(graphs::ErdosRenyi(g.n, g.m, seed));
+    auto ground = Grounder::Ground(p);
+    ASSERT_TRUE(ground.ok());
+    GroundProgram gp = std::move(ground).value();
+    AfpResult afp = AlternatingFixpoint(gp);
+    EXPECT_EQ(afp.model, WellFoundedViaWp(gp).model) << "seed " << seed;
+    EXPECT_EQ(afp.model, WellFoundedResidual(gp).model) << "seed " << seed;
+    EXPECT_EQ(afp.model, WellFoundedScc(gp).model) << "seed " << seed;
+
+    // Game-theoretic sanity: a position is won iff some move reaches a
+    // lost position; lost iff all moves reach won positions.
+    for (AtomId a = 0; a < gp.num_atoms(); ++a) {
+      std::string name = gp.AtomName(a);
+      if (name.rfind("wins(", 0) != 0) continue;
+      TruthValue v = afp.model.Value(a);
+      if (v == TruthValue::kTrue) {
+        // Some rule for this atom has a body true in the model.
+        bool witnessed = false;
+        for (std::size_t ri = 0; ri < gp.num_rules(); ++ri) {
+          if (gp.rule(ri).head != a) continue;
+          if (BodyValue(gp, gp.rule(ri), afp.model) == TruthValue::kTrue) {
+            witnessed = true;
+            break;
+          }
+        }
+        EXPECT_TRUE(witnessed) << name << " seed " << seed;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Graphs, WinMoveProperty,
+    ::testing::Values(GraphParam{"sparse", 30, 35, 8},
+                      GraphParam{"medium", 30, 80, 8},
+                      GraphParam{"dense", 25, 200, 6},
+                      GraphParam{"very_sparse", 40, 20, 8}),
+    [](const ::testing::TestParamInfo<GraphParam>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace afp

@@ -1,0 +1,188 @@
+// Utility-layer tests: Status/StatusOr, Bitset, Interner, Arena,
+// TablePrinter.
+
+#include "util/bitset.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/arena.h"
+#include "util/interner.h"
+#include "util/json.h"
+#include "util/status.h"
+#include "util/table_printer.h"
+
+namespace afp {
+namespace {
+
+TEST(Status, OkAndErrors) {
+  EXPECT_TRUE(Status::Ok().ok());
+  Status s = Status::InvalidArgument("bad thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad thing");
+}
+
+StatusOr<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+StatusOr<int> Doubled(int x) {
+  AFP_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  return v * 2;
+}
+
+TEST(StatusOr, ValueAndErrorPropagation) {
+  auto good = Doubled(21);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 42);
+  auto bad = Doubled(-1);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Bitset, SetTestResetCount) {
+  Bitset b(130);
+  EXPECT_TRUE(b.None());
+  b.Set(0);
+  b.Set(64);
+  b.Set(129);
+  EXPECT_EQ(b.Count(), 3u);
+  EXPECT_TRUE(b.Test(64));
+  b.Reset(64);
+  EXPECT_FALSE(b.Test(64));
+  EXPECT_EQ(b.Count(), 2u);
+}
+
+TEST(Bitset, ComplementRespectsUniverse) {
+  Bitset b(70);
+  b.Set(3);
+  Bitset c = Bitset::ComplementOf(b);
+  EXPECT_EQ(c.Count(), 69u);
+  EXPECT_FALSE(c.Test(3));
+  EXPECT_TRUE(c.Test(69));
+  // Double complement is identity.
+  EXPECT_EQ(Bitset::ComplementOf(c), b);
+}
+
+TEST(Bitset, SetAllTrimsTail) {
+  Bitset b(65);
+  b.SetAll();
+  EXPECT_EQ(b.Count(), 65u);
+}
+
+TEST(Bitset, SubsetAndDisjoint) {
+  Bitset a(10), b(10);
+  a.Set(1);
+  b.Set(1);
+  b.Set(5);
+  EXPECT_TRUE(a.IsSubsetOf(b));
+  EXPECT_FALSE(b.IsSubsetOf(a));
+  EXPECT_FALSE(a.IsDisjointWith(b));
+  Bitset c(10);
+  c.Set(7);
+  EXPECT_TRUE(a.IsDisjointWith(c));
+}
+
+TEST(Bitset, BooleanOpsAndForEach) {
+  Bitset a(100), b(100);
+  a.Set(2);
+  a.Set(90);
+  b.Set(90);
+  b.Set(3);
+  Bitset u = a;
+  u |= b;
+  EXPECT_EQ(u.Count(), 3u);
+  Bitset i = a;
+  i &= b;
+  EXPECT_EQ(i.Count(), 1u);
+  EXPECT_TRUE(i.Test(90));
+  Bitset d = a;
+  d.Subtract(b);
+  EXPECT_EQ(d.Count(), 1u);
+  EXPECT_TRUE(d.Test(2));
+
+  std::vector<std::size_t> seen;
+  u.ForEach([&](std::size_t x) { seen.push_back(x); });
+  EXPECT_EQ(seen, (std::vector<std::size_t>{2, 3, 90}));
+}
+
+TEST(Interner, RoundTripAndFind) {
+  Interner in;
+  SymbolId a = in.Intern("wins");
+  SymbolId b = in.Intern("move");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(in.Intern("wins"), a);
+  EXPECT_EQ(in.Name(a), "wins");
+  EXPECT_EQ(in.Find("move"), b);
+  EXPECT_EQ(in.Find("absent"), Interner::npos);
+  EXPECT_EQ(in.size(), 2u);
+}
+
+TEST(Arena, AllocationsAreUsableAndCounted) {
+  Arena arena(128);
+  int* xs = arena.AllocateArray<int>(100);  // spills over block size
+  for (int i = 0; i < 100; ++i) xs[i] = i;
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(xs[i], i);
+  EXPECT_GE(arena.total_allocated(), 400u);
+  // Alignment.
+  void* p = arena.Allocate(1, 64);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 64, 0u);
+}
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter t({"k", "set"});
+  t.AddRow({"0", "{}"});
+  t.AddRow({"1", "{p(a), p(b)}"});
+  std::ostringstream os;
+  t.Print(os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("| k | set"), std::string::npos);
+  EXPECT_NE(out.find("| 1 | {p(a), p(b)} |"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("|---"), std::string::npos);
+}
+
+TEST(TablePrinter, PadsShortRows) {
+  TablePrinter t({"a", "b", "c"});
+  t.AddRow({"1"});
+  std::ostringstream os;
+  t.Print(os);
+  EXPECT_NE(os.str().find("| 1 |"), std::string::npos);
+}
+
+TEST(JsonWriter, ObjectsArraysAndEscaping) {
+  JsonWriter w;
+  w.BeginObject();
+  w.KeyValue("name", "say \"hi\"\n");
+  w.KeyValue("count", static_cast<std::uint64_t>(3));
+  w.KeyValue("ok", true);
+  w.BeginArray("items");
+  w.Value("a");
+  w.Value("b");
+  w.BeginObject().KeyValue("nested", false).EndObject();
+  w.EndArray();
+  w.EndObject();
+  EXPECT_EQ(w.str(),
+            "{\"name\":\"say \\\"hi\\\"\\n\",\"count\":3,\"ok\":true,"
+            "\"items\":[\"a\",\"b\",{\"nested\":false}]}");
+}
+
+TEST(JsonWriter, EmptyContainers) {
+  JsonWriter w;
+  w.BeginObject();
+  w.BeginArray("empty");
+  w.EndArray();
+  w.EndObject();
+  EXPECT_EQ(w.str(), "{\"empty\":[]}");
+}
+
+TEST(JsonWriter, QuoteEscapesControlChars) {
+  EXPECT_EQ(JsonWriter::Quote(std::string("\x01") + "a\\"),
+            "\"\\u0001a\\\\\"");
+}
+
+}  // namespace
+}  // namespace afp

@@ -1,0 +1,205 @@
+// Well-founded semantics via unfounded sets (§6): Example 6.1, the W_P
+// iteration, and Theorem 7.8 (equivalence with the alternating fixpoint).
+
+#include "wfs/wp_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "core/alternating.h"
+#include "core/horn_solver.h"
+#include "ground/grounder.h"
+#include "wfs/unfounded.h"
+#include "workload/graphs.h"
+#include "workload/programs.h"
+
+namespace afp {
+namespace {
+
+GroundProgram MustGround(Program& p) {
+  GroundOptions opts;
+  opts.mode = GroundMode::kFull;
+  auto g = Grounder::Ground(p, opts);
+  EXPECT_TRUE(g.ok()) << g.status().ToString();
+  return std::move(g).value();
+}
+
+Bitset NamedSet(const GroundProgram& gp,
+                const std::vector<std::string>& names) {
+  Bitset out(gp.num_atoms());
+  for (AtomId a = 0; a < gp.num_atoms(); ++a) {
+    for (const auto& n : names) {
+      if (gp.AtomName(a) == n) out.Set(a);
+    }
+  }
+  return out;
+}
+
+TEST(UnfoundedSets, Example61) {
+  // With I = {p(c), ¬p(g), ¬p(h)}: U1 = {p(d),p(e),p(f)} is unfounded
+  // (the third rule for p(d) and the second rule for p(f) have a literal
+  // false in I; the rest have a positive literal in U1), while
+  // U2 = {p(a),p(b)} is not unfounded.
+  Program p = workload::Example51();
+  GroundProgram gp = MustGround(p);
+  HornSolver solver(gp.View());
+
+  PartialModel I(NamedSet(gp, {"p(c)"}), NamedSet(gp, {"p(g)", "p(h)"}));
+  Bitset u1 = NamedSet(gp, {"p(d)", "p(e)", "p(f)"});
+  EXPECT_TRUE(IsUnfoundedSet(gp.View(), I, u1));
+  Bitset u2 = NamedSet(gp, {"p(a)", "p(b)"});
+  EXPECT_FALSE(IsUnfoundedSet(gp.View(), I, u2));
+
+  // The greatest unfounded set contains U1 (and is itself unfounded).
+  Bitset greatest = GreatestUnfoundedSet(solver, I);
+  EXPECT_TRUE(u1.IsSubsetOf(greatest));
+  EXPECT_TRUE(IsUnfoundedSet(gp.View(), I, greatest));
+}
+
+TEST(UnfoundedSets, AtomsWithoutRulesAreUnfounded) {
+  auto parsed = ParseProgram("p :- not q.");
+  ASSERT_TRUE(parsed.ok());
+  Program p = std::move(parsed).value();
+  GroundOptions opts;
+  opts.simplify = false;
+  auto ground = Grounder::Ground(p, opts);
+  ASSERT_TRUE(ground.ok());
+  GroundProgram gp = std::move(ground).value();
+  HornSolver solver(gp.View());
+
+  PartialModel empty = PartialModel::AllUndefined(gp.num_atoms());
+  Bitset u = GreatestUnfoundedSet(solver, empty);
+  // q (no rules) is vacuously unfounded; p has a usable rule.
+  EXPECT_EQ(AtomSetToString(gp, u, true), "{q}");
+}
+
+TEST(UnfoundedSets, GreatestIsMaximalAmongChecked) {
+  // Every subset of the greatest unfounded set need not be unfounded, but
+  // the greatest one must contain every unfounded set. Spot-check against
+  // all singletons.
+  Program p = workload::Example51();
+  GroundProgram gp = MustGround(p);
+  HornSolver solver(gp.View());
+  PartialModel empty = PartialModel::AllUndefined(gp.num_atoms());
+  Bitset greatest = GreatestUnfoundedSet(solver, empty);
+  for (AtomId a = 0; a < gp.num_atoms(); ++a) {
+    Bitset single(gp.num_atoms());
+    single.Set(a);
+    if (IsUnfoundedSet(gp.View(), empty, single)) {
+      EXPECT_TRUE(greatest.Test(a)) << gp.AtomName(a);
+    }
+  }
+}
+
+TEST(WpEngine, ImmediateConsequencesSingleStep) {
+  auto parsed = ParseProgram("a. b :- a. c :- b.");
+  ASSERT_TRUE(parsed.ok());
+  Program p = std::move(parsed).value();
+  GroundProgram gp = MustGround(p);
+  // T_P is one step: from ∅ it derives only the fact.
+  PartialModel empty = PartialModel::AllUndefined(gp.num_atoms());
+  Bitset t1 = ImmediateConsequences(gp.View(), empty);
+  EXPECT_EQ(t1.Count(), 1u);
+}
+
+TEST(WpEngine, Example51WellFoundedModel) {
+  Program p = workload::Example51();
+  GroundProgram gp = MustGround(p);
+  WpResult r = WellFoundedViaWp(gp);
+  EXPECT_EQ(AtomSetToString(gp, r.model.true_atoms(), true),
+            "{p(c), p(i)}");
+  EXPECT_EQ(AtomSetToString(gp, r.model.false_atoms(), true),
+            "{p(d), p(e), p(f), p(g), p(h)}");
+}
+
+TEST(WpEngine, Theorem78EquivalenceOnPaperExamples) {
+  // AFP model == WF model on all the paper's worked examples.
+  std::vector<Program> programs;
+  programs.push_back(workload::Example51());
+  programs.push_back(workload::Example31());
+  programs.push_back(workload::WinMove(graphs::Figure4a()));
+  programs.push_back(workload::WinMove(graphs::Figure4b()));
+  programs.push_back(workload::WinMove(graphs::Figure4c()));
+  programs.push_back(workload::TransitiveClosureComplement(
+      graphs::Cycle(3)));
+  for (Program& p : programs) {
+    GroundProgram gp = MustGround(p);
+    AfpResult afp = AlternatingFixpoint(gp);
+    WpResult wp = WellFoundedViaWp(gp);
+    EXPECT_EQ(afp.model, wp.model);
+  }
+}
+
+TEST(WpEngine, Theorem78EquivalenceOnRandomPrograms) {
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    Program p = workload::RandomPropositional(
+        /*num_atoms=*/25, /*num_rules=*/50, /*body_len=*/3,
+        /*neg_prob_percent=*/50, seed);
+    GroundProgram gp = MustGround(p);
+    AfpResult afp = AlternatingFixpoint(gp);
+    WpResult wp = WellFoundedViaWp(gp);
+    EXPECT_EQ(afp.model, wp.model) << "seed " << seed;
+  }
+}
+
+TEST(WpEngine, Example31MinimumPartialModel) {
+  // p :- q. p :- r. q :- not r. r :- not q.
+  // The well-founded (minimum) partial model is everything-undefined; but
+  // {¬p} is NOT a partial model extendable to a total one (Theorem 3.3's
+  // point): p is true in all total models.
+  Program p = workload::Example31();
+  GroundProgram gp = MustGround(p);
+  WpResult r = WellFoundedViaWp(gp);
+  EXPECT_EQ(r.model.num_undefined(), 3u);
+
+  // I1 = {¬p} does not satisfy the program (rule p :- q has undefined body
+  // but false head).
+  PartialModel i1(Bitset(gp.num_atoms()), NamedSet(gp, {"p"}));
+  EXPECT_FALSE(Satisfies(gp, i1));
+  // The all-undefined model does satisfy it (condition 3 of Def. 3.5).
+  EXPECT_TRUE(Satisfies(gp, PartialModel::AllUndefined(gp.num_atoms())));
+}
+
+TEST(Theorem33, PartialModelsExtendToTotalModels) {
+  // Part (A): every partial model extends to a total one. The well-founded
+  // model is a partial model; extend it on the paper's examples and random
+  // programs.
+  std::vector<Program> programs;
+  programs.push_back(workload::Example51());
+  programs.push_back(workload::Example31());
+  programs.push_back(workload::WinMove(graphs::Figure4b()));
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    programs.push_back(workload::RandomPropositional(14, 26, 2, 50, seed));
+  }
+  for (Program& p : programs) {
+    GroundProgram gp = MustGround(p);
+    AfpResult wfs = AlternatingFixpoint(gp);
+    auto total = ExtendToTotalModel(gp, wfs.model);
+    ASSERT_TRUE(total.ok()) << total.status().ToString();
+    EXPECT_TRUE(total->IsTotal());
+    EXPECT_TRUE(Satisfies(gp, *total));
+    // The extension preserves all decided atoms.
+    EXPECT_TRUE(wfs.model.true_atoms().IsSubsetOf(total->true_atoms()));
+    EXPECT_EQ(wfs.model.false_atoms(), total->false_atoms());
+  }
+}
+
+TEST(Theorem33, RejectsNonModels) {
+  // {¬p} from Example 3.1 is not a partial model; extension must refuse.
+  Program p = workload::Example31();
+  GroundProgram gp = MustGround(p);
+  PartialModel not_a_model(Bitset(gp.num_atoms()), NamedSet(gp, {"p"}));
+  auto r = ExtendToTotalModel(gp, not_a_model);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(WpEngine, IterationCountBounded) {
+  // W_P adds information every round: iterations <= atoms + 2.
+  Program p = workload::WinMove(graphs::Chain(12));
+  GroundProgram gp = MustGround(p);
+  WpResult r = WellFoundedViaWp(gp);
+  EXPECT_LE(r.iterations, gp.num_atoms() + 2);
+}
+
+}  // namespace
+}  // namespace afp

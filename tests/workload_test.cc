@@ -1,0 +1,130 @@
+// Workload generator tests: determinism, structural guarantees, and the
+// paper-example fixtures.
+
+#include "workload/programs.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "analysis/dependency_graph.h"
+#include "workload/graphs.h"
+
+namespace afp {
+namespace {
+
+TEST(Graphs, ErdosRenyiDeterministicAndSimple) {
+  Digraph a = graphs::ErdosRenyi(20, 50, 7);
+  Digraph b = graphs::ErdosRenyi(20, 50, 7);
+  EXPECT_EQ(a.edges, b.edges);
+  EXPECT_EQ(a.edges.size(), 50u);
+  std::set<std::pair<int, int>> seen;
+  for (auto e : a.edges) {
+    EXPECT_NE(e.first, e.second);  // no self-loops
+    EXPECT_TRUE(seen.insert(e).second) << "duplicate edge";
+    EXPECT_GE(e.first, 0);
+    EXPECT_LT(e.first, 20);
+  }
+  Digraph c = graphs::ErdosRenyi(20, 50, 8);
+  EXPECT_NE(a.edges, c.edges);
+}
+
+TEST(Graphs, ErdosRenyiCapsAtMaxEdges) {
+  Digraph g = graphs::ErdosRenyi(3, 100, 1);
+  EXPECT_EQ(g.edges.size(), 6u);  // 3*2 ordered pairs
+}
+
+TEST(Graphs, ChainCycleShapes) {
+  Digraph chain = graphs::Chain(5);
+  EXPECT_EQ(chain.edges.size(), 4u);
+  Digraph cycle = graphs::Cycle(5);
+  EXPECT_EQ(cycle.edges.size(), 5u);
+  EXPECT_EQ(cycle.edges.back(), (std::pair<int, int>{4, 0}));
+}
+
+TEST(Graphs, RandomFunctionalHasOneOutEdgePerNode) {
+  Digraph g = graphs::RandomFunctional(12, 3);
+  EXPECT_EQ(g.edges.size(), 12u);
+  std::set<int> sources;
+  for (auto [u, v] : g.edges) {
+    EXPECT_TRUE(sources.insert(u).second);
+    EXPECT_NE(u, v);
+  }
+}
+
+TEST(Graphs, Figure4Shapes) {
+  Digraph a = graphs::Figure4a();
+  EXPECT_EQ(a.n, 9);
+  // Sinks must be exactly c, d, f, h, i (indices 2,3,5,7,8).
+  std::set<int> with_out;
+  for (auto [u, v] : a.edges) with_out.insert(u);
+  EXPECT_EQ(with_out, (std::set<int>{0, 1, 4, 6}));
+
+  Digraph b = graphs::Figure4b();
+  EXPECT_EQ(b.n, 4);
+  Digraph c = graphs::Figure4c();
+  EXPECT_EQ(c.n, 3);
+}
+
+TEST(Programs, NodeNames) {
+  EXPECT_EQ(workload::NodeName(0), "a");
+  EXPECT_EQ(workload::NodeName(25), "z");
+  EXPECT_EQ(workload::NodeName(26), "n26");
+}
+
+TEST(Programs, WinMoveStructure) {
+  Program p = workload::WinMove(graphs::Chain(3));
+  EXPECT_TRUE(p.Validate().ok());
+  // 2 move facts + 1 rule.
+  EXPECT_EQ(p.rules().size(), 3u);
+  DependencyGraph g = DependencyGraph::Build(p);
+  EXPECT_FALSE(g.IsStratified());
+}
+
+TEST(Programs, TcNtcIsStratifiedAndSafe) {
+  Program p = workload::TransitiveClosureComplement(graphs::Cycle(4));
+  EXPECT_TRUE(p.Validate().ok());
+  EXPECT_TRUE(DependencyGraph::Build(p).IsStratified());
+}
+
+TEST(Programs, Example51HasTenRulesOverPa2i) {
+  Program p = workload::Example51();
+  EXPECT_EQ(p.rules().size(), 10u);
+  EXPECT_TRUE(p.Validate().ok());
+}
+
+TEST(Programs, EvenNegativeCyclesShape) {
+  Program p = workload::EvenNegativeCycles(3);
+  EXPECT_EQ(p.rules().size(), 6u);
+  EXPECT_TRUE(p.Validate().ok());
+  EXPECT_FALSE(DependencyGraph::Build(p).IsStratified());
+}
+
+TEST(Programs, RandomPropositionalDeterministicAndValid) {
+  Program a = workload::RandomPropositional(10, 20, 2, 50, 5);
+  Program b = workload::RandomPropositional(10, 20, 2, 50, 5);
+  EXPECT_EQ(a.ToString(), b.ToString());
+  EXPECT_TRUE(a.Validate().ok());
+  EXPECT_EQ(a.rules().size(), 20u);
+}
+
+TEST(Programs, RandomStratifiedIsStratified) {
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    Program p = workload::RandomStratified(18, 30, 2, 3, seed);
+    EXPECT_TRUE(p.Validate().ok()) << "seed " << seed;
+    EXPECT_TRUE(DependencyGraph::Build(p).IsStratified())
+        << "seed " << seed << "\n"
+        << p.ToString();
+  }
+}
+
+TEST(Programs, RandomDatalogIsSafe) {
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    Program p = workload::RandomDatalog(4, 6, 10, seed);
+    EXPECT_TRUE(p.Validate().ok()) << "seed " << seed << "\n"
+                                   << p.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace afp

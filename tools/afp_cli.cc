@@ -1,0 +1,243 @@
+// afp — command-line solver for normal logic programs with negation.
+//
+// Usage:
+//   afp [options] [file.lp]            (stdin if no file)
+//
+// Options:
+//   --semantics=wfs|stable|fitting|stratified|ifp   (default wfs)
+//   --engine=afp|wp|residual|scc       well-founded engine (default afp)
+//   --query=ATOM                       point query (repeatable via commas)
+//   --select=PATTERN                   enumerate matches, e.g. wins(X)
+//   --trace                            print the Table-I style trace (wfs)
+//   --json                             print the model as JSON
+//   --max-models=N                     cap stable-model enumeration
+//   --ground                           print the ground program and exit
+//   --stats                            print sizes and iteration counts
+//
+// Exit status: 0 on success, 1 on input errors.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "afp/afp.h"
+
+namespace {
+
+struct Options {
+  std::string semantics = "wfs";
+  std::string engine = "afp";
+  std::vector<std::string> queries;
+  std::vector<std::string> selects;
+  bool trace = false;
+  bool ground_only = false;
+  bool stats = false;
+  bool json = false;
+  std::size_t max_models = static_cast<std::size_t>(-1);
+  std::string file;
+};
+
+bool ParseFlag(const std::string& arg, const std::string& name,
+               std::string* value) {
+  std::string prefix = "--" + name + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *value = arg.substr(prefix.size());
+  return true;
+}
+
+void SplitCommas(const std::string& s, std::vector<std::string>* out) {
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out->push_back(item);
+  }
+}
+
+int Fail(const afp::Status& status) {
+  std::cerr << "afp: " << status.ToString() << "\n";
+  return 1;
+}
+
+void PrintModel(const afp::GroundProgram& gp, const afp::PartialModel& model,
+                const Options& opts) {
+  afp::ModelPrintOptions popts;
+  if (opts.json) {
+    std::cout << afp::ModelToJson(gp, model, popts) << "\n";
+    return;
+  }
+  std::cout << afp::ModelToString(gp, model, popts);
+  for (const std::string& q : opts.queries) {
+    auto v = afp::QueryAtom(gp, model, q);
+    if (!v.ok()) {
+      std::cout << q << " = error: " << v.status().message() << "\n";
+    } else {
+      std::cout << q << " = " << afp::TruthValueName(*v) << "\n";
+    }
+  }
+  for (const std::string& pattern : opts.selects) {
+    auto matches = afp::Select(gp, model, pattern, afp::QueryFilter::kAll);
+    if (!matches.ok()) {
+      std::cout << pattern << " = error: " << matches.status().message()
+                << "\n";
+      continue;
+    }
+    std::cout << pattern << ":\n";
+    for (const auto& m : *matches) {
+      std::cout << "  " << m.atom << " = " << afp::TruthValueName(m.value)
+                << "\n";
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    std::string value;
+    if (ParseFlag(arg, "semantics", &opts.semantics)) continue;
+    if (ParseFlag(arg, "engine", &opts.engine)) continue;
+    if (ParseFlag(arg, "query", &value)) {
+      SplitCommas(value, &opts.queries);
+      continue;
+    }
+    if (ParseFlag(arg, "select", &value)) {
+      SplitCommas(value, &opts.selects);
+      continue;
+    }
+    if (ParseFlag(arg, "max-models", &value)) {
+      opts.max_models = std::stoull(value);
+      continue;
+    }
+    if (arg == "--trace") {
+      opts.trace = true;
+      continue;
+    }
+    if (arg == "--json") {
+      opts.json = true;
+      continue;
+    }
+    if (arg == "--ground") {
+      opts.ground_only = true;
+      continue;
+    }
+    if (arg == "--stats") {
+      opts.stats = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) == 0) {
+      std::cerr << "afp: unknown option " << arg << "\n";
+      return 1;
+    }
+    opts.file = arg;
+  }
+
+  std::string text;
+  if (opts.file.empty()) {
+    std::ostringstream ss;
+    ss << std::cin.rdbuf();
+    text = ss.str();
+  } else {
+    std::ifstream in(opts.file);
+    if (!in) {
+      std::cerr << "afp: cannot open " << opts.file << "\n";
+      return 1;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    text = ss.str();
+  }
+
+  auto parsed = afp::ParseProgram(text);
+  if (!parsed.ok()) return Fail(parsed.status());
+  afp::Program program = std::move(parsed).value();
+
+  afp::GroundOptions gopts;
+  // Fitting/IFP need the rule instances whose positive bodies are
+  // underivable (see GroundMode documentation).
+  if (opts.semantics == "fitting" || opts.semantics == "ifp") {
+    gopts.mode = afp::GroundMode::kFull;
+  }
+  auto ground = afp::Grounder::Ground(program, gopts);
+  if (!ground.ok()) return Fail(ground.status());
+  afp::GroundProgram& gp = *ground;
+
+  if (opts.ground_only) {
+    std::cout << gp.ToString();
+    return 0;
+  }
+  if (opts.stats) {
+    std::cout << "% atoms: " << gp.num_atoms()
+              << "  rules: " << gp.num_rules()
+              << "  size: " << gp.TotalSize() << "\n";
+  }
+
+  if (opts.semantics == "wfs") {
+    afp::PartialModel model;
+    if (opts.engine == "wp") {
+      model = afp::WellFoundedViaWp(gp).model;
+    } else if (opts.engine == "residual") {
+      model = afp::WellFoundedResidual(gp).model;
+    } else if (opts.engine == "scc") {
+      model = afp::WellFoundedScc(gp).model;
+    } else {
+      afp::AfpOptions aopts;
+      aopts.record_trace = opts.trace;
+      afp::AfpResult r = afp::AlternatingFixpoint(gp, aopts);
+      if (opts.trace) {
+        afp::TablePrinter table({"k", "neg I_k", "S_P(I_k)"});
+        for (std::size_t k = 0; k < r.trace.size(); ++k) {
+          table.AddRow({std::to_string(k),
+                        afp::AtomSetToString(gp, r.trace[k].neg_set),
+                        afp::AtomSetToString(gp, r.trace[k].sp_result)});
+        }
+        table.Print(std::cout);
+      }
+      if (opts.stats) {
+        std::cout << "% A_P rounds: " << r.outer_iterations
+                  << "  S_P calls: " << r.sp_calls << "\n";
+      }
+      model = std::move(r.model);
+    }
+    PrintModel(gp, model, opts);
+    return 0;
+  }
+  if (opts.semantics == "stable") {
+    afp::StableSearchOptions sopts;
+    sopts.max_models = opts.max_models;
+    afp::StableModelSearch search(gp, sopts);
+    auto models = search.Enumerate();
+    std::cout << "% " << models.size() << " stable model(s)\n";
+    for (std::size_t i = 0; i < models.size(); ++i) {
+      std::cout << "model " << (i + 1) << ": "
+                << afp::AtomSetToString(gp, models[i]) << "\n";
+    }
+    if (opts.stats) {
+      std::cout << "% search nodes: " << search.stats().nodes << "\n";
+    }
+    return 0;
+  }
+  if (opts.semantics == "fitting") {
+    afp::FittingResult r = afp::FittingFixpoint(gp);
+    PrintModel(gp, r.model, opts);
+    return 0;
+  }
+  if (opts.semantics == "stratified") {
+    auto r = afp::StratifiedEvaluate(gp);
+    if (!r.ok()) return Fail(r.status());
+    PrintModel(gp, r->model, opts);
+    return 0;
+  }
+  if (opts.semantics == "ifp") {
+    afp::InflationaryResult r = afp::InflationaryFixpoint(gp);
+    afp::PartialModel model(r.true_atoms,
+                            afp::Bitset::ComplementOf(r.true_atoms));
+    PrintModel(gp, model, opts);
+    return 0;
+  }
+  std::cerr << "afp: unknown semantics '" << opts.semantics << "'\n";
+  return 1;
+}
