@@ -2,6 +2,7 @@
 #define AFP_UTIL_INTERNER_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -17,9 +18,10 @@ using SymbolId = std::uint32_t;
 /// O(1) and lets terms/atoms store 4-byte ids instead of strings.
 class Interner {
  public:
-  /// Returns the id for `name`, interning it if new.
+  /// Returns the id for `name`, interning it if new. Lookups are
+  /// heterogeneous (no temporary std::string on the hot path).
   SymbolId Intern(std::string_view name) {
-    auto it = ids_.find(std::string(name));
+    auto it = ids_.find(name);
     if (it != ids_.end()) return it->second;
     SymbolId id = static_cast<SymbolId>(names_.size());
     names_.emplace_back(name);
@@ -30,7 +32,7 @@ class Interner {
   /// Returns the id for `name` if interned, or npos otherwise.
   static constexpr SymbolId npos = static_cast<SymbolId>(-1);
   SymbolId Find(std::string_view name) const {
-    auto it = ids_.find(std::string(name));
+    auto it = ids_.find(name);
     return it == ids_.end() ? npos : it->second;
   }
 
@@ -40,8 +42,16 @@ class Interner {
   std::size_t size() const { return names_.size(); }
 
  private:
+  /// Transparent hash so find() accepts string_view without allocating.
+  struct StringHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
   std::vector<std::string> names_;
-  std::unordered_map<std::string, SymbolId> ids_;
+  std::unordered_map<std::string, SymbolId, StringHash, std::equal_to<>> ids_;
 };
 
 }  // namespace afp

@@ -1,0 +1,147 @@
+// Corpus test: every .lp file under examples/programs/ is solved through
+// the full pipeline and checked against the expected verdicts embedded in
+// the file itself. Directive syntax (inside % comments, so the files stay
+// valid programs):
+//
+//   %! <ground atom> = true|false|undef    point query on the WFS model
+//   %! total = yes|no                      totality of the partial model
+//
+// Each file is additionally cross-checked across all four well-founded
+// engines, so the corpus doubles as a differential fixture.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "afp/afp.h"
+#include "core/residual.h"
+#include "core/scc_engine.h"
+
+#ifndef AFP_LP_CORPUS_DIR
+#error "AFP_LP_CORPUS_DIR must point at the .lp corpus directory"
+#endif
+
+namespace afp {
+namespace {
+
+struct QueryDirective {
+  std::string atom;
+  TruthValue expected;
+};
+
+struct Directives {
+  std::vector<QueryDirective> queries;
+  bool has_total = false;
+  bool expect_total = false;
+};
+
+/// Strips leading/trailing whitespace.
+std::string Trim(const std::string& s) {
+  auto b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  auto e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+/// Parses the `%!` directive lines of a corpus file. Malformed directives
+/// record a test failure and are skipped.
+Directives ParseDirectives(const std::string& text) {
+  Directives d;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    line = Trim(line);
+    if (line.rfind("%!", 0) != 0) continue;
+    std::string body = Trim(line.substr(2));
+    auto eq = body.rfind('=');
+    EXPECT_NE(eq, std::string::npos) << "malformed directive: " << line;
+    if (eq == std::string::npos) continue;
+    std::string lhs = Trim(body.substr(0, eq));
+    std::string rhs = Trim(body.substr(eq + 1));
+    if (lhs == "total") {
+      d.has_total = true;
+      d.expect_total = (rhs == "yes");
+      EXPECT_TRUE(rhs == "yes" || rhs == "no")
+          << "bad totality '" << rhs << "' in: " << line;
+      continue;
+    }
+    TruthValue v = TruthValue::kUndefined;
+    if (rhs == "true") {
+      v = TruthValue::kTrue;
+    } else if (rhs == "false") {
+      v = TruthValue::kFalse;
+    } else {
+      EXPECT_EQ(rhs, "undef") << "bad verdict '" << rhs << "' in: " << line;
+    }
+    d.queries.push_back({lhs, v});
+  }
+  return d;
+}
+
+std::string ReadFile(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::vector<std::filesystem::path> CorpusFiles() {
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(AFP_LP_CORPUS_DIR)) {
+    if (entry.path().extension() == ".lp") files.push_back(entry.path());
+  }
+  return files;
+}
+
+TEST(LpCorpus, EveryFileMatchesItsEmbeddedVerdicts) {
+  const auto files = CorpusFiles();
+  ASSERT_FALSE(files.empty())
+      << "no .lp files under " << AFP_LP_CORPUS_DIR;
+
+  for (const auto& path : files) {
+    SCOPED_TRACE(path.filename().string());
+    const std::string text = ReadFile(path);
+    Directives d = ParseDirectives(text);
+    // A corpus file without expectations is a rotting fixture.
+    EXPECT_TRUE(d.has_total || !d.queries.empty())
+        << "no %! directives in " << path;
+
+    auto solution = SolveWellFounded(text);
+    ASSERT_TRUE(solution.ok()) << solution.status().ToString();
+    EXPECT_TRUE(solution->afp.model.IsConsistent());
+    EXPECT_TRUE(Satisfies(solution->ground, solution->afp.model));
+    if (d.has_total) {
+      EXPECT_EQ(solution->afp.model.IsTotal(), d.expect_total);
+    }
+    for (const auto& q : d.queries) {
+      auto v = solution->Query(q.atom);
+      ASSERT_TRUE(v.ok()) << q.atom << ": " << v.status().ToString();
+      EXPECT_EQ(*v, q.expected)
+          << q.atom << " expected " << TruthValueName(q.expected)
+          << " got " << TruthValueName(*v);
+    }
+  }
+}
+
+TEST(LpCorpus, AllFourEnginesAgreeOnEveryFile) {
+  for (const auto& path : CorpusFiles()) {
+    SCOPED_TRACE(path.filename().string());
+    auto parsed = ParseProgram(ReadFile(path));
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    Program p = std::move(parsed).value();
+    auto ground = Grounder::Ground(p);
+    ASSERT_TRUE(ground.ok()) << ground.status().ToString();
+    PartialModel afp_model = AlternatingFixpoint(*ground).model;
+    EXPECT_EQ(afp_model, WellFoundedViaWp(*ground).model);
+    EXPECT_EQ(afp_model, WellFoundedResidual(*ground).model);
+    EXPECT_EQ(afp_model, WellFoundedScc(*ground).model);
+  }
+}
+
+}  // namespace
+}  // namespace afp

@@ -5,7 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "util/arena.h"
 #include "util/interner.h"
@@ -109,6 +112,76 @@ TEST(Bitset, BooleanOpsAndForEach) {
   EXPECT_EQ(seen, (std::vector<std::size_t>{2, 3, 90}));
 }
 
+TEST(Status, EveryCodeHasAStableName) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInvalidArgument),
+               "INVALID_ARGUMENT");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NOT_FOUND");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kResourceExhausted),
+               "RESOURCE_EXHAUSTED");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kFailedPrecondition),
+               "FAILED_PRECONDITION");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "INTERNAL");
+}
+
+TEST(Status, EmptyMessageStillRenders) {
+  Status s = Status::NotFound("");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: ");
+  EXPECT_EQ(s.message(), "");
+}
+
+StatusOr<std::string> FailingLookup() {
+  return Status::NotFound("no such atom");
+}
+
+StatusOr<std::size_t> ChainedThrough() {
+  AFP_ASSIGN_OR_RETURN(std::string name, FailingLookup());
+  return name.size();
+}
+
+TEST(StatusOr, ErrorPropagatesThroughMultipleFrames) {
+  // The code and message must survive two AFP_ASSIGN_OR_RETURN hops
+  // unchanged.
+  auto r = ChainedThrough();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.status().message(), "no such atom");
+}
+
+TEST(StatusOr, ReturnIfErrorPropagatesAndPassesOk) {
+  auto through = [](const Status& s) -> Status {
+    AFP_RETURN_IF_ERROR(s);
+    return Status::Ok();
+  };
+  EXPECT_TRUE(through(Status::Ok()).ok());
+  Status err = through(Status::ResourceExhausted("guard tripped"));
+  EXPECT_EQ(err.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(err.message(), "guard tripped");
+}
+
+TEST(StatusOr, MoveOnlyValueRoundTrips) {
+  StatusOr<std::unique_ptr<int>> v = std::make_unique<int>(7);
+  ASSERT_TRUE(v.ok());
+  std::unique_ptr<int> owned = std::move(v).value();
+  EXPECT_EQ(*owned, 7);
+}
+
+#ifndef NDEBUG
+// Accessing the value of an errored StatusOr is a programming error; the
+// library asserts in debug builds (Release compiles the check away, so
+// these death tests only run with assertions enabled).
+TEST(StatusOrDeathTest, ValueAccessOnErrorDies) {
+  StatusOr<int> err = Status::InvalidArgument("boom");
+  EXPECT_DEATH_IF_SUPPORTED({ [[maybe_unused]] int x = *err; }, "");
+}
+
+TEST(StatusOrDeathTest, ConstructionFromOkStatusDies) {
+  EXPECT_DEATH_IF_SUPPORTED(
+      { [[maybe_unused]] StatusOr<int> bad{Status::Ok()}; }, "");
+}
+#endif  // NDEBUG
+
 TEST(Interner, RoundTripAndFind) {
   Interner in;
   SymbolId a = in.Intern("wins");
@@ -119,6 +192,59 @@ TEST(Interner, RoundTripAndFind) {
   EXPECT_EQ(in.Find("move"), b);
   EXPECT_EQ(in.Find("absent"), Interner::npos);
   EXPECT_EQ(in.size(), 2u);
+}
+
+TEST(Interner, EmptyStringIsAValidSymbol) {
+  Interner in;
+  SymbolId empty = in.Intern("");
+  EXPECT_EQ(in.Name(empty), "");
+  EXPECT_EQ(in.Find(""), empty);
+  EXPECT_EQ(in.Intern(""), empty);
+  EXPECT_EQ(in.size(), 1u);
+}
+
+TEST(Interner, DuplicateInternIsIdempotent) {
+  Interner in;
+  SymbolId first = in.Intern("wins");
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(in.Intern("wins"), first);
+  }
+  EXPECT_EQ(in.size(), 1u);
+  // Interleaved duplicates never disturb previously issued ids.
+  SymbolId move = in.Intern("move");
+  EXPECT_EQ(in.Intern("wins"), first);
+  EXPECT_EQ(in.Intern("move"), move);
+  EXPECT_EQ(in.size(), 2u);
+}
+
+TEST(Interner, IdsAreDenseAndNamesStayStable) {
+  Interner in;
+  std::vector<SymbolId> ids;
+  for (int i = 0; i < 200; ++i) ids.push_back(in.Intern("sym" + std::to_string(i)));
+  // Ids are issued densely in intern order and survive rehashing of the
+  // underlying map.
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(ids[i], static_cast<SymbolId>(i));
+    EXPECT_EQ(in.Name(ids[i]), "sym" + std::to_string(i));
+    EXPECT_EQ(in.Find("sym" + std::to_string(i)), ids[i]);
+  }
+  EXPECT_EQ(in.size(), 200u);
+}
+
+TEST(Interner, FindOnEmptyInternerMisses) {
+  Interner in;
+  EXPECT_EQ(in.size(), 0u);
+  EXPECT_EQ(in.Find(""), Interner::npos);
+  EXPECT_EQ(in.Find("anything"), Interner::npos);
+}
+
+TEST(Interner, NposIsNeverIssued) {
+  // npos is all-ones; real ids count up from zero, so any realistic
+  // interner can never collide with it.
+  Interner in;
+  SymbolId id = in.Intern("x");
+  EXPECT_NE(id, Interner::npos);
+  EXPECT_EQ(Interner::npos, static_cast<SymbolId>(-1));
 }
 
 TEST(Arena, AllocationsAreUsableAndCounted) {

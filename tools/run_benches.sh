@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# Builds the Release tree and runs every bench binary, recording one
+# BENCH_<name>.json per bench into --out-dir (default: bench-results/).
+#
+# Google-Benchmark-based benches (bench_ablation, bench_afp_vs_wfs) emit
+# their native JSON; the self-timed benches are wrapped in a small JSON
+# envelope carrying the raw table output plus provenance (git rev, date,
+# wall time), so the perf trajectory is machine-readable from this PR on.
+#
+# Usage:
+#   tools/run_benches.sh [--out-dir DIR] [--build-dir DIR] [bench ...]
+# With no bench names, runs every bench_* binary found in the build dir.
+
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${REPO_ROOT}/build"
+OUT_DIR="${REPO_ROOT}/bench-results"
+BENCHES=()
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --out-dir)   OUT_DIR="$2"; shift 2 ;;
+    --build-dir) BUILD_DIR="$2"; shift 2 ;;
+    -h|--help)   sed -n '2,14p' "$0"; exit 0 ;;
+    *)           BENCHES+=("$1"); shift ;;
+  esac
+done
+
+cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" -DCMAKE_BUILD_TYPE=Release
+cmake --build "${BUILD_DIR}" -j
+
+if [[ ${#BENCHES[@]} -eq 0 ]]; then
+  for bin in "${BUILD_DIR}"/bench_*; do
+    [[ "${bin}" == *_test ]] && continue  # gtest binaries, not benches
+    [[ -x "${bin}" && ! -d "${bin}" ]] && BENCHES+=("$(basename "${bin}")")
+  done
+fi
+if [[ ${#BENCHES[@]} -eq 0 ]]; then
+  echo "error: no bench binaries found in ${BUILD_DIR}" >&2
+  exit 1
+fi
+
+mkdir -p "${OUT_DIR}"
+GIT_REV="$(git -C "${REPO_ROOT}" rev-parse --short HEAD 2>/dev/null || echo unknown)"
+TIMESTAMP="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+
+# JSON-escapes stdin into a single quoted string.
+json_quote() {
+  python3 -c 'import json,sys; print(json.dumps(sys.stdin.read()))'
+}
+
+for bench in "${BENCHES[@]}"; do
+  bin="${BUILD_DIR}/${bench}"
+  if [[ ! -x "${bin}" ]]; then
+    echo "error: ${bin} not found or not executable" >&2
+    exit 1
+  fi
+  out_json="${OUT_DIR}/BENCH_${bench#bench_}.json"
+  echo "== ${bench} -> ${out_json}"
+
+  # Detect Google Benchmark benches from their source (running the binary
+  # with --help would execute the whole self-timed workload).
+  if grep -q "benchmark/benchmark.h" "${REPO_ROOT}/bench/${bench}.cc" 2>/dev/null; then
+    # Google Benchmark: native JSON report.
+    "${bin}" --benchmark_out="${out_json}" --benchmark_out_format=json
+  else
+    # Self-timed bench: wrap the textual report in a JSON envelope.
+    start_s="$(date +%s)"
+    raw_out="$("${bin}")"
+    end_s="$(date +%s)"
+    {
+      echo "{"
+      echo "  \"bench\": \"${bench}\","
+      echo "  \"git_rev\": \"${GIT_REV}\","
+      echo "  \"timestamp\": \"${TIMESTAMP}\","
+      echo "  \"wall_seconds\": $((end_s - start_s)),"
+      echo "  \"format\": \"text\","
+      echo "  \"output\": $(printf '%s' "${raw_out}" | json_quote)"
+      echo "}"
+    } > "${out_json}"
+  fi
+done
+
+echo "wrote $(ls "${OUT_DIR}"/BENCH_*.json | wc -l) reports to ${OUT_DIR}"
