@@ -1,8 +1,11 @@
 // E8 — ablations of the design choices DESIGN.md calls out:
 //   (1) Dowling–Gallier counting propagation vs naive T_P iteration inside
 //       S_P (HornMode);
-//   (2) residual-program reduction on/off across alternating rounds;
-//   (3) trace recording cost (off by default).
+//   (2) delta-driven vs from-scratch rule-enablement recomputation between
+//       half-steps (SpMode) — the incremental axis, with the work actually
+//       done reported through the rules_rescanned / delta_atoms counters;
+//   (3) residual-program reduction on/off across alternating rounds;
+//   (4) trace recording cost (off by default).
 
 #include <benchmark/benchmark.h>
 
@@ -12,6 +15,8 @@
 #include "core/relevance.h"
 #include "core/residual.h"
 #include "core/scc_engine.h"
+#include "fol/general_program.h"
+#include "fol/simplify.h"
 #include "ground/grounder.h"
 #include "workload/graphs.h"
 #include "workload/programs.h"
@@ -24,6 +29,7 @@ std::unique_ptr<afp::GroundProgram> g_ground;
 const afp::GroundProgram& WinMoveInstance(int n) {
   static int current_n = -1;
   if (current_n != n) {
+    g_ground.reset();
     g_program = std::make_unique<afp::Program>(
         afp::workload::WinMove(afp::graphs::ErdosRenyi(n, 4 * n, 17)));
     auto g = afp::Grounder::Ground(*g_program);
@@ -32,6 +38,90 @@ const afp::GroundProgram& WinMoveInstance(int n) {
   }
   return *g_ground;
 }
+
+std::unique_ptr<afp::Program> g_wf_program;
+std::unique_ptr<afp::GroundProgram> g_wf_ground;
+
+// Example 8.2 (well-founded nodes of a binary relation), via the paper's
+// transformation to a normal program, over a chain: the chain gives the
+// nodes well-founded ranks as deep as the graph, so the alternating
+// fixpoint runs one round per rank — the many-small-deltas regime the
+// delta-driven enablement recomputation targets.
+const afp::GroundProgram& WfNodesInstance(int n) {
+  static int current_n = -1;
+  if (current_n != n) {
+    g_wf_ground.reset();
+    afp::GeneralProgram gp;
+    afp::Program& b = gp.base();
+    afp::Digraph g = afp::graphs::Chain(n);
+    for (auto [u, v] : g.edges) {
+      b.AddFact("e",
+                {afp::workload::NodeName(u), afp::workload::NodeName(v)});
+    }
+    afp::TermId x = b.Var("X"), y = b.Var("Y");
+    afp::SymbolId ys = b.symbols().Intern("Y");
+    gp.AddGeneralRule(
+        b.MakeAtom("w", {x}),
+        afp::Formula::Not(afp::Formula::Exists(
+            {ys},
+            afp::Formula::And(
+                {afp::Formula::MakeAtom(b.MakeAtom("e", {y, x})),
+                 afp::Formula::Not(
+                     afp::Formula::MakeAtom(b.MakeAtom("w", {y})))}))));
+    auto normal = afp::TransformToNormal(gp);
+    g_wf_program = std::make_unique<afp::Program>(std::move(normal).value());
+    auto ground = afp::Grounder::Ground(*g_wf_program);
+    g_wf_ground =
+        std::make_unique<afp::GroundProgram>(std::move(ground).value());
+    current_n = n;
+  }
+  return *g_wf_ground;
+}
+
+// The incremental axis: identical fixpoint computation, enablement either
+// delta-driven or rescanned from scratch each half-step. The counters
+// expose the work difference directly.
+void RunSpModeAblation(benchmark::State& state, const afp::GroundProgram& gp,
+                       afp::SpMode sp_mode) {
+  afp::AfpOptions opts;
+  opts.sp_mode = sp_mode;
+  afp::EvalStats last;
+  for (auto _ : state) {
+    afp::AfpResult r = afp::AlternatingFixpoint(gp, opts);
+    benchmark::DoNotOptimize(r);
+    last = r.eval;
+  }
+  state.counters["sp_calls"] = static_cast<double>(last.sp_calls);
+  state.counters["rules_rescanned"] =
+      static_cast<double>(last.rules_rescanned);
+  state.counters["delta_atoms"] = static_cast<double>(last.delta_atoms);
+  state.counters["peak_scratch_bytes"] =
+      static_cast<double>(last.peak_scratch_bytes);
+}
+
+void BM_SpDeltaWinMove(benchmark::State& state) {
+  RunSpModeAblation(state, WinMoveInstance(static_cast<int>(state.range(0))),
+                    afp::SpMode::kDelta);
+}
+BENCHMARK(BM_SpDeltaWinMove)->Arg(128)->Arg(512)->Arg(1024);
+
+void BM_SpScratchWinMove(benchmark::State& state) {
+  RunSpModeAblation(state, WinMoveInstance(static_cast<int>(state.range(0))),
+                    afp::SpMode::kScratch);
+}
+BENCHMARK(BM_SpScratchWinMove)->Arg(128)->Arg(512)->Arg(1024);
+
+void BM_SpDeltaWfNodes(benchmark::State& state) {
+  RunSpModeAblation(state, WfNodesInstance(static_cast<int>(state.range(0))),
+                    afp::SpMode::kDelta);
+}
+BENCHMARK(BM_SpDeltaWfNodes)->Arg(64)->Arg(256);
+
+void BM_SpScratchWfNodes(benchmark::State& state) {
+  RunSpModeAblation(state, WfNodesInstance(static_cast<int>(state.range(0))),
+                    afp::SpMode::kScratch);
+}
+BENCHMARK(BM_SpScratchWfNodes)->Arg(64)->Arg(256);
 
 void BM_HornCounting(benchmark::State& state) {
   const auto& gp = WinMoveInstance(static_cast<int>(state.range(0)));

@@ -15,6 +15,7 @@
 #include "analysis/strictness.h"
 #include "ast/program.h"
 #include "core/alternating.h"
+#include "core/eval_context.h"
 #include "core/explain.h"
 #include "core/horn_solver.h"
 #include "core/interpretation.h"

@@ -1,40 +1,63 @@
 #include "core/alternating.h"
 
+#include <cassert>
+#include <utility>
+
 namespace afp {
 
-AfpResult AlternatingFixpointWithSolver(const HornSolver& solver,
-                                        const Bitset& seed_negatives,
-                                        const AfpOptions& options) {
+AfpResult AlternatingFixpointWithContext(EvalContext& ctx,
+                                         const HornSolver& solver,
+                                         const Bitset& seed_negatives,
+                                         const AfpOptions& options) {
   AfpResult result;
   const std::size_t n = solver.view().num_atoms;
+  // A default-constructed seed (universe 0) means "no seed": substitute a
+  // properly sized empty set once, so the iteration below stays one code
+  // path for the seeded and unseeded cases alike.
+  Bitset sized_empty_seed;
+  const Bitset* seed = &seed_negatives;
+  if (seed_negatives.universe_size() == 0 && n != 0) {
+    sized_empty_seed = Bitset(n);
+    seed = &sized_empty_seed;
+  }
+  assert(seed->universe_size() == n);
+  const EvalStats start = ctx.stats();
 
-  Bitset under_neg = seed_negatives;  // Ĩ_0 (⊆ final Ã)
-  Bitset under_pos(n);
-  Bitset over_pos(n);
+  // One evaluator per subsequence: the even arguments Ĩ_0 ⊆ Ĩ_2 ⊆ ...
+  // increase and the odd ones decrease (monotone by §5), so each evaluator
+  // sees a shrinking delta stream and the enablement updates between
+  // consecutive rounds approach zero as the fixpoint nears.
+  SpEvaluator even(solver, ctx, options.sp_mode, options.horn_mode);
+  SpEvaluator odd(solver, ctx, options.sp_mode, options.horn_mode);
+
+  Bitset under_neg = ctx.AcquireBitset(n);  // Ĩ_0 (⊆ final Ã)
+  under_neg |= *seed;
+  Bitset under_pos = ctx.AcquireBitset(n);
+  Bitset over_neg = ctx.AcquireBitset(n);
+  Bitset over_pos = ctx.AcquireBitset(n);
+  Bitset next_under_neg = ctx.AcquireBitset(n);
 
   while (true) {
     ++result.outer_iterations;
 
     // First half-step: overestimate. S_P(under_neg) is an underestimate of
     // the positives, so its conjugate Ĩ_{2k+1} overestimates the negatives.
-    under_pos = solver.EventualConsequences(under_neg, options.horn_mode);
-    ++result.sp_calls;
+    even.Eval(under_neg, &under_pos);
     if (options.record_trace) {
       result.trace.push_back(AfpTraceRow{under_neg, under_pos});
     }
-    Bitset over_neg = Bitset::ComplementOf(under_pos);
+    over_neg = under_pos;
+    over_neg.Complement();
 
     // Second half-step: S_P(over_neg) overestimates the positives; its
     // conjugate Ĩ_{2k+2} = A_P(Ĩ_{2k}) underestimates the negatives again.
-    over_pos = solver.EventualConsequences(over_neg, options.horn_mode);
-    ++result.sp_calls;
+    odd.Eval(over_neg, &over_pos);
     if (options.record_trace) {
       result.trace.push_back(AfpTraceRow{over_neg, over_pos});
     }
-    Bitset next_under_neg = Bitset::ComplementOf(over_pos);
-    if (seed_negatives.universe_size() != 0) {
-      next_under_neg |= seed_negatives;
-    }
+    next_under_neg = over_pos;
+    next_under_neg.Complement();
+    next_under_neg |= *seed;
 
     if (next_under_neg == over_neg) {
       // The under- and over-sequences met: Ĩ is a fixpoint of S̃_P itself
@@ -43,8 +66,8 @@ AfpResult AlternatingFixpointWithSolver(const HornSolver& solver,
       if (options.record_trace) {
         result.trace.push_back(AfpTraceRow{next_under_neg, over_pos});
       }
-      under_neg = std::move(next_under_neg);
-      under_pos = std::move(over_pos);
+      std::swap(under_neg, next_under_neg);
+      std::swap(under_pos, over_pos);
       break;
     }
     if (next_under_neg == under_neg) {
@@ -55,26 +78,44 @@ AfpResult AlternatingFixpointWithSolver(const HornSolver& solver,
       }
       break;
     }
-    under_neg = std::move(next_under_neg);
+    std::swap(under_neg, next_under_neg);
   }
 
   // A+ = S_P(Ã). At the fixpoint the last under_pos already equals S_P(Ã).
+  ctx.NoteEscapedBytes(under_pos.CapacityBytes() + under_neg.CapacityBytes());
   result.model = PartialModel(std::move(under_pos), std::move(under_neg));
+  ctx.ReleaseBitset(std::move(over_neg));
+  ctx.ReleaseBitset(std::move(over_pos));
+  ctx.ReleaseBitset(std::move(next_under_neg));
+
+  result.eval = ctx.stats().Since(start);
+  result.sp_calls = result.eval.sp_calls;
   return result;
+}
+
+AfpResult AlternatingFixpointWithSolver(const HornSolver& solver,
+                                        const Bitset& seed_negatives,
+                                        const AfpOptions& options) {
+  EvalContext ctx;
+  return AlternatingFixpointWithContext(ctx, solver, seed_negatives,
+                                        options);
 }
 
 AfpResult AlternatingFixpoint(const GroundProgram& gp,
                               const AfpOptions& options) {
-  HornSolver solver(gp.View());
-  return AlternatingFixpointWithSolver(solver, Bitset(gp.num_atoms()),
-                                       options);
+  EvalContext ctx;
+  HornSolver solver(gp.View(), &ctx);
+  return AlternatingFixpointWithContext(ctx, solver,
+                                        Bitset(gp.num_atoms()), options);
 }
 
 AfpResult AlternatingFixpointSeeded(const GroundProgram& gp,
                                     const Bitset& seed_negatives,
                                     const AfpOptions& options) {
-  HornSolver solver(gp.View());
-  return AlternatingFixpointWithSolver(solver, seed_negatives, options);
+  EvalContext ctx;
+  HornSolver solver(gp.View(), &ctx);
+  return AlternatingFixpointWithContext(ctx, solver, seed_negatives,
+                                        options);
 }
 
 }  // namespace afp

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "core/eval_context.h"
 #include "core/horn_solver.h"
 #include "core/interpretation.h"
 #include "ground/ground_program.h"
@@ -23,6 +24,9 @@ struct AfpTraceRow {
 /// Options for the alternating fixpoint computation.
 struct AfpOptions {
   HornMode horn_mode = HornMode::kCounting;
+  /// How rule enablement is recomputed between half-steps: delta-driven
+  /// (default) or from-scratch (ablation baseline; implied by kNaive).
+  SpMode sp_mode = SpMode::kDelta;
   /// Record every half-step (Ĩ_k, S_P(Ĩ_k)). Costs two bitset copies per
   /// half-step; leave off for large instances.
   bool record_trace = false;
@@ -39,6 +43,9 @@ struct AfpResult {
   /// Number of S_P evaluations performed (two per A_P application, plus the
   /// initial one).
   std::size_t sp_calls = 0;
+  /// Work counters for this computation (rules rescanned, delta sizes,
+  /// peak scratch bytes — see EvalStats).
+  EvalStats eval;
   /// Table-I style trace; empty unless AfpOptions::record_trace.
   std::vector<AfpTraceRow> trace;
 };
@@ -54,7 +61,8 @@ AfpResult AlternatingFixpoint(const GroundProgram& gp,
                               const AfpOptions& options = {});
 
 /// As above, but seeds the iteration with Ĩ_0 = `seed_negatives` (a set of
-/// atoms assumed false), computing the least fixpoint of X ↦ A_P(X ∪ seed).
+/// atoms assumed false over the program's full universe), computing the
+/// least fixpoint of X ↦ A_P(X ∪ seed).
 /// Used by the stable-model enumerator: for any stable model M whose
 /// negative part contains the seed, the result under-approximates M
 /// (Ã ⊆ M̃ and S_P(Ã) ... ⊆ M+ need not hold for inconsistent seeds; the
@@ -64,10 +72,24 @@ AfpResult AlternatingFixpointSeeded(const GroundProgram& gp,
                                     const AfpOptions& options = {});
 
 /// Convenience: alternating fixpoint on an existing HornSolver (shared
-/// across calls when the same program is solved under many seeds).
+/// across calls when the same program is solved under many seeds). Uses a
+/// private, throwaway EvalContext.
 AfpResult AlternatingFixpointWithSolver(const HornSolver& solver,
                                         const Bitset& seed_negatives,
                                         const AfpOptions& options);
+
+/// The full-control entry point: alternating fixpoint on an existing solver
+/// drawing all scratch from `ctx`. Engines that solve many programs (the
+/// SCC engine, the stable-model search) pass one context through every
+/// call, reducing the steady-state allocation rate to zero; the context's
+/// counters accumulate and the result carries this call's share.
+/// `seed_negatives` must be sized to the solver's atom universe; a
+/// default-constructed (universe-0) bitset is accepted as "no seed". The
+/// seeded and unseeded iterations are one code path.
+AfpResult AlternatingFixpointWithContext(EvalContext& ctx,
+                                         const HornSolver& solver,
+                                         const Bitset& seed_negatives,
+                                         const AfpOptions& options = {});
 
 }  // namespace afp
 

@@ -1,0 +1,178 @@
+#ifndef AFP_CORE_EVAL_CONTEXT_H_
+#define AFP_CORE_EVAL_CONTEXT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/horn_solver.h"
+#include "ground/ground_program.h"
+#include "ground/owned_rules.h"
+#include "util/bitset.h"
+
+namespace afp {
+
+/// Strategy for recomputing per-rule enablement (the negative-body check of
+/// S_P, Definition 4.2) between consecutive evaluations.
+enum class SpMode {
+  /// Incremental: keep per-rule counters of unsatisfied negative literals
+  /// and update them only for the rules reachable — through the
+  /// negative-occurrence index — from atoms whose assumed-false status
+  /// flipped since the previous call. The alternating sequences are
+  /// monotone per subsequence (Theorem 5.4), so these deltas shrink to
+  /// nothing as the fixpoint is approached.
+  kDelta,
+  /// From-scratch: rescan every negative literal of every rule on every
+  /// call. Kept as the ablation baseline (bench_ablation pins the two
+  /// paths equivalent; the differential tests do so on every engine).
+  kScratch,
+};
+
+/// Work counters accumulated by every evaluation that runs through one
+/// EvalContext. Engines snapshot the counters around a run and report the
+/// difference in their result structs.
+struct EvalStats {
+  /// Fixpoint evaluations performed (S_P calls plus unfounded-set solves).
+  std::size_t sp_calls = 0;
+  /// Rule-enablement examinations: how many per-rule negative-body checks
+  /// were (re)done. The from-scratch path pays one per rule per call; the
+  /// delta path pays one per rule *touched by a flipped atom*. This
+  /// isolates the enablement-scan work the delta path removes; it does NOT
+  /// include the propagation itself, which re-derives the full S_P output
+  /// on every call (inherently Ω(|output|)) in either mode — so wall-clock
+  /// improves by less than this counter's ratio. bench_ablation reports
+  /// both side by side.
+  std::size_t rules_rescanned = 0;
+  /// Atoms whose assumed-false status flipped between consecutive delta
+  /// evaluations (the |Δ| that drives the incremental path).
+  std::size_t delta_atoms = 0;
+  /// High-water mark of scratch bytes owned by the context — pooled plus
+  /// checked-out, observed at every acquire/release. Slightly approximate:
+  /// growth of a buffer while checked out is seen only once it returns,
+  /// and buffers that escape into results are deducted via
+  /// EvalContext::NoteEscapedBytes at the hand-off.
+  std::size_t peak_scratch_bytes = 0;
+
+  /// Counter difference (for snapshotting around an engine run); the peak
+  /// is carried over, not subtracted.
+  EvalStats Since(const EvalStats& start) const {
+    EvalStats d;
+    d.sp_calls = sp_calls - start.sp_calls;
+    d.rules_rescanned = rules_rescanned - start.rules_rescanned;
+    d.delta_atoms = delta_atoms - start.delta_atoms;
+    d.peak_scratch_bytes = peak_scratch_bytes;
+    return d;
+  }
+};
+
+/// Reusable evaluation scratch shared by all well-founded engines: pooled
+/// bitsets, rule-counter vectors, propagation queues, and rewritable rule
+/// buffers. One context can serve any number of solves over programs of any
+/// size — buffers are recycled across calls instead of reallocated, so the
+/// steady-state allocation rate of an engine loop is zero.
+///
+/// Not thread-safe; each engine (or thread) owns or borrows one context.
+class EvalContext {
+ public:
+  EvalContext() = default;
+  EvalContext(const EvalContext&) = delete;
+  EvalContext& operator=(const EvalContext&) = delete;
+
+  /// Returns a cleared bitset over `universe` atoms.
+  Bitset AcquireBitset(std::size_t universe);
+  void ReleaseBitset(Bitset&& b);
+
+  /// Returns an empty uint32 vector with whatever capacity the pool has.
+  std::vector<std::uint32_t> AcquireU32();
+  void ReleaseU32(std::vector<std::uint32_t>&& v);
+
+  /// Returns an empty rewritable rule buffer (capacity retained across
+  /// uses — the residual engine's double buffer and the SCC engine's local
+  /// subprograms cycle through these).
+  OwnedRules AcquireRules();
+  void ReleaseRules(OwnedRules&& r);
+
+  /// Records that an acquired buffer permanently left the pool cycle
+  /// (moved into a result the caller keeps): its bytes stop counting
+  /// toward the scratch high-water mark, which otherwise would grow with
+  /// every returned model. An engine that instead recycles a result it
+  /// received from a `*WithContext` call must first reverse the callee's
+  /// escape note with NoteAdoptedBytes, keeping each buffer counted
+  /// exactly once.
+  void NoteEscapedBytes(std::size_t bytes);
+  void NoteAdoptedBytes(std::size_t bytes);
+
+  const EvalStats& stats() const { return stats_; }
+  EvalStats& stats() { return stats_; }
+  void ResetStats() { stats_ = EvalStats{}; }
+
+ private:
+  /// Bookkeeping around every pool transition: `delta` is the byte change
+  /// in checked-out capacity (positive on acquire, negative on release).
+  void NoteScratchBytes(std::ptrdiff_t outstanding_delta);
+
+  std::vector<Bitset> bitsets_;
+  std::vector<std::vector<std::uint32_t>> u32s_;
+  std::vector<OwnedRules> rules_;
+  std::size_t pool_bytes_ = 0;
+  std::ptrdiff_t outstanding_bytes_ = 0;
+  EvalStats stats_;
+};
+
+/// Incremental S_P evaluator binding one HornSolver to one EvalContext.
+///
+/// Construction borrows scratch from the context (cheap once the context is
+/// warm); destruction returns it. The first Eval in kDelta mode primes the
+/// per-rule unsatisfied-negative-literal counters with one full scan; every
+/// later call updates them only from the atoms whose membership in
+/// `assumed_false` changed, via the solver's negative-occurrence index.
+///
+/// The alternating fixpoint keeps two evaluators — one per subsequence of
+/// Ĩ_k arguments — so each sees a monotone, shrinking delta stream.
+class SpEvaluator {
+ public:
+  /// `horn_mode` kNaive bypasses the incremental machinery entirely and
+  /// delegates to HornSolver's naive iteration (the coarsest ablation
+  /// baseline).
+  SpEvaluator(const HornSolver& solver, EvalContext& ctx,
+              SpMode mode = SpMode::kDelta,
+              HornMode horn_mode = HornMode::kCounting);
+  ~SpEvaluator();
+
+  SpEvaluator(const SpEvaluator&) = delete;
+  SpEvaluator& operator=(const SpEvaluator&) = delete;
+
+  /// Computes S_P(assumed_false) into `*out` (resized and cleared here;
+  /// must not alias `assumed_false`). `assumed_false` must have the
+  /// solver's atom universe size.
+  void Eval(const Bitset& assumed_false, Bitset* out);
+
+  /// Convenience: returns a fresh bitset (allocates; prefer the in-place
+  /// overload in loops).
+  Bitset Eval(const Bitset& assumed_false);
+
+  SpMode mode() const { return mode_; }
+
+ private:
+  void Prime(const Bitset& assumed_false);
+  void ApplyDelta(const Bitset& assumed_false);
+  void Propagate(Bitset* out);
+
+  const HornSolver& solver_;
+  EvalContext& ctx_;
+  SpMode mode_;
+  HornMode horn_mode_;
+  bool primed_ = false;
+  /// neg_missing_[r]: negative body literals of rule r not satisfied by the
+  /// last assumed_false seen. Rule enabled iff 0. Persistent across calls.
+  std::vector<std::uint32_t> neg_missing_;
+  Bitset last_false_;
+  /// Per-call scratch: positive-body countdown and propagation queue.
+  std::vector<std::uint32_t> remaining_;
+  std::vector<std::uint32_t> queue_;
+};
+
+}  // namespace afp
+
+#endif  // AFP_CORE_EVAL_CONTEXT_H_

@@ -1,24 +1,103 @@
 #include "core/horn_solver.h"
 
+#include <utility>
+
+#include "core/eval_context.h"
+
 namespace afp {
 
-HornSolver::HornSolver(RuleView view) : view_(view) {
-  // Build CSR positive-occurrence lists.
-  pos_occ_offsets_.assign(view_.num_atoms + 1, 0);
-  for (const GroundRule& r : view_.rules) {
-    for (AtomId a : view_.pos(r)) ++pos_occ_offsets_[a + 1];
+namespace {
+
+/// Fills `offsets`/`entries` with the CSR occurrence lists of `literals(r)`
+/// over `view.rules`. `cursor` is caller-provided scratch (pooled by
+/// ctx-backed solvers so per-round/per-node index rebuilds allocate
+/// nothing).
+template <typename LiteralsFn>
+void BuildCsr(const RuleView& view, LiteralsFn&& literals,
+              std::vector<std::uint32_t>* offsets,
+              std::vector<std::uint32_t>* entries,
+              std::vector<std::uint32_t>* cursor) {
+  offsets->assign(view.num_atoms + 1, 0);
+  for (const GroundRule& r : view.rules) {
+    for (AtomId a : literals(r)) ++(*offsets)[a + 1];
   }
-  for (std::size_t i = 1; i < pos_occ_offsets_.size(); ++i) {
-    pos_occ_offsets_[i] += pos_occ_offsets_[i - 1];
+  for (std::size_t i = 1; i < offsets->size(); ++i) {
+    (*offsets)[i] += (*offsets)[i - 1];
   }
-  pos_occ_rules_.resize(pos_occ_offsets_.back());
-  std::vector<std::uint32_t> cursor(pos_occ_offsets_.begin(),
-                                    pos_occ_offsets_.end() - 1);
-  for (std::uint32_t ri = 0; ri < view_.rules.size(); ++ri) {
-    for (AtomId a : view_.pos(view_.rules[ri])) {
-      pos_occ_rules_[cursor[a]++] = ri;
+  entries->resize(offsets->back());
+  cursor->assign(offsets->begin(), offsets->end() - 1);
+  for (std::uint32_t ri = 0; ri < view.rules.size(); ++ri) {
+    for (AtomId a : literals(view.rules[ri])) {
+      (*entries)[(*cursor)[a]++] = ri;
     }
   }
+}
+
+}  // namespace
+
+HornSolver::HornSolver(RuleView view, EvalContext* ctx)
+    : view_(view), ctx_(ctx) {
+  std::vector<std::uint32_t> cursor;
+  if (ctx_ != nullptr) {
+    pos_occ_offsets_ = ctx_->AcquireU32();
+    pos_occ_rules_ = ctx_->AcquireU32();
+    cursor = ctx_->AcquireU32();
+  }
+  BuildCsr(view_, [&](const GroundRule& r) { return view_.pos(r); },
+           &pos_occ_offsets_, &pos_occ_rules_, &cursor);
+  if (ctx_ != nullptr) ctx_->ReleaseU32(std::move(cursor));
+}
+
+void HornSolver::EnsureNegIndex() const {
+  if (neg_index_built_) return;
+  std::vector<std::uint32_t> cursor;
+  if (ctx_ != nullptr) {
+    neg_occ_offsets_ = ctx_->AcquireU32();
+    neg_occ_rules_ = ctx_->AcquireU32();
+    cursor = ctx_->AcquireU32();
+  }
+  BuildCsr(view_, [&](const GroundRule& r) { return view_.neg(r); },
+           &neg_occ_offsets_, &neg_occ_rules_, &cursor);
+  if (ctx_ != nullptr) ctx_->ReleaseU32(std::move(cursor));
+  neg_index_built_ = true;
+}
+
+HornSolver::~HornSolver() { ReleaseIndexes(); }
+
+HornSolver::HornSolver(HornSolver&& o) noexcept
+    : view_(o.view_),
+      ctx_(std::exchange(o.ctx_, nullptr)),
+      scratch_ctx_(std::move(o.scratch_ctx_)),
+      pos_occ_offsets_(std::move(o.pos_occ_offsets_)),
+      pos_occ_rules_(std::move(o.pos_occ_rules_)),
+      neg_index_built_(std::exchange(o.neg_index_built_, false)),
+      neg_occ_offsets_(std::move(o.neg_occ_offsets_)),
+      neg_occ_rules_(std::move(o.neg_occ_rules_)) {}
+
+HornSolver& HornSolver::operator=(HornSolver&& o) noexcept {
+  if (this != &o) {
+    ReleaseIndexes();
+    view_ = o.view_;
+    ctx_ = std::exchange(o.ctx_, nullptr);
+    scratch_ctx_ = std::move(o.scratch_ctx_);
+    pos_occ_offsets_ = std::move(o.pos_occ_offsets_);
+    pos_occ_rules_ = std::move(o.pos_occ_rules_);
+    neg_index_built_ = std::exchange(o.neg_index_built_, false);
+    neg_occ_offsets_ = std::move(o.neg_occ_offsets_);
+    neg_occ_rules_ = std::move(o.neg_occ_rules_);
+  }
+  return *this;
+}
+
+void HornSolver::ReleaseIndexes() {
+  if (ctx_ == nullptr) return;
+  ctx_->ReleaseU32(std::move(pos_occ_offsets_));
+  ctx_->ReleaseU32(std::move(pos_occ_rules_));
+  if (neg_index_built_) {
+    ctx_->ReleaseU32(std::move(neg_occ_offsets_));
+    ctx_->ReleaseU32(std::move(neg_occ_rules_));
+  }
+  ctx_ = nullptr;
 }
 
 Bitset HornSolver::EventualConsequences(const Bitset& assumed_false,
@@ -28,50 +107,19 @@ Bitset HornSolver::EventualConsequences(const Bitset& assumed_false,
 }
 
 Bitset HornSolver::Counting(const Bitset& assumed_false) const {
-  Bitset derived(view_.num_atoms);
-  // remaining[r]: positive body atoms of rule r not yet derived. A rule is
-  // "enabled" iff all its negative literals are satisfied by assumed_false;
-  // disabled rules are given an infinite counter.
-  std::vector<std::uint32_t> remaining(view_.rules.size());
-  std::vector<AtomId> queue;
-  queue.reserve(64);
-
-  for (std::uint32_t ri = 0; ri < view_.rules.size(); ++ri) {
-    const GroundRule& r = view_.rules[ri];
-    bool enabled = true;
-    for (AtomId a : view_.neg(r)) {
-      if (!assumed_false.Test(a)) {
-        enabled = false;
-        break;
-      }
-    }
-    if (!enabled) {
-      remaining[ri] = UINT32_MAX;
-      continue;
-    }
-    remaining[ri] = r.pos_len;
-    if (r.pos_len == 0 && !derived.Test(r.head)) {
-      derived.Set(r.head);
-      queue.push_back(r.head);
-    }
+  // One-shot wrapper over the shared Dowling–Gallier propagation in
+  // SpEvaluator (scratch mode: prime the enablement counters, propagate,
+  // discard) — the single implementation of the counting loop. A solver
+  // built over an engine's context charges the work there (and borrows its
+  // pooled scratch); a standalone solver keeps a private context so
+  // repeated calls still recycle their buffers.
+  if (ctx_ == nullptr && scratch_ctx_ == nullptr) {
+    scratch_ctx_ = std::make_unique<EvalContext>();
   }
-
-  while (!queue.empty()) {
-    AtomId a = queue.back();
-    queue.pop_back();
-    for (std::uint32_t k = pos_occ_offsets_[a]; k < pos_occ_offsets_[a + 1];
-         ++k) {
-      std::uint32_t ri = pos_occ_rules_[k];
-      if (remaining[ri] == UINT32_MAX) continue;
-      if (--remaining[ri] == 0) {
-        AtomId h = view_.rules[ri].head;
-        if (!derived.Test(h)) {
-          derived.Set(h);
-          queue.push_back(h);
-        }
-      }
-    }
-  }
+  EvalContext& ctx = ctx_ != nullptr ? *ctx_ : *scratch_ctx_;
+  SpEvaluator sp(*this, ctx, SpMode::kScratch);
+  Bitset derived;
+  sp.Eval(assumed_false, &derived);
   return derived;
 }
 

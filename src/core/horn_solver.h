@@ -2,12 +2,15 @@
 #define AFP_CORE_HORN_SOLVER_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "ground/ground_program.h"
 #include "util/bitset.h"
 
 namespace afp {
+
+class EvalContext;
 
 /// Strategy for computing Horn least fixpoints.
 enum class HornMode {
@@ -24,13 +27,31 @@ enum class HornMode {
 /// like additional EDB facts (Fig. 3 of the paper). A negative body literal
 /// `not q` is satisfied iff q ∈ assumed_false.
 ///
-/// The solver precomputes positive-occurrence indexes once per RuleView, so
-/// it can be applied to many different Ĩ arguments cheaply — exactly the
-/// access pattern of the alternating fixpoint.
+/// The solver precomputes the positive-occurrence index once per RuleView
+/// (the negative one lazily on first use), so it can be applied to many
+/// different Ĩ arguments cheaply — exactly the access pattern of the
+/// alternating fixpoint. For incremental re-evaluation between nearby Ĩ
+/// arguments, see SpEvaluator (core/eval_context.h), which drives rule
+/// enablement from the negative-occurrence index and the Ĩ delta alone.
+///
+/// Like the rest of the evaluation core, a solver is NOT thread-safe, even
+/// through const methods: EventualConsequences cycles pooled scratch and
+/// the negative index is built lazily. One solver (and one EvalContext)
+/// per thread.
 class HornSolver {
  public:
-  /// Builds indexes over `view`. The view's storage must outlive the solver.
-  explicit HornSolver(RuleView view);
+  /// Builds indexes over `view`. The view's storage must outlive the
+  /// solver. When `ctx` is non-null, the index arrays are drawn from (and
+  /// on destruction returned to) the context's scratch pool, so rebuilding
+  /// a solver each round — the residual and SCC engines' pattern — reuses
+  /// the previous round's capacity instead of reallocating.
+  explicit HornSolver(RuleView view, EvalContext* ctx = nullptr);
+  ~HornSolver();
+
+  HornSolver(const HornSolver&) = delete;
+  HornSolver& operator=(const HornSolver&) = delete;
+  HornSolver(HornSolver&& o) noexcept;
+  HornSolver& operator=(HornSolver&& o) noexcept;
 
   /// Returns S_P(assumed_false) as a set of (positive) atoms.
   /// `assumed_false` must have the view's atom universe size.
@@ -48,13 +69,37 @@ class HornSolver {
     return pos_occ_rules_;
   }
 
+  /// For each atom, the rules in which it occurs negatively (CSR layout);
+  /// drives the delta-driven enablement updates of SpEvaluator. Built
+  /// lazily on first access — scratch-only and naive-only consumers never
+  /// pay for it. (Like the rest of the evaluation core, not thread-safe.)
+  const std::vector<std::uint32_t>& neg_occ_offsets() const {
+    EnsureNegIndex();
+    return neg_occ_offsets_;
+  }
+  const std::vector<std::uint32_t>& neg_occ_rules() const {
+    EnsureNegIndex();
+    return neg_occ_rules_;
+  }
+
  private:
+  void EnsureNegIndex() const;
+  void ReleaseIndexes();
+
   Bitset Counting(const Bitset& assumed_false) const;
   Bitset Naive(const Bitset& assumed_false) const;
 
   RuleView view_;
+  EvalContext* ctx_ = nullptr;
+  /// Lazily created for context-less solvers, so repeated
+  /// EventualConsequences(kCounting) calls reuse their scratch instead of
+  /// reallocating per call.
+  mutable std::unique_ptr<EvalContext> scratch_ctx_;
   std::vector<std::uint32_t> pos_occ_offsets_;  // num_atoms + 1
   std::vector<std::uint32_t> pos_occ_rules_;
+  mutable bool neg_index_built_ = false;
+  mutable std::vector<std::uint32_t> neg_occ_offsets_;  // num_atoms + 1
+  mutable std::vector<std::uint32_t> neg_occ_rules_;
 };
 
 }  // namespace afp

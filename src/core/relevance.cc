@@ -68,11 +68,12 @@ StatusOr<RelevanceQueryResult> QueryWithRelevance(const GroundProgram& gp,
   RelevantSlice slice = RelevantSubprogram(gp.View(), query);
   result.slice_size = slice.rules.pool.size() + slice.rules.rules.size();
 
-  HornSolver solver(slice.rules.View());
+  EvalContext ctx;
+  HornSolver solver(slice.rules.View(), &ctx);
   AfpOptions opts;
   opts.horn_mode = mode;
-  AfpResult afp = AlternatingFixpointWithSolver(
-      solver, Bitset(gp.num_atoms()), opts);
+  AfpResult afp = AlternatingFixpointWithContext(
+      ctx, solver, Bitset(gp.num_atoms()), opts);
   result.value = afp.model.Value(target);
   return result;
 }

@@ -1,42 +1,62 @@
 #include "core/residual.h"
 
+#include <utility>
 #include <vector>
 
 #include "ground/owned_rules.h"
 
 namespace afp {
 
-ResidualResult WellFoundedResidual(const GroundProgram& gp, HornMode mode) {
+ResidualResult WellFoundedResidualWithContext(EvalContext& ctx,
+                                              const GroundProgram& gp,
+                                              const ResidualOptions& options) {
   ResidualResult result;
   const std::size_t n = gp.num_atoms();
+  const EvalStats start = ctx.stats();
 
-  OwnedRules current = OwnedRules::CopyOf(gp.View());
-  Bitset decided_true(n);
-  Bitset decided_false(n);
+  // Double-buffered residual storage: `current` and `next` swap roles each
+  // round and keep their capacity, so rounds after the first rewrite the
+  // shrinking residual in place instead of reallocating it.
+  OwnedRules current = ctx.AcquireRules();
+  current.AssignFrom(gp.View());
+  OwnedRules next = ctx.AcquireRules();
+
+  Bitset decided_true = ctx.AcquireBitset(n);
+  Bitset decided_false = ctx.AcquireBitset(n);
+  Bitset under = ctx.AcquireBitset(n);
+  Bitset over_neg = ctx.AcquireBitset(n);
+  Bitset over = ctx.AcquireBitset(n);
+  Bitset new_false = ctx.AcquireBitset(n);
 
   while (true) {
     ++result.rounds;
     result.total_work += current.pool.size() + current.rules.size();
-    HornSolver solver(current.View());
+    // The index arrays come from the pool too: each round's (smaller)
+    // residual is indexed into the previous round's storage.
+    HornSolver solver(current.View(), &ctx);
+    SpEvaluator sp(solver, ctx, options.sp_mode, options.horn_mode);
 
     // Underestimate of the true atoms: only decided-false atoms satisfy
     // negative literals.
-    Bitset under = solver.EventualConsequences(decided_false, mode);
+    sp.Eval(decided_false, &under);
     under |= decided_true;
     // Overestimate: every not-yet-true atom satisfies negative literals.
-    Bitset over = solver.EventualConsequences(Bitset::ComplementOf(under),
-                                              mode);
+    over_neg = under;
+    over_neg.Complement();
+    sp.Eval(over_neg, &over);
     over |= decided_true;
-    Bitset new_false = Bitset::ComplementOf(over);
+    new_false = over;
+    new_false.Complement();
 
     if (under == decided_true && new_false == decided_false) break;
-    decided_true = std::move(under);
-    decided_false = std::move(new_false);
+    std::swap(decided_true, under);
+    std::swap(decided_false, new_false);
 
-    // Rebuild the residual: drop decided heads and certainly-false bodies,
-    // erase certainly-true literals.
-    OwnedRules next;
+    // Rebuild the residual into the spare buffer: drop decided heads and
+    // certainly-false bodies, erase certainly-true literals.
     next.num_atoms = n;
+    next.rules.clear();
+    next.pool.clear();
     for (const GroundRule& r : current.rules) {
       if (decided_true.Test(r.head) || decided_false.Test(r.head)) continue;
       bool dead = false;
@@ -71,12 +91,29 @@ ResidualResult WellFoundedResidual(const GroundProgram& gp, HornMode mode) {
           static_cast<std::uint32_t>(next.pool.size()) - nr.neg_offset;
       next.rules.push_back(nr);
     }
-    current = std::move(next);
+    std::swap(current, next);
   }
 
-  result.model = PartialModel(std::move(decided_true),
-                              std::move(decided_false));
+  ctx.NoteEscapedBytes(decided_true.CapacityBytes() +
+                       decided_false.CapacityBytes());
+  result.model =
+      PartialModel(std::move(decided_true), std::move(decided_false));
+  ctx.ReleaseBitset(std::move(under));
+  ctx.ReleaseBitset(std::move(over_neg));
+  ctx.ReleaseBitset(std::move(over));
+  ctx.ReleaseBitset(std::move(new_false));
+  ctx.ReleaseRules(std::move(current));
+  ctx.ReleaseRules(std::move(next));
+
+  result.eval = ctx.stats().Since(start);
   return result;
+}
+
+ResidualResult WellFoundedResidual(const GroundProgram& gp, HornMode mode) {
+  EvalContext ctx;
+  ResidualOptions options;
+  options.horn_mode = mode;
+  return WellFoundedResidualWithContext(ctx, gp, options);
 }
 
 }  // namespace afp

@@ -3,11 +3,18 @@
 
 #include <cstddef>
 
+#include "core/eval_context.h"
 #include "core/horn_solver.h"
 #include "core/interpretation.h"
 #include "ground/ground_program.h"
 
 namespace afp {
+
+/// Options for the residual-program well-founded computation.
+struct ResidualOptions {
+  HornMode horn_mode = HornMode::kCounting;
+  SpMode sp_mode = SpMode::kDelta;
+};
 
 /// Result of the residual-program well-founded computation.
 struct ResidualResult {
@@ -19,6 +26,9 @@ struct ResidualResult {
   /// plain alternating fixpoint reprocesses the full program every round,
   /// so this is the quantity the optimization reduces.
   std::size_t total_work = 0;
+  /// Work counters for this computation (rules rescanned, delta sizes,
+  /// peak scratch bytes).
+  EvalStats eval;
 };
 
 /// Computes the well-founded model by the alternating fixpoint with
@@ -31,6 +41,14 @@ struct ResidualResult {
 /// in the property tests).
 ResidualResult WellFoundedResidual(const GroundProgram& gp,
                                    HornMode mode = HornMode::kCounting);
+
+/// As above, drawing every per-round buffer from `ctx`: the residual rule
+/// storage is double-buffered (the two buffers swap roles each round and
+/// retain capacity), and each round's occurrence index is rebuilt into the
+/// previous round's — now oversized — arrays as the residual shrinks.
+ResidualResult WellFoundedResidualWithContext(
+    EvalContext& ctx, const GroundProgram& gp,
+    const ResidualOptions& options = {});
 
 }  // namespace afp
 

@@ -1,5 +1,6 @@
 #include "core/scc_engine.h"
 
+#include <utility>
 #include <vector>
 
 #include "analysis/atom_graph.h"
@@ -8,9 +9,12 @@
 
 namespace afp {
 
-SccWfsResult WellFoundedScc(const GroundProgram& gp, HornMode mode) {
+SccWfsResult WellFoundedSccWithContext(EvalContext& ctx,
+                                       const GroundProgram& gp,
+                                       const SccOptions& options) {
   const RuleView view = gp.View();
   const std::size_t n = gp.num_atoms();
+  const EvalStats start = ctx.stats();
   AtomDependencyGraph graph(view);
 
   SccWfsResult result;
@@ -23,14 +27,18 @@ SccWfsResult WellFoundedScc(const GroundProgram& gp, HornMode mode) {
     comp_rules[graph.component_of()[view.rules[ri].head]].push_back(ri);
   }
 
-  Bitset global_true(n);
-  Bitset global_false(n);
+  Bitset global_true = ctx.AcquireBitset(n);
+  Bitset global_false = ctx.AcquireBitset(n);
   // Scratch map AtomId -> local id, versioned to avoid O(n) clears.
   std::vector<std::uint32_t> local_id(n, 0);
   std::vector<std::uint32_t> stamp(n, UINT32_MAX);
 
   AfpOptions afp_opts;
-  afp_opts.horn_mode = mode;
+  afp_opts.horn_mode = options.horn_mode;
+  afp_opts.sp_mode = options.sp_mode;
+
+  // One local rule buffer recycled across all components.
+  OwnedRules local = ctx.AcquireRules();
 
   std::vector<AtomId> pos_buf, neg_buf;
   for (std::uint32_t c = 0; c < graph.num_components(); ++c) {
@@ -42,7 +50,8 @@ SccWfsResult WellFoundedScc(const GroundProgram& gp, HornMode mode) {
     const AtomId sentinel = static_cast<AtomId>(members.size());
     bool sentinel_used = false;
 
-    OwnedRules local;
+    local.rules.clear();
+    local.pool.clear();
     local.num_atoms = members.size() + 1;
     for (std::uint32_t ri : comp_rules[c]) {
       const GroundRule& r = view.rules[ri];
@@ -86,9 +95,11 @@ SccWfsResult WellFoundedScc(const GroundProgram& gp, HornMode mode) {
     }
     result.total_local_size += local.pool.size() + local.rules.size();
 
-    HornSolver solver(local.View());
-    AfpResult local_result = AlternatingFixpointWithSolver(
-        solver, Bitset(local.num_atoms), afp_opts);
+    HornSolver solver(local.View(), &ctx);
+    Bitset local_seed = ctx.AcquireBitset(local.num_atoms);
+    AfpResult local_result =
+        AlternatingFixpointWithContext(ctx, solver, local_seed, afp_opts);
+    ctx.ReleaseBitset(std::move(local_seed));
     for (std::uint32_t i = 0; i < members.size(); ++i) {
       switch (local_result.model.Value(i)) {
         case TruthValue::kTrue:
@@ -101,11 +112,28 @@ SccWfsResult WellFoundedScc(const GroundProgram& gp, HornMode mode) {
           break;
       }
     }
+    // Recycle the local model's bitsets for the next component (reversing
+    // the fixpoint's escape note — they re-enter the pool cycle here).
+    ctx.NoteAdoptedBytes(local_result.model.true_atoms().CapacityBytes() +
+                         local_result.model.false_atoms().CapacityBytes());
+    ctx.ReleaseBitset(std::move(local_result.model.true_atoms()));
+    ctx.ReleaseBitset(std::move(local_result.model.false_atoms()));
   }
+  ctx.ReleaseRules(std::move(local));
 
-  result.model = PartialModel(std::move(global_true),
-                              std::move(global_false));
+  ctx.NoteEscapedBytes(global_true.CapacityBytes() +
+                       global_false.CapacityBytes());
+  result.model =
+      PartialModel(std::move(global_true), std::move(global_false));
+  result.eval = ctx.stats().Since(start);
   return result;
+}
+
+SccWfsResult WellFoundedScc(const GroundProgram& gp, HornMode mode) {
+  EvalContext ctx;
+  SccOptions options;
+  options.horn_mode = mode;
+  return WellFoundedSccWithContext(ctx, gp, options);
 }
 
 }  // namespace afp

@@ -3,11 +3,18 @@
 
 #include <cstddef>
 
+#include "core/eval_context.h"
 #include "core/horn_solver.h"
 #include "core/interpretation.h"
 #include "ground/ground_program.h"
 
 namespace afp {
+
+/// Options for the component-wise well-founded computation.
+struct SccOptions {
+  HornMode horn_mode = HornMode::kCounting;
+  SpMode sp_mode = SpMode::kDelta;
+};
 
 /// Result of the component-wise well-founded computation.
 struct SccWfsResult {
@@ -21,6 +28,9 @@ struct SccWfsResult {
   /// Whether the ground program was locally stratified (in which case the
   /// model is total — the perfect model).
   bool locally_stratified = false;
+  /// Work counters for this computation (rules rescanned, delta sizes,
+  /// peak scratch bytes).
+  EvalStats eval;
 };
 
 /// Computes the well-founded model one strongly connected component of the
@@ -43,6 +53,13 @@ struct SccWfsResult {
 /// the property tests.
 SccWfsResult WellFoundedScc(const GroundProgram& gp,
                             HornMode mode = HornMode::kCounting);
+
+/// As above, drawing every per-component buffer — local rules, occurrence
+/// indexes, fixpoint scratch — from one shared `ctx`, so solving thousands
+/// of small components allocates like solving one.
+SccWfsResult WellFoundedSccWithContext(EvalContext& ctx,
+                                       const GroundProgram& gp,
+                                       const SccOptions& options = {});
 
 }  // namespace afp
 

@@ -6,7 +6,7 @@ namespace afp {
 
 bool GroundProgram::AddRule(AtomId head, std::span<const AtomId> pos,
                             std::span<const AtomId> neg, bool dedupe) {
-  if (dedupe) {
+  if (dedupe && !sealed_) {
     RuleKey key{head, {pos.begin(), pos.end()}, {neg.begin(), neg.end()}};
     std::sort(key.pos.begin(), key.pos.end());
     std::sort(key.neg.begin(), key.neg.end());

@@ -61,8 +61,18 @@ class GroundProgram {
 
   /// Appends a ground rule. When `dedupe` is true, structurally identical
   /// rules are silently skipped. Returns true if the rule was added.
+  /// After SealRules(), duplicate suppression is no longer available.
   bool AddRule(AtomId head, std::span<const AtomId> pos,
                std::span<const AtomId> neg, bool dedupe = true);
+
+  /// Releases the dedupe bookkeeping — a structural copy of every rule
+  /// body, easily rivaling the program itself in size — once construction
+  /// is complete. Called by the grounder before handing the program out;
+  /// rules added afterwards are appended without duplicate checks.
+  void SealRules() {
+    decltype(seen_rules_)().swap(seen_rules_);
+    sealed_ = true;
+  }
 
   const GroundRule& rule(std::size_t i) const { return rules_[i]; }
   std::span<const AtomId> pos(const GroundRule& r) const {
@@ -109,6 +119,7 @@ class GroundProgram {
   std::vector<GroundRule> rules_;
   std::vector<AtomId> body_pool_;
   std::unordered_set<RuleKey, RuleKeyHash> seen_rules_;
+  bool sealed_ = false;
 };
 
 }  // namespace afp

@@ -390,6 +390,9 @@ class GrounderImpl {
       }
       gp.AddRule(remap[pr.head], pos, neg);
     }
+    // Grounding is done: drop the dedupe set (it holds a structural copy
+    // of every rule body) before the program starts its long life.
+    gp.SealRules();
     return gp;
   }
 

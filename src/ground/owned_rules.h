@@ -17,11 +17,17 @@ struct OwnedRules {
 
   RuleView View() const { return RuleView{num_atoms, rules, pool}; }
 
+  /// Overwrites this buffer with a copy of `v` (capacity retained — the
+  /// pooled-buffer path of the residual engine).
+  void AssignFrom(RuleView v) {
+    num_atoms = v.num_atoms;
+    rules.assign(v.rules.begin(), v.rules.end());
+    pool.assign(v.body_pool.begin(), v.body_pool.end());
+  }
+
   static OwnedRules CopyOf(RuleView v) {
     OwnedRules out;
-    out.num_atoms = v.num_atoms;
-    out.rules.assign(v.rules.begin(), v.rules.end());
-    out.pool.assign(v.body_pool.begin(), v.body_pool.end());
+    out.AssignFrom(v);
     return out;
   }
 

@@ -1,5 +1,7 @@
 #include "stable/backtracking.h"
 
+#include <utility>
+
 #include "core/alternating.h"
 #include "ground/owned_rules.h"
 #include "stable/gl_transform.h"
@@ -8,28 +10,33 @@ namespace afp {
 
 namespace {
 
-/// Conditions the program on a set of assumptions: atoms in `assumed_true`
-/// become facts; rules whose head is in `assumed_false` are deleted (so
-/// those atoms are unfounded in the conditioned program).
-OwnedRules Condition(const RuleView& base, const Bitset& assumed_true,
-                     const Bitset& assumed_false, bool delete_false_heads) {
-  OwnedRules out;
-  out.num_atoms = base.num_atoms;
+/// Conditions the program on a set of assumptions into `*out` (cleared
+/// here): atoms in `assumed_true` become facts; rules whose head is in
+/// `assumed_false` are deleted (so those atoms are unfounded in the
+/// conditioned program).
+void Condition(const RuleView& base, const Bitset& assumed_true,
+               const Bitset& assumed_false, bool delete_false_heads,
+               OwnedRules* out) {
+  out->rules.clear();
+  out->pool.clear();
+  out->num_atoms = base.num_atoms;
   for (const GroundRule& r : base.rules) {
     if (delete_false_heads && assumed_false.Test(r.head)) continue;
-    out.Add(r.head, base.pos(r), base.neg(r));
+    out->Add(r.head, base.pos(r), base.neg(r));
   }
   assumed_true.ForEach([&](std::size_t a) {
-    out.Add(static_cast<AtomId>(a), {}, {});
+    out->Add(static_cast<AtomId>(a), {}, {});
   });
-  return out;
 }
 
 }  // namespace
 
 StableModelSearch::StableModelSearch(const GroundProgram& gp,
                                      StableSearchOptions options)
-    : gp_(gp), options_(options), base_solver_(gp.View()) {
+    : gp_(gp),
+      options_(options),
+      base_solver_(gp.View(), &ctx_),
+      base_sp_(base_solver_, ctx_, options_.sp_mode, options_.horn_mode) {
   // Atoms not derivable even with every negative literal granted can never
   // belong to a stable model (S_P is monotonic); they are statically false.
   Bitset all(gp.num_atoms());
@@ -60,34 +67,59 @@ void StableModelSearch::Search(const Bitset& assumed_true,
   ++stats_.nodes;
   const std::size_t n = gp_.num_atoms();
 
-  Bitset decided_true(n);
-  Bitset decided_false(n);
+  // Filled below and returned to the pool on every exit path — the pooled
+  // bitsets the fixpoint produced cycle back instead of being destroyed.
+  Bitset decided_true;
+  Bitset decided_false;
   if (options_.wfs_propagation) {
     // Well-founded deduction on the conditioned program. Every stable model
     // compatible with the assumptions extends this partial model, so its
-    // decided atoms never need to be branched on.
-    OwnedRules conditioned = Condition(gp_.View(), assumed_true,
-                                       assumed_false,
-                                       /*delete_false_heads=*/true);
-    HornSolver solver(conditioned.View());
-    AfpOptions afp_opts;
-    afp_opts.horn_mode = options_.horn_mode;
-    AfpResult afp = AlternatingFixpointWithSolver(solver, Bitset(n),
-                                                  afp_opts);
-    decided_true = afp.model.true_atoms();
-    decided_false = afp.model.false_atoms();
+    // decided atoms never need to be branched on. The conditioned rules,
+    // their indexes, and the fixpoint scratch all come from the pool and
+    // return to it before the recursion below.
+    OwnedRules conditioned = ctx_.AcquireRules();
+    Condition(gp_.View(), assumed_true, assumed_false,
+              /*delete_false_heads=*/true, &conditioned);
+    {
+      HornSolver solver(conditioned.View(), &ctx_);
+      AfpOptions afp_opts;
+      afp_opts.horn_mode = options_.horn_mode;
+      afp_opts.sp_mode = options_.sp_mode;
+      Bitset seed = ctx_.AcquireBitset(n);
+      AfpResult afp =
+          AlternatingFixpointWithContext(ctx_, solver, seed, afp_opts);
+      ctx_.ReleaseBitset(std::move(seed));
+      decided_true = std::move(afp.model.true_atoms());
+      decided_false = std::move(afp.model.false_atoms());
+      // The fixpoint noted these as escaped; this node keeps them in the
+      // pool cycle (released or handed out below), so adopt them back.
+      ctx_.NoteAdoptedBytes(decided_true.CapacityBytes() +
+                            decided_false.CapacityBytes());
+    }
+    ctx_.ReleaseRules(std::move(conditioned));
   } else {
     // Positive-closure-only propagation (the Saccà–Zaniolo flavor): derive
     // what follows from the assumed-false set, detect direct conflicts, and
     // leave everything else to branching.
-    OwnedRules conditioned = Condition(gp_.View(), assumed_true,
-                                       assumed_false,
-                                       /*delete_false_heads=*/false);
-    HornSolver solver(conditioned.View());
-    decided_true = solver.EventualConsequences(assumed_false,
-                                               options_.horn_mode);
-    if (!decided_true.IsDisjointWith(assumed_false)) return;  // conflict
-    decided_false = assumed_false;
+    OwnedRules conditioned = ctx_.AcquireRules();
+    Condition(gp_.View(), assumed_true, assumed_false,
+              /*delete_false_heads=*/false, &conditioned);
+    {
+      HornSolver solver(conditioned.View(), &ctx_);
+      // Single-shot evaluation: scratch mode, regardless of the search's
+      // sp_mode (a per-node evaluator never sees a second, delta-able
+      // call; kDelta would only add a wasted last_false_ copy).
+      SpEvaluator sp(solver, ctx_, SpMode::kScratch, options_.horn_mode);
+      decided_true = ctx_.AcquireBitset(n);
+      sp.Eval(assumed_false, &decided_true);
+    }
+    ctx_.ReleaseRules(std::move(conditioned));
+    if (!decided_true.IsDisjointWith(assumed_false)) {  // conflict
+      ctx_.ReleaseBitset(std::move(decided_true));
+      return;
+    }
+    decided_false = ctx_.AcquireBitset(n);
+    decided_false |= assumed_false;
     decided_false |= statically_false_;
   }
 
@@ -104,24 +136,41 @@ void StableModelSearch::Search(const Bitset& assumed_true,
     // Total leaf: verify stability against the *original* program.
     ++stats_.leaves;
     ++stats_.stable_checks;
-    if (IsStableModel(base_solver_, decided_true)) {
+    if (IsStableModel(ctx_, base_sp_, decided_true)) {
       ++stats_.models;
-      if (out != nullptr) out->push_back(decided_true);
+      // Hand the model itself to the caller; its storage leaves the pool
+      // cycle with it (releasing the hollowed-out shell would seed the
+      // pool with zero-capacity buffers).
+      if (out != nullptr) {
+        ctx_.NoteEscapedBytes(decided_true.CapacityBytes());
+        out->push_back(std::move(decided_true));
+      } else {
+        ctx_.ReleaseBitset(std::move(decided_true));
+      }
+    } else {
+      ctx_.ReleaseBitset(std::move(decided_true));
     }
+    ctx_.ReleaseBitset(std::move(decided_false));
     return;
   }
+  ctx_.ReleaseBitset(std::move(decided_true));
+  ctx_.ReleaseBitset(std::move(decided_false));
 
   // Assume-false first (the negative premises are what gets guessed in the
   // backtracking fixpoint), then assume-true.
   {
-    Bitset f = assumed_false;
+    Bitset f = ctx_.AcquireBitset(n);
+    f |= assumed_false;
     f.Set(branch);
     Search(assumed_true, f, out);
+    ctx_.ReleaseBitset(std::move(f));
   }
   {
-    Bitset t = assumed_true;
+    Bitset t = ctx_.AcquireBitset(n);
+    t |= assumed_true;
     t.Set(branch);
     Search(t, assumed_false, out);
+    ctx_.ReleaseBitset(std::move(t));
   }
 }
 

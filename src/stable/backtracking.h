@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "core/eval_context.h"
 #include "core/horn_solver.h"
 #include "ground/ground_program.h"
 #include "util/bitset.h"
@@ -21,6 +22,9 @@ struct StableSearchOptions {
   /// unpleasant". bench_stable_np compares the two.
   bool wfs_propagation = true;
   HornMode horn_mode = HornMode::kCounting;
+  /// Enablement recomputation strategy for every S_P evaluation the search
+  /// performs (node propagation and leaf stability checks).
+  SpMode sp_mode = SpMode::kDelta;
 };
 
 /// Search statistics.
@@ -41,6 +45,11 @@ struct StableSearchStats {
 /// Gelfond–Lifschitz condition. Since every stable model extends the
 /// well-founded partial model (§2.4), the WFS propagation prunes the
 /// search without losing models.
+///
+/// All per-node scratch — the conditioned rule buffer, its occurrence
+/// indexes, and the fixpoint working sets — cycles through one EvalContext
+/// owned by the search, so visiting a node allocates nothing once the
+/// context is warm.
 class StableModelSearch {
  public:
   explicit StableModelSearch(const GroundProgram& gp,
@@ -54,6 +63,8 @@ class StableModelSearch {
   std::size_t Count();
 
   const StableSearchStats& stats() const { return stats_; }
+  /// Cumulative evaluation work across all runs of this search object.
+  const EvalStats& eval_stats() const { return ctx_.stats(); }
 
  private:
   void Search(const Bitset& assumed_true, const Bitset& assumed_false,
@@ -64,7 +75,9 @@ class StableModelSearch {
 
   const GroundProgram& gp_;
   StableSearchOptions options_;
+  EvalContext ctx_;  // must outlive the solvers/evaluators drawing from it
   HornSolver base_solver_;
+  SpEvaluator base_sp_;      // leaf stability checks, delta-driven
   Bitset statically_false_;  // atoms underivable under any assumptions
   StableSearchStats stats_;
 };

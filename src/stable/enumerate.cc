@@ -1,5 +1,6 @@
 #include "stable/enumerate.h"
 
+#include "core/eval_context.h"
 #include "core/horn_solver.h"
 #include "stable/gl_transform.h"
 
@@ -13,14 +14,19 @@ StatusOr<std::vector<Bitset>> EnumerateStableModelsBruteForce(
         "brute-force stable enumeration over " + std::to_string(n) +
         " atoms exceeds max_universe=" + std::to_string(max_universe));
   }
-  HornSolver solver(gp.View());
+  EvalContext ctx;
+  HornSolver solver(gp.View(), &ctx);
+  // Consecutive masks differ in few (amortized two) trailing bits, so the
+  // delta-driven evaluator re-examines almost no rules per candidate.
+  SpEvaluator sp(solver, ctx);
   std::vector<Bitset> models;
+  Bitset pos(n);
   for (std::uint64_t mask = 0; mask < (1ULL << n); ++mask) {
-    Bitset pos(n);
+    pos.Clear();
     for (std::size_t i = 0; i < n; ++i) {
       if ((mask >> i) & 1) pos.Set(i);
     }
-    if (IsStableModel(solver, pos)) models.push_back(std::move(pos));
+    if (IsStableModel(ctx, sp, pos)) models.push_back(pos);
   }
   return models;
 }

@@ -1,5 +1,7 @@
 #include "stable/gl_transform.h"
 
+#include <utility>
+
 namespace afp {
 
 std::vector<ReductRule> GlReduct(const RuleView& view, const Bitset& pos) {
@@ -28,6 +30,18 @@ Bitset ReductLeastModel(const HornSolver& solver, const Bitset& pos) {
 
 bool IsStableModel(const HornSolver& solver, const Bitset& pos) {
   return ReductLeastModel(solver, pos) == pos;
+}
+
+bool IsStableModel(EvalContext& ctx, SpEvaluator& sp, const Bitset& pos) {
+  Bitset neg = ctx.AcquireBitset(pos.universe_size());
+  neg |= pos;
+  neg.Complement();
+  Bitset lfp = ctx.AcquireBitset(pos.universe_size());
+  sp.Eval(neg, &lfp);
+  const bool stable = lfp == pos;
+  ctx.ReleaseBitset(std::move(neg));
+  ctx.ReleaseBitset(std::move(lfp));
+  return stable;
 }
 
 }  // namespace afp

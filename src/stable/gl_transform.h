@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "core/eval_context.h"
 #include "core/horn_solver.h"
 #include "ground/ground_program.h"
 #include "util/bitset.h"
@@ -31,6 +32,13 @@ Bitset ReductLeastModel(const HornSolver& solver, const Bitset& pos);
 /// model of P^M equals M. Equivalently (paper §4), M̃ is a fixpoint of the
 /// stability transformation S̃_P.
 bool IsStableModel(const HornSolver& solver, const Bitset& pos);
+
+/// Incremental variant for enumerators that test many nearby candidates:
+/// `sp` keeps delta state across calls, so checking a candidate that
+/// differs from the previous one in k atoms re-examines only the rules
+/// those k atoms occur in negatively. `ctx` supplies the complement
+/// scratch.
+bool IsStableModel(EvalContext& ctx, SpEvaluator& sp, const Bitset& pos);
 
 }  // namespace afp
 

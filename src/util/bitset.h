@@ -24,6 +24,20 @@ class Bitset {
 
   std::size_t universe_size() const { return size_; }
 
+  /// Re-sizes the universe and clears every bit. Word storage is retained
+  /// where possible, so pooled scratch bitsets can be recycled across
+  /// programs of different sizes without reallocating.
+  void Resize(std::size_t universe) {
+    size_ = universe;
+    words_.assign((universe + 63) / 64, 0ULL);
+  }
+
+  /// Bytes of backing storage currently reserved (diagnostics: the
+  /// EvalContext scratch high-water mark).
+  std::size_t CapacityBytes() const {
+    return words_.capacity() * sizeof(std::uint64_t);
+  }
+
   void Set(std::size_t i) { words_[i >> 6] |= 1ULL << (i & 63); }
   void Reset(std::size_t i) { words_[i >> 6] &= ~(1ULL << (i & 63)); }
   bool Test(std::size_t i) const {
@@ -100,6 +114,24 @@ class Bitset {
       if (words_[i] & o.words_[i]) return false;
     }
     return true;
+  }
+
+  /// Calls fn(i, now_set) for every position whose bit differs between
+  /// `prev` and `now` (equal universe sizes required); `now_set` is the
+  /// bit's value in `now`. Word-level XOR scan — the primitive behind
+  /// delta-driven S_P re-evaluation.
+  template <typename Fn>
+  static void ForEachChanged(const Bitset& prev, const Bitset& now,
+                             Fn&& fn) {
+    for (std::size_t wi = 0; wi < now.words_.size(); ++wi) {
+      std::uint64_t diff = prev.words_[wi] ^ now.words_[wi];
+      while (diff) {
+        std::size_t bit = CountTrailingZeros(diff);
+        std::size_t i = wi * 64 + bit;
+        fn(i, (now.words_[wi] >> bit) & 1ULL);
+        diff &= diff - 1;
+      }
+    }
   }
 
   /// Calls fn(i) for every set bit i in increasing order.

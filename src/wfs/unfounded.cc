@@ -1,17 +1,23 @@
 #include "wfs/unfounded.h"
 
+#include <utility>
 #include <vector>
 
 namespace afp {
 
-Bitset GreatestUnfoundedSet(const HornSolver& solver, const PartialModel& I) {
+void GreatestUnfoundedSet(EvalContext& ctx, const HornSolver& solver,
+                          const PartialModel& I, Bitset* out) {
   const RuleView& view = solver.view();
   // X = least set such that p ∈ X whenever some rule for p has no body
   // literal false in I and all its positive body atoms are in X. Then
-  // U_P(I) = H − X.
-  Bitset x(view.num_atoms);
-  std::vector<std::uint32_t> remaining(view.rules.size());
-  std::vector<AtomId> queue;
+  // U_P(I) = H − X. `out` doubles as X and is complemented at the end.
+  out->Resize(view.num_atoms);
+  Bitset& x = *out;
+  std::vector<std::uint32_t> remaining = ctx.AcquireU32();
+  remaining.resize(view.rules.size());
+  std::vector<std::uint32_t> queue = ctx.AcquireU32();
+  ++ctx.stats().sp_calls;
+  ctx.stats().rules_rescanned += view.rules.size();
 
   for (std::uint32_t ri = 0; ri < view.rules.size(); ++ri) {
     const GroundRule& r = view.rules[ri];
@@ -58,7 +64,16 @@ Bitset GreatestUnfoundedSet(const HornSolver& solver, const PartialModel& I) {
       }
     }
   }
-  return Bitset::ComplementOf(x);
+  ctx.ReleaseU32(std::move(remaining));
+  ctx.ReleaseU32(std::move(queue));
+  out->Complement();
+}
+
+Bitset GreatestUnfoundedSet(const HornSolver& solver, const PartialModel& I) {
+  EvalContext ctx;
+  Bitset out;
+  GreatestUnfoundedSet(ctx, solver, I, &out);
+  return out;
 }
 
 bool IsUnfoundedSet(const RuleView& view, const PartialModel& I,

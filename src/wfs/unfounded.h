@@ -1,6 +1,7 @@
 #ifndef AFP_WFS_UNFOUNDED_H_
 #define AFP_WFS_UNFOUNDED_H_
 
+#include "core/eval_context.h"
 #include "core/horn_solver.h"
 #include "core/interpretation.h"
 #include "util/bitset.h"
@@ -19,6 +20,11 @@ namespace afp {
 ///
 /// `solver` supplies the positive-occurrence index for the rule view.
 Bitset GreatestUnfoundedSet(const HornSolver& solver, const PartialModel& I);
+
+/// As above, into `*out` with all scratch (counters, queue) drawn from
+/// `ctx`; the W_P iteration calls this once per round through one context.
+void GreatestUnfoundedSet(EvalContext& ctx, const HornSolver& solver,
+                          const PartialModel& I, Bitset* out);
 
 /// Returns true iff `candidate` is an unfounded set of the program w.r.t. I,
 /// by direct check of Definition 6.1 (used in tests and assertions).

@@ -1,14 +1,18 @@
 #include "wfs/wp_engine.h"
 
+#include <utility>
+
 #include "core/horn_solver.h"
 #include "wfs/unfounded.h"
 
 namespace afp {
 
-Bitset ImmediateConsequences(const RuleView& view, const PartialModel& I) {
-  Bitset out(view.num_atoms);
+void ImmediateConsequences(EvalContext& ctx, const RuleView& view,
+                           const PartialModel& I, Bitset* out) {
+  ctx.stats().rules_rescanned += view.rules.size();
+  out->Resize(view.num_atoms);
   for (const GroundRule& r : view.rules) {
-    if (out.Test(r.head)) continue;
+    if (out->Test(r.head)) continue;
     bool body_true = true;
     for (AtomId a : view.pos(r)) {
       if (!I.true_atoms().Test(a)) {
@@ -24,24 +28,44 @@ Bitset ImmediateConsequences(const RuleView& view, const PartialModel& I) {
         }
       }
     }
-    if (body_true) out.Set(r.head);
+    if (body_true) out->Set(r.head);
   }
+}
+
+Bitset ImmediateConsequences(const RuleView& view, const PartialModel& I) {
+  EvalContext ctx;
+  Bitset out;
+  ImmediateConsequences(ctx, view, I, &out);
   return out;
 }
 
-WpResult WellFoundedViaWp(const GroundProgram& gp) {
+WpResult WellFoundedViaWpWithContext(EvalContext& ctx,
+                                     const GroundProgram& gp) {
   WpResult result;
-  HornSolver solver(gp.View());  // provides the shared occurrence index
+  const EvalStats start = ctx.stats();
+  // Provides the shared occurrence index (built into pooled storage).
+  HornSolver solver(gp.View(), &ctx);
   PartialModel I = PartialModel::AllUndefined(gp.num_atoms());
+  Bitset new_true = ctx.AcquireBitset(gp.num_atoms());
+  Bitset new_false = ctx.AcquireBitset(gp.num_atoms());
   while (true) {
     ++result.iterations;
-    Bitset new_true = ImmediateConsequences(gp.View(), I);
-    Bitset new_false = GreatestUnfoundedSet(solver, I);
+    ImmediateConsequences(ctx, gp.View(), I, &new_true);
+    GreatestUnfoundedSet(ctx, solver, I, &new_false);
     if (new_true == I.true_atoms() && new_false == I.false_atoms()) break;
-    I = PartialModel(std::move(new_true), std::move(new_false));
+    std::swap(I.true_atoms(), new_true);
+    std::swap(I.false_atoms(), new_false);
   }
+  ctx.ReleaseBitset(std::move(new_true));
+  ctx.ReleaseBitset(std::move(new_false));
   result.model = std::move(I);
+  result.eval = ctx.stats().Since(start);
   return result;
+}
+
+WpResult WellFoundedViaWp(const GroundProgram& gp) {
+  EvalContext ctx;
+  return WellFoundedViaWpWithContext(ctx, gp);
 }
 
 }  // namespace afp

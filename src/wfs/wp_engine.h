@@ -3,6 +3,7 @@
 
 #include <cstddef>
 
+#include "core/eval_context.h"
 #include "core/interpretation.h"
 #include "ground/ground_program.h"
 
@@ -15,12 +16,19 @@ struct WpResult {
   /// Number of W_P applications until the fixpoint (including the final
   /// confirming application).
   std::size_t iterations = 0;
+  /// Work counters for this computation.
+  EvalStats eval;
 };
 
 /// One application of the immediate consequence transformation T_P
 /// (Definition 3.7): heads of rules whose body is true in I, where a
 /// negative literal `not q` is true iff ¬q ∈ I (i.e. q is false in I).
 Bitset ImmediateConsequences(const RuleView& view, const PartialModel& I);
+
+/// In-place variant for engine loops: `*out` is resized and cleared here,
+/// and the full-program scan is charged to `ctx`'s rules_rescanned.
+void ImmediateConsequences(EvalContext& ctx, const RuleView& view,
+                           const PartialModel& I, Bitset* out);
 
 /// Computes the well-founded partial model by the original
 /// Van Gelder–Ross–Schlipf construction (§6): iterate
@@ -29,6 +37,10 @@ Bitset ImmediateConsequences(const RuleView& view, const PartialModel& I);
 /// guarantees both return the same model; bench_afp_vs_wfs measures the
 /// relative cost).
 WpResult WellFoundedViaWp(const GroundProgram& gp);
+
+/// As above, drawing all per-iteration scratch from `ctx`.
+WpResult WellFoundedViaWpWithContext(EvalContext& ctx,
+                                     const GroundProgram& gp);
 
 }  // namespace afp
 

@@ -1,0 +1,285 @@
+// EvalContext / delta-driven S_P coverage:
+//  * reusing one context across many solves — and re-solving the same
+//    program through it — yields bit-identical models (the pooled scratch
+//    leaks no state between calls), over the examples/programs/ corpus and
+//    random workload:: programs;
+//  * the delta-driven enablement path equals the from-scratch path on every
+//    engine (the ISSUE's differential pin), while doing measurably less
+//    enablement work;
+//  * SpEvaluator matches HornSolver::EventualConsequences call by call on
+//    arbitrary assumed-false sequences.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/alternating.h"
+#include "core/eval_context.h"
+#include "core/residual.h"
+#include "core/scc_engine.h"
+#include "ground/grounder.h"
+#include "stable/backtracking.h"
+#include "stable/enumerate.h"
+#include "wfs/wp_engine.h"
+#include "workload/graphs.h"
+#include "workload/programs.h"
+
+namespace afp {
+namespace {
+
+std::vector<std::string> CorpusTexts() {
+  std::vector<std::string> texts;
+  const std::filesystem::path dir(AFP_LP_CORPUS_DIR);
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".lp") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  for (const auto& f : files) {
+    std::ifstream in(f);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    texts.push_back(ss.str());
+  }
+  return texts;
+}
+
+std::vector<Program> WorkloadPrograms() {
+  std::vector<Program> programs;
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    programs.push_back(workload::RandomPropositional(12, 18, 3, 60, seed));
+    programs.push_back(workload::RandomDatalog(4, 6, 8, seed));
+  }
+  for (int n : {10, 25}) {
+    programs.push_back(workload::WinMove(graphs::ErdosRenyi(n, 3 * n, 7)));
+  }
+  return programs;
+}
+
+// One shared context across the whole corpus, each program solved twice:
+// the second pass must be bit-identical to the first (no scratch state can
+// leak between solves), and both must match a fresh-context solve.
+TEST(EvalContextReuse, CorpusTwiceThroughSharedContextIsBitIdentical) {
+  EvalContext shared;
+  int solved = 0;
+  for (const std::string& text : CorpusTexts()) {
+    auto parsed = ParseProgram(text);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    Program p = std::move(parsed).value();
+    auto ground = Grounder::Ground(p);
+    ASSERT_TRUE(ground.ok()) << ground.status().ToString();
+
+    HornSolver solver(ground->View(), &shared);
+    Bitset seed(ground->num_atoms());
+    AfpResult first =
+        AlternatingFixpointWithContext(shared, solver, seed, {});
+    AfpResult second =
+        AlternatingFixpointWithContext(shared, solver, seed, {});
+    EXPECT_EQ(first.model, second.model);
+    EXPECT_EQ(first.outer_iterations, second.outer_iterations);
+
+    AfpResult fresh = AlternatingFixpoint(*ground);
+    EXPECT_EQ(first.model, fresh.model);
+    ++solved;
+  }
+  EXPECT_GT(solved, 5);  // the corpus must actually be found
+}
+
+TEST(EvalContextReuse, WorkloadProgramsTwiceThroughSharedContext) {
+  EvalContext shared;
+  for (Program& p : WorkloadPrograms()) {
+    auto ground = Grounder::Ground(p);
+    ASSERT_TRUE(ground.ok()) << ground.status().ToString();
+
+    HornSolver solver(ground->View(), &shared);
+    Bitset seed(ground->num_atoms());
+    AfpResult first =
+        AlternatingFixpointWithContext(shared, solver, seed, {});
+    AfpResult second =
+        AlternatingFixpointWithContext(shared, solver, seed, {});
+    EXPECT_EQ(first.model, second.model) << p.ToString();
+
+    // The other context-threaded engines through the same shared context.
+    ResidualResult res1 = WellFoundedResidualWithContext(shared, *ground);
+    ResidualResult res2 = WellFoundedResidualWithContext(shared, *ground);
+    EXPECT_EQ(res1.model, res2.model);
+    EXPECT_EQ(first.model, res1.model);
+
+    SccWfsResult scc1 = WellFoundedSccWithContext(shared, *ground);
+    SccWfsResult scc2 = WellFoundedSccWithContext(shared, *ground);
+    EXPECT_EQ(scc1.model, scc2.model);
+    EXPECT_EQ(first.model, scc1.model);
+
+    WpResult wp1 = WellFoundedViaWpWithContext(shared, *ground);
+    WpResult wp2 = WellFoundedViaWpWithContext(shared, *ground);
+    EXPECT_EQ(wp1.model, wp2.model);
+    EXPECT_EQ(first.model, wp1.model);
+  }
+}
+
+// The differential pin: delta-driven S_P == from-scratch S_P on every
+// engine that exposes the axis, over random programs with heavy negation.
+TEST(DeltaScratchDifferential, AllEnginesAgreeAcrossSpModes) {
+  EvalContext ctx;
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    Program p = workload::RandomPropositional(14, 30, 3, 70, seed);
+    auto ground = Grounder::Ground(p);
+    ASSERT_TRUE(ground.ok());
+
+    AfpOptions delta_opts;
+    delta_opts.sp_mode = SpMode::kDelta;
+    AfpOptions scratch_opts;
+    scratch_opts.sp_mode = SpMode::kScratch;
+    AfpResult afp_delta = AlternatingFixpoint(*ground, delta_opts);
+    AfpResult afp_scratch = AlternatingFixpoint(*ground, scratch_opts);
+    EXPECT_EQ(afp_delta.model, afp_scratch.model) << "seed " << seed;
+    // Same fixpoint trajectory, so the same number of S_P calls; the delta
+    // path must never examine more rules than the scratch path.
+    EXPECT_EQ(afp_delta.sp_calls, afp_scratch.sp_calls) << "seed " << seed;
+    EXPECT_LE(afp_delta.eval.rules_rescanned,
+              afp_scratch.eval.rules_rescanned)
+        << "seed " << seed;
+
+    ResidualOptions res_delta;
+    res_delta.sp_mode = SpMode::kDelta;
+    ResidualOptions res_scratch;
+    res_scratch.sp_mode = SpMode::kScratch;
+    ResidualResult r_delta =
+        WellFoundedResidualWithContext(ctx, *ground, res_delta);
+    ResidualResult r_scratch =
+        WellFoundedResidualWithContext(ctx, *ground, res_scratch);
+    EXPECT_EQ(r_delta.model, r_scratch.model) << "seed " << seed;
+    EXPECT_EQ(afp_delta.model, r_delta.model) << "seed " << seed;
+
+    SccOptions scc_delta;
+    scc_delta.sp_mode = SpMode::kDelta;
+    SccOptions scc_scratch;
+    scc_scratch.sp_mode = SpMode::kScratch;
+    SccWfsResult s_delta = WellFoundedSccWithContext(ctx, *ground, scc_delta);
+    SccWfsResult s_scratch =
+        WellFoundedSccWithContext(ctx, *ground, scc_scratch);
+    EXPECT_EQ(s_delta.model, s_scratch.model) << "seed " << seed;
+    EXPECT_EQ(afp_delta.model, s_delta.model) << "seed " << seed;
+
+    // W_P has no delta axis but must agree with both.
+    EXPECT_EQ(afp_delta.model, WellFoundedViaWpWithContext(ctx, *ground).model)
+        << "seed " << seed;
+  }
+}
+
+// Stable-model search across the axis: identical model sets and identical
+// search trees.
+TEST(DeltaScratchDifferential, StableSearchAgreesAcrossSpModes) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    Program p = workload::RandomPropositional(10, 14, 2, 80, seed);
+    auto ground = Grounder::Ground(p);
+    ASSERT_TRUE(ground.ok());
+
+    StableSearchOptions delta_opts;
+    delta_opts.sp_mode = SpMode::kDelta;
+    StableSearchOptions scratch_opts;
+    scratch_opts.sp_mode = SpMode::kScratch;
+    StableModelSearch delta_search(*ground, delta_opts);
+    StableModelSearch scratch_search(*ground, scratch_opts);
+    auto delta_models = delta_search.Enumerate();
+    auto scratch_models = scratch_search.Enumerate();
+    ASSERT_EQ(delta_models.size(), scratch_models.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < delta_models.size(); ++i) {
+      EXPECT_EQ(delta_models[i], scratch_models[i]) << "seed " << seed;
+    }
+    EXPECT_EQ(delta_search.stats().nodes, scratch_search.stats().nodes);
+
+    // And the brute-force enumerator (internally delta-driven) agrees.
+    if (ground->num_atoms() <= 16) {
+      auto brute = EnumerateStableModelsBruteForce(*ground);
+      ASSERT_TRUE(brute.ok());
+      ASSERT_EQ(brute->size(), delta_models.size()) << "seed " << seed;
+    }
+  }
+}
+
+// SpEvaluator against the reference solver, on an adversarial call
+// sequence: random assumed-false sets (not monotone, large deltas both
+// directions), interleaved across two evaluators sharing one context.
+TEST(SpEvaluatorDifferential, MatchesReferenceOnRandomSequences) {
+  EvalContext ctx;
+  for (std::uint64_t seed = 50; seed < 58; ++seed) {
+    Program p = workload::RandomPropositional(16, 28, 3, 60, seed);
+    auto ground = Grounder::Ground(p);
+    ASSERT_TRUE(ground.ok());
+    const std::size_t n = ground->num_atoms();
+    HornSolver solver(ground->View(), &ctx);
+    SpEvaluator sp_a(solver, ctx, SpMode::kDelta);
+    SpEvaluator sp_b(solver, ctx, SpMode::kDelta);
+
+    std::uint64_t rng = seed * 6364136223846793005ULL + 1442695040888963407ULL;
+    Bitset assumed(n);
+    Bitset out;
+    for (int step = 0; step < 30; ++step) {
+      // Flip a pseudo-random handful of atoms.
+      for (int f = 0; f < 3; ++f) {
+        rng = rng * 6364136223846793005ULL + 1442695040888963407ULL;
+        std::size_t a = (rng >> 33) % (n == 0 ? 1 : n);
+        if (n == 0) break;
+        if (assumed.Test(a)) {
+          assumed.Reset(a);
+        } else {
+          assumed.Set(a);
+        }
+      }
+      SpEvaluator& sp = (step % 2 == 0) ? sp_a : sp_b;
+      sp.Eval(assumed, &out);
+      EXPECT_EQ(out, solver.EventualConsequences(assumed))
+          << "seed " << seed << " step " << step;
+    }
+  }
+}
+
+// The seeded and unseeded paths are one code path: a seed of the empty set
+// (properly sized) must reproduce the unseeded result exactly, and seeding
+// with the model's own false set is idempotent.
+TEST(SeededPath, EmptySeedEqualsUnseeded) {
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    Program p = workload::RandomPropositional(12, 20, 2, 50, seed);
+    auto ground = Grounder::Ground(p);
+    ASSERT_TRUE(ground.ok());
+    AfpResult plain = AlternatingFixpoint(*ground);
+    AfpResult empty_seeded =
+        AlternatingFixpointSeeded(*ground, Bitset(ground->num_atoms()));
+    EXPECT_EQ(plain.model, empty_seeded.model) << "seed " << seed;
+    EXPECT_EQ(plain.outer_iterations, empty_seeded.outer_iterations);
+    AfpResult reseeded =
+        AlternatingFixpointSeeded(*ground, plain.model.false_atoms());
+    EXPECT_EQ(plain.model, reseeded.model) << "seed " << seed;
+  }
+}
+
+// The grounder seals the dedupe set; the program stays fully functional
+// (solving, rendering) and rules can still be appended afterwards.
+TEST(SealRules, GroundProgramWorksAfterSealing) {
+  auto parsed = ParseProgram(
+      "move(a,b). move(b,a). move(b,c). move(c,d).\n"
+      "wins(X) :- move(X,Y), not wins(Y).\n");
+  ASSERT_TRUE(parsed.ok());
+  Program p = std::move(parsed).value();
+  auto ground = Grounder::Ground(p);
+  ASSERT_TRUE(ground.ok());
+  const std::size_t rules_before = ground->num_rules();
+  AfpResult before = AlternatingFixpoint(*ground);
+
+  // Post-seal appends are accepted (without duplicate suppression).
+  ASSERT_TRUE(ground->num_atoms() > 0);
+  EXPECT_TRUE(ground->AddRule(0, {}, {}));
+  EXPECT_TRUE(ground->AddRule(0, {}, {}));  // duplicate, no longer filtered
+  EXPECT_EQ(ground->num_rules(), rules_before + 2);
+  AfpResult after = AlternatingFixpoint(*ground);
+  EXPECT_TRUE(before.model.true_atoms().IsSubsetOf(after.model.true_atoms()));
+}
+
+}  // namespace
+}  // namespace afp

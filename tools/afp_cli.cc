@@ -6,6 +6,8 @@
 // Options:
 //   --semantics=wfs|stable|fitting|stratified|ifp   (default wfs)
 //   --engine=afp|wp|residual|scc       well-founded engine (default afp)
+//   --sp=delta|scratch                 S_P enablement recomputation
+//                                      (default delta; scratch = ablation)
 //   --query=ATOM                       point query (repeatable via commas)
 //   --select=PATTERN                   enumerate matches, e.g. wins(X)
 //   --trace                            print the Table-I style trace (wfs)
@@ -29,6 +31,8 @@ namespace {
 struct Options {
   std::string semantics = "wfs";
   std::string engine = "afp";
+  std::string sp = "delta";
+  bool sp_given = false;
   std::vector<std::string> queries;
   std::vector<std::string> selects;
   bool trace = false;
@@ -100,6 +104,10 @@ int main(int argc, char** argv) {
     std::string value;
     if (ParseFlag(arg, "semantics", &opts.semantics)) continue;
     if (ParseFlag(arg, "engine", &opts.engine)) continue;
+    if (ParseFlag(arg, "sp", &opts.sp)) {
+      opts.sp_given = true;
+      continue;
+    }
     if (ParseFlag(arg, "query", &value)) {
       SplitCommas(value, &opts.queries);
       continue;
@@ -133,6 +141,23 @@ int main(int argc, char** argv) {
       return 1;
     }
     opts.file = arg;
+  }
+  if (opts.sp != "delta" && opts.sp != "scratch") {
+    std::cerr << "afp: unknown --sp mode '" << opts.sp << "'\n";
+    return 1;
+  }
+  const afp::SpMode sp_mode =
+      opts.sp == "scratch" ? afp::SpMode::kScratch : afp::SpMode::kDelta;
+  // The S_P mode axis only exists where S_P is iterated: the wfs engines
+  // afp/residual/scc and the stable search. Warn instead of silently
+  // ignoring it elsewhere (e.g. an --engine=wp ablation would otherwise
+  // compare two identical runs).
+  const bool sp_applies =
+      (opts.semantics == "wfs" && opts.engine != "wp") ||
+      opts.semantics == "stable";
+  if (opts.sp_given && !sp_applies) {
+    std::cerr << "afp: note: --sp has no effect for --semantics="
+              << opts.semantics << " --engine=" << opts.engine << "\n";
   }
 
   std::string text;
@@ -177,15 +202,41 @@ int main(int argc, char** argv) {
 
   if (opts.semantics == "wfs") {
     afp::PartialModel model;
+    afp::EvalStats eval;
     if (opts.engine == "wp") {
-      model = afp::WellFoundedViaWp(gp).model;
+      afp::WpResult r = afp::WellFoundedViaWp(gp);
+      if (opts.stats) {
+        std::cout << "% W_P iterations: " << r.iterations << "\n";
+      }
+      eval = r.eval;
+      model = std::move(r.model);
     } else if (opts.engine == "residual") {
-      model = afp::WellFoundedResidual(gp).model;
+      afp::EvalContext ctx;
+      afp::ResidualOptions ropts;
+      ropts.sp_mode = sp_mode;
+      afp::ResidualResult r =
+          afp::WellFoundedResidualWithContext(ctx, gp, ropts);
+      if (opts.stats) {
+        std::cout << "% rounds: " << r.rounds
+                  << "  residual work: " << r.total_work << "\n";
+      }
+      eval = r.eval;
+      model = std::move(r.model);
     } else if (opts.engine == "scc") {
-      model = afp::WellFoundedScc(gp).model;
+      afp::EvalContext ctx;
+      afp::SccOptions sopts;
+      sopts.sp_mode = sp_mode;
+      afp::SccWfsResult r = afp::WellFoundedSccWithContext(ctx, gp, sopts);
+      if (opts.stats) {
+        std::cout << "% components: " << r.num_components
+                  << "  local size: " << r.total_local_size << "\n";
+      }
+      eval = r.eval;
+      model = std::move(r.model);
     } else {
       afp::AfpOptions aopts;
       aopts.record_trace = opts.trace;
+      aopts.sp_mode = sp_mode;
       afp::AfpResult r = afp::AlternatingFixpoint(gp, aopts);
       if (opts.trace) {
         afp::TablePrinter table({"k", "neg I_k", "S_P(I_k)"});
@@ -197,10 +248,17 @@ int main(int argc, char** argv) {
         table.Print(std::cout);
       }
       if (opts.stats) {
-        std::cout << "% A_P rounds: " << r.outer_iterations
-                  << "  S_P calls: " << r.sp_calls << "\n";
+        std::cout << "% A_P rounds: " << r.outer_iterations << "\n";
       }
+      eval = r.eval;
       model = std::move(r.model);
+    }
+    if (opts.stats) {
+      std::cout << "% S_P calls: " << eval.sp_calls
+                << "  rules rescanned: " << eval.rules_rescanned
+                << "  delta atoms: " << eval.delta_atoms
+                << "  peak scratch bytes: " << eval.peak_scratch_bytes
+                << "\n";
     }
     PrintModel(gp, model, opts);
     return 0;
@@ -208,6 +266,7 @@ int main(int argc, char** argv) {
   if (opts.semantics == "stable") {
     afp::StableSearchOptions sopts;
     sopts.max_models = opts.max_models;
+    sopts.sp_mode = sp_mode;
     afp::StableModelSearch search(gp, sopts);
     auto models = search.Enumerate();
     std::cout << "% " << models.size() << " stable model(s)\n";
@@ -216,7 +275,12 @@ int main(int argc, char** argv) {
                 << afp::AtomSetToString(gp, models[i]) << "\n";
     }
     if (opts.stats) {
-      std::cout << "% search nodes: " << search.stats().nodes << "\n";
+      const afp::EvalStats& eval = search.eval_stats();
+      std::cout << "% search nodes: " << search.stats().nodes
+                << "  S_P calls: " << eval.sp_calls
+                << "  rules rescanned: " << eval.rules_rescanned
+                << "  peak scratch bytes: " << eval.peak_scratch_bytes
+                << "\n";
     }
     return 0;
   }

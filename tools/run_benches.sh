@@ -64,6 +64,44 @@ for bench in "${BENCHES[@]}"; do
   if grep -q "benchmark/benchmark.h" "${REPO_ROOT}/bench/${bench}.cc" 2>/dev/null; then
     # Google Benchmark: native JSON report.
     "${bin}" --benchmark_out="${out_json}" --benchmark_out_format=json
+    if [[ "${bench}" == "bench_ablation" ]]; then
+      # Distill the incremental-vs-scratch axis (delta-driven S_P vs full
+      # rescan, paired by workload/size) into its own compact report.
+      python3 - "${out_json}" "${OUT_DIR}/BENCH_ablation_axis.json" \
+        "${GIT_REV}" "${TIMESTAMP}" <<'PYEOF'
+import json, sys
+src, dst, git_rev, timestamp = sys.argv[1:5]
+with open(src) as f:
+    report = json.load(f)
+rows = {}
+for b in report.get("benchmarks", []):
+    name = b.get("name", "")
+    for mode in ("Delta", "Scratch"):
+        prefix = "BM_Sp" + mode
+        if name.startswith(prefix):
+            key = name[len(prefix):]  # e.g. "WinMove/1024"
+            rows.setdefault(key, {})[mode.lower()] = {
+                "real_time_ns": b.get("real_time"),
+                "sp_calls": b.get("sp_calls"),
+                "rules_rescanned": b.get("rules_rescanned"),
+                "delta_atoms": b.get("delta_atoms"),
+                "peak_scratch_bytes": b.get("peak_scratch_bytes"),
+            }
+axis = []
+for key in sorted(rows):
+    entry = {"workload": key}
+    entry.update(rows[key])
+    d = rows[key].get("delta", {}).get("rules_rescanned")
+    s = rows[key].get("scratch", {}).get("rules_rescanned")
+    if d and s:
+        entry["rescan_ratio_scratch_over_delta"] = round(s / d, 2)
+    axis.append(entry)
+with open(dst, "w") as f:
+    json.dump({"bench": "ablation_axis", "git_rev": git_rev,
+               "timestamp": timestamp, "rows": axis}, f, indent=1)
+print(f"== ablation axis -> {dst}")
+PYEOF
+    fi
   else
     # Self-timed bench: wrap the textual report in a JSON envelope.
     start_s="$(date +%s)"
