@@ -4,8 +4,12 @@
 //   (2) delta-driven vs from-scratch rule-enablement recomputation between
 //       half-steps (SpMode) — the incremental axis, with the work actually
 //       done reported through the rules_rescanned / delta_atoms counters;
-//   (3) residual-program reduction on/off across alternating rounds;
-//   (4) trace recording cost (off by default).
+//   (3) delta-driven vs from-scratch witness recomputation in the W_P
+//       iteration's two halves (GusMode: TpEvaluator + GusEvaluator vs
+//       full per-round rescans), reported through rules_rescanned and
+//       gus_rules_rescanned;
+//   (4) residual-program reduction on/off across alternating rounds;
+//   (5) trace recording cost (off by default).
 
 #include <benchmark/benchmark.h>
 
@@ -15,6 +19,7 @@
 #include "core/relevance.h"
 #include "core/residual.h"
 #include "core/scc_engine.h"
+#include "wfs/wp_engine.h"
 #include "fol/general_program.h"
 #include "fol/simplify.h"
 #include "ground/grounder.h"
@@ -122,6 +127,101 @@ void BM_SpScratchWfNodes(benchmark::State& state) {
                     afp::SpMode::kScratch);
 }
 BENCHMARK(BM_SpScratchWfNodes)->Arg(64)->Arg(256);
+
+// The unfounded-set incremental axis: identical W_P iteration, the per-rule
+// body checks of both halves (T_P and U_P) either maintained by witness
+// counters across rounds or rescanned from scratch each round. The
+// rules_rescanned (T_P side) and gus_rules_rescanned (U_P side) counters
+// expose the work difference directly; the iteration count is pinned
+// identical by the differential tests.
+void RunGusModeAblation(benchmark::State& state, const afp::GroundProgram& gp,
+                        afp::GusMode gus_mode) {
+  afp::WpOptions opts;
+  opts.gus_mode = gus_mode;
+  afp::EvalStats last;
+  std::size_t iterations = 0;
+  for (auto _ : state) {
+    afp::EvalContext ctx;
+    afp::WpResult r = afp::WellFoundedViaWpWithContext(ctx, gp, opts);
+    benchmark::DoNotOptimize(r);
+    last = r.eval;
+    iterations = r.iterations;
+  }
+  state.counters["wp_iterations"] = static_cast<double>(iterations);
+  state.counters["gus_calls"] = static_cast<double>(last.gus_calls);
+  state.counters["gus_rules_rescanned"] =
+      static_cast<double>(last.gus_rules_rescanned);
+  state.counters["rules_rescanned"] =
+      static_cast<double>(last.rules_rescanned);
+  state.counters["delta_atoms"] = static_cast<double>(last.delta_atoms);
+  state.counters["peak_scratch_bytes"] =
+      static_cast<double>(last.peak_scratch_bytes);
+}
+
+void BM_GusDeltaWinMove(benchmark::State& state) {
+  RunGusModeAblation(state, WinMoveInstance(static_cast<int>(state.range(0))),
+                     afp::GusMode::kDelta);
+}
+BENCHMARK(BM_GusDeltaWinMove)->Arg(128)->Arg(512)->Arg(1024);
+
+void BM_GusScratchWinMove(benchmark::State& state) {
+  RunGusModeAblation(state, WinMoveInstance(static_cast<int>(state.range(0))),
+                     afp::GusMode::kScratch);
+}
+BENCHMARK(BM_GusScratchWinMove)->Arg(128)->Arg(512)->Arg(1024);
+
+void BM_GusDeltaWfNodes(benchmark::State& state) {
+  RunGusModeAblation(state, WfNodesInstance(static_cast<int>(state.range(0))),
+                     afp::GusMode::kDelta);
+}
+BENCHMARK(BM_GusDeltaWfNodes)->Arg(64)->Arg(256);
+
+void BM_GusScratchWfNodes(benchmark::State& state) {
+  RunGusModeAblation(state, WfNodesInstance(static_cast<int>(state.range(0))),
+                     afp::GusMode::kScratch);
+}
+BENCHMARK(BM_GusScratchWfNodes)->Arg(64)->Arg(256);
+
+// The component-wise engine across the same axis: many tiny W_P solves,
+// each priming its evaluators from pooled storage. (No ≥3× expectation
+// here: per-component W_P runs are short, so the deltas have fewer rounds
+// to amortize over — the axis row records whatever gap remains.)
+void RunSccInnerWpAblation(benchmark::State& state,
+                           const afp::GroundProgram& gp,
+                           afp::GusMode gus_mode) {
+  afp::SccOptions opts;
+  opts.inner = afp::SccInnerEngine::kWp;
+  opts.gus_mode = gus_mode;
+  afp::EvalStats last;
+  for (auto _ : state) {
+    afp::EvalContext ctx;
+    afp::SccWfsResult r = afp::WellFoundedSccWithContext(ctx, gp, opts);
+    benchmark::DoNotOptimize(r);
+    last = r.eval;
+  }
+  state.counters["gus_calls"] = static_cast<double>(last.gus_calls);
+  state.counters["gus_rules_rescanned"] =
+      static_cast<double>(last.gus_rules_rescanned);
+  state.counters["rules_rescanned"] =
+      static_cast<double>(last.rules_rescanned);
+  state.counters["delta_atoms"] = static_cast<double>(last.delta_atoms);
+  state.counters["peak_scratch_bytes"] =
+      static_cast<double>(last.peak_scratch_bytes);
+}
+
+void BM_GusDeltaSccInnerWp(benchmark::State& state) {
+  RunSccInnerWpAblation(state,
+                        WinMoveInstance(static_cast<int>(state.range(0))),
+                        afp::GusMode::kDelta);
+}
+BENCHMARK(BM_GusDeltaSccInnerWp)->Arg(512);
+
+void BM_GusScratchSccInnerWp(benchmark::State& state) {
+  RunSccInnerWpAblation(state,
+                        WinMoveInstance(static_cast<int>(state.range(0))),
+                        afp::GusMode::kScratch);
+}
+BENCHMARK(BM_GusScratchSccInnerWp)->Arg(512);
 
 void BM_HornCounting(benchmark::State& state) {
   const auto& gp = WinMoveInstance(static_cast<int>(state.range(0)));

@@ -26,7 +26,10 @@ AfpResult AlternatingFixpointWithContext(EvalContext& ctx,
   // One evaluator per subsequence: the even arguments Ĩ_0 ⊆ Ĩ_2 ⊆ ...
   // increase and the odd ones decrease (monotone by §5), so each evaluator
   // sees a shrinking delta stream and the enablement updates between
-  // consecutive rounds approach zero as the fixpoint nears.
+  // consecutive rounds approach zero as the fixpoint nears. (The W_P
+  // engine applies the same treatment to its T_P/U_P halves through
+  // TpEvaluator and GusEvaluator; docs/ARCHITECTURE.md lays the two delta
+  // index families side by side.)
   SpEvaluator even(solver, ctx, options.sp_mode, options.horn_mode);
   SpEvaluator odd(solver, ctx, options.sp_mode, options.horn_mode);
 

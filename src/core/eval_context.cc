@@ -142,13 +142,24 @@ Bitset SpEvaluator::Eval(const Bitset& assumed_false) {
 
 void SpEvaluator::Prime(const Bitset& assumed_false) {
   const RuleView& view = solver_.view();
-  neg_missing_.assign(view.rules.size(), 0);
-  for (std::uint32_t ri = 0; ri < view.rules.size(); ++ri) {
-    for (AtomId a : view.neg(view.rules[ri])) {
-      if (!assumed_false.Test(a)) ++neg_missing_[ri];
+  if (assumed_false.None()) {
+    // Ĩ = ∅ satisfies no negative literal: every counter is the rule's
+    // full negative-body length, with no body scan at all. This is the
+    // common first call of every engine (Ĩ_0 = ∅), so priming there is
+    // free and the rescan counters start at zero.
+    neg_missing_.resize(view.rules.size());
+    for (std::uint32_t ri = 0; ri < view.rules.size(); ++ri) {
+      neg_missing_[ri] = view.rules[ri].neg_len;
     }
+  } else {
+    neg_missing_.assign(view.rules.size(), 0);
+    for (std::uint32_t ri = 0; ri < view.rules.size(); ++ri) {
+      for (AtomId a : view.neg(view.rules[ri])) {
+        if (!assumed_false.Test(a)) ++neg_missing_[ri];
+      }
+    }
+    ctx_.stats().rules_rescanned += view.rules.size();
   }
-  ctx_.stats().rules_rescanned += view.rules.size();
   if (mode_ == SpMode::kDelta) {
     last_false_ = assumed_false;
     primed_ = true;

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -14,7 +15,8 @@
 namespace afp {
 
 /// Strategy for recomputing per-rule enablement (the negative-body check of
-/// S_P, Definition 4.2) between consecutive evaluations.
+/// S_P, Definition 4.2) between consecutive evaluations of the eventual
+/// consequence operator.
 enum class SpMode {
   /// Incremental: keep per-rule counters of unsatisfied negative literals
   /// and update them only for the rules reachable — through the
@@ -29,11 +31,34 @@ enum class SpMode {
   kScratch,
 };
 
+/// Strategy for recomputing per-rule witnesses of unusability (the body
+/// check of the unfounded-set operator U_P, Definition 6.1, and of the
+/// immediate consequence operator T_P, Definition 3.7) between consecutive
+/// evaluations — the unfounded-set mirror of SpMode.
+enum class GusMode {
+  /// Incremental: keep per-rule witness counters over BOTH body polarities
+  /// (positive literals false in I, negative literals true in I) and update
+  /// them only for the rules reachable — through the positive- and
+  /// negative-occurrence indexes — from atoms whose truth status flipped
+  /// since the previous call. The W_P iteration is monotone (its sequence
+  /// of partial interpretations increases to the well-founded model), so
+  /// every atom flips at most once per polarity across a whole run and the
+  /// total delta work is bounded by the program size, independent of the
+  /// number of rounds. The externally-supported set is maintained across
+  /// calls by an over-delete / re-derive worklist (GusEvaluator).
+  kDelta,
+  /// From-scratch: rescan every rule body on every call. Kept as the
+  /// ablation baseline, pinned bit-identical to kDelta by differential
+  /// tests on every engine and measured by bench_ablation's GusMode axis.
+  kScratch,
+};
+
 /// Work counters accumulated by every evaluation that runs through one
 /// EvalContext. Engines snapshot the counters around a run and report the
 /// difference in their result structs.
 struct EvalStats {
-  /// Fixpoint evaluations performed (S_P calls plus unfounded-set solves).
+  /// S_P fixpoint evaluations performed (Definition 4.2 applications; two
+  /// per alternating round plus the confirming ones).
   std::size_t sp_calls = 0;
   /// Rule-enablement examinations: how many per-rule negative-body checks
   /// were (re)done. The from-scratch path pays one per rule per call; the
@@ -45,8 +70,25 @@ struct EvalStats {
   /// both side by side.
   std::size_t rules_rescanned = 0;
   /// Atoms whose assumed-false status flipped between consecutive delta
-  /// evaluations (the |Δ| that drives the incremental path).
+  /// evaluations (the |Δ| that drives the incremental path). The W_P-side
+  /// delta evaluators (TpEvaluator, GusEvaluator) add their interpretation
+  /// flips here too.
   std::size_t delta_atoms = 0;
+  /// Greatest-unfounded-set solves performed (U_P applications,
+  /// Definition 6.1 — one per W_P round).
+  std::size_t gus_calls = 0;
+  /// Rule-body witness examinations done by the unfounded-set side: how
+  /// many per-rule witness-of-unusability checks were (re)done. The
+  /// from-scratch path pays one per rule per U_P call; the delta path pays
+  /// one per rule *occurrence touched by a flipped atom* plus one per
+  /// defining rule of each over-deleted atom during re-derivation. The two
+  /// modes therefore count slightly different units — on shallow
+  /// iterations over wide-bodied rules the delta side's incidence touches
+  /// can exceed the scratch side's per-rule count; the delta win is an
+  /// amortized one, materializing as rounds grow (each atom flips at most
+  /// once per polarity across a monotone W_P run, so the delta total is
+  /// bounded by program size while scratch pays rounds × rules).
+  std::size_t gus_rules_rescanned = 0;
   /// High-water mark of scratch bytes owned by the context — pooled plus
   /// checked-out, observed at every acquire/release. Slightly approximate:
   /// growth of a buffer while checked out is seen only once it returns,
@@ -61,6 +103,8 @@ struct EvalStats {
     d.sp_calls = sp_calls - start.sp_calls;
     d.rules_rescanned = rules_rescanned - start.rules_rescanned;
     d.delta_atoms = delta_atoms - start.delta_atoms;
+    d.gus_calls = gus_calls - start.gus_calls;
+    d.gus_rules_rescanned = gus_rules_rescanned - start.gus_rules_rescanned;
     d.peak_scratch_bytes = peak_scratch_bytes;
     return d;
   }
@@ -120,6 +164,36 @@ class EvalContext {
   EvalStats stats_;
 };
 
+/// Fills `offsets`/`entries` with the CSR occurrence index of
+/// `literals(rule)` over `rules`: for every atom a, entries
+/// [offsets[a], offsets[a+1]) are the rule ids in whose `literals` span a
+/// occurs. One counting-sort pass; `cursor` is caller-provided scratch
+/// (draw all three vectors from an EvalContext so per-round or per-node
+/// index rebuilds allocate nothing). This single builder produces every
+/// occurrence index of the evaluation core: HornSolver's positive- and
+/// negative-body indexes (S_P propagation and delta enablement) and
+/// GusEvaluator's head index (U_P re-derivation).
+template <typename LiteralsFn>
+void BuildCsrIndex(std::size_t num_atoms, std::span<const GroundRule> rules,
+                   LiteralsFn&& literals, std::vector<std::uint32_t>* offsets,
+                   std::vector<std::uint32_t>* entries,
+                   std::vector<std::uint32_t>* cursor) {
+  offsets->assign(num_atoms + 1, 0);
+  for (const GroundRule& r : rules) {
+    for (AtomId a : literals(r)) ++(*offsets)[a + 1];
+  }
+  for (std::size_t i = 1; i < offsets->size(); ++i) {
+    (*offsets)[i] += (*offsets)[i - 1];
+  }
+  entries->resize(offsets->back());
+  cursor->assign(offsets->begin(), offsets->end() - 1);
+  for (std::uint32_t ri = 0; ri < rules.size(); ++ri) {
+    for (AtomId a : literals(rules[ri])) {
+      (*entries)[(*cursor)[a]++] = ri;
+    }
+  }
+}
+
 /// Incremental S_P evaluator binding one HornSolver to one EvalContext.
 ///
 /// Construction borrows scratch from the context (cheap once the context is
@@ -143,9 +217,12 @@ class SpEvaluator {
   SpEvaluator(const SpEvaluator&) = delete;
   SpEvaluator& operator=(const SpEvaluator&) = delete;
 
-  /// Computes S_P(assumed_false) into `*out` (resized and cleared here;
-  /// must not alias `assumed_false`). `assumed_false` must have the
-  /// solver's atom universe size.
+  /// Computes S_P(assumed_false) into `*out` (resized and cleared here).
+  /// Precondition: `out` must not alias `assumed_false`, and
+  /// `assumed_false` must have the solver's atom universe size.
+  /// Postcondition: `*out` equals
+  /// HornSolver::EventualConsequences(assumed_false) bit for bit, in
+  /// either mode and for any call sequence (monotone or not).
   void Eval(const Bitset& assumed_false, Bitset* out);
 
   /// Convenience: returns a fresh bitset (allocates; prefer the in-place

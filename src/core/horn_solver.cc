@@ -6,34 +6,9 @@
 
 namespace afp {
 
-namespace {
-
-/// Fills `offsets`/`entries` with the CSR occurrence lists of `literals(r)`
-/// over `view.rules`. `cursor` is caller-provided scratch (pooled by
-/// ctx-backed solvers so per-round/per-node index rebuilds allocate
-/// nothing).
-template <typename LiteralsFn>
-void BuildCsr(const RuleView& view, LiteralsFn&& literals,
-              std::vector<std::uint32_t>* offsets,
-              std::vector<std::uint32_t>* entries,
-              std::vector<std::uint32_t>* cursor) {
-  offsets->assign(view.num_atoms + 1, 0);
-  for (const GroundRule& r : view.rules) {
-    for (AtomId a : literals(r)) ++(*offsets)[a + 1];
-  }
-  for (std::size_t i = 1; i < offsets->size(); ++i) {
-    (*offsets)[i] += (*offsets)[i - 1];
-  }
-  entries->resize(offsets->back());
-  cursor->assign(offsets->begin(), offsets->end() - 1);
-  for (std::uint32_t ri = 0; ri < view.rules.size(); ++ri) {
-    for (AtomId a : literals(view.rules[ri])) {
-      (*entries)[(*cursor)[a]++] = ri;
-    }
-  }
-}
-
-}  // namespace
+// Both occurrence indexes come from the shared CSR builder in
+// core/eval_context.h (also used for GusEvaluator's head index), so every
+// index of the evaluation core has one construction path.
 
 HornSolver::HornSolver(RuleView view, EvalContext* ctx)
     : view_(view), ctx_(ctx) {
@@ -43,8 +18,9 @@ HornSolver::HornSolver(RuleView view, EvalContext* ctx)
     pos_occ_rules_ = ctx_->AcquireU32();
     cursor = ctx_->AcquireU32();
   }
-  BuildCsr(view_, [&](const GroundRule& r) { return view_.pos(r); },
-           &pos_occ_offsets_, &pos_occ_rules_, &cursor);
+  BuildCsrIndex(view_.num_atoms, view_.rules,
+                [&](const GroundRule& r) { return view_.pos(r); },
+                &pos_occ_offsets_, &pos_occ_rules_, &cursor);
   if (ctx_ != nullptr) ctx_->ReleaseU32(std::move(cursor));
 }
 
@@ -56,8 +32,9 @@ void HornSolver::EnsureNegIndex() const {
     neg_occ_rules_ = ctx_->AcquireU32();
     cursor = ctx_->AcquireU32();
   }
-  BuildCsr(view_, [&](const GroundRule& r) { return view_.neg(r); },
-           &neg_occ_offsets_, &neg_occ_rules_, &cursor);
+  BuildCsrIndex(view_.num_atoms, view_.rules,
+                [&](const GroundRule& r) { return view_.neg(r); },
+                &neg_occ_offsets_, &neg_occ_rules_, &cursor);
   if (ctx_ != nullptr) ctx_->ReleaseU32(std::move(cursor));
   neg_index_built_ = true;
 }

@@ -53,15 +53,20 @@ class HornSolver {
   HornSolver(HornSolver&& o) noexcept;
   HornSolver& operator=(HornSolver&& o) noexcept;
 
-  /// Returns S_P(assumed_false) as a set of (positive) atoms.
-  /// `assumed_false` must have the view's atom universe size.
+  /// Returns S_P(assumed_false) (Definition 4.2): the least Herbrand
+  /// model of P ∪ Ĩ restricted to positive atoms, where Ĩ = the atoms of
+  /// `assumed_false` taken as negative facts. Precondition:
+  /// `assumed_false` has the view's atom universe size. Postcondition:
+  /// the result is the unique least fixpoint of T_{P∪Ĩ} — identical
+  /// across both HornModes (pinned by the property tests).
   Bitset EventualConsequences(const Bitset& assumed_false,
                               HornMode mode = HornMode::kCounting) const;
 
   const RuleView& view() const { return view_; }
 
   /// For each atom, the rules in which it occurs positively (CSR layout);
-  /// shared with the unfounded-set computation.
+  /// drives S_P/U_P counting propagation and the delta updates of
+  /// TpEvaluator (flips into I+) and GusEvaluator (flips into I−).
   const std::vector<std::uint32_t>& pos_occ_offsets() const {
     return pos_occ_offsets_;
   }
@@ -70,9 +75,11 @@ class HornSolver {
   }
 
   /// For each atom, the rules in which it occurs negatively (CSR layout);
-  /// drives the delta-driven enablement updates of SpEvaluator. Built
-  /// lazily on first access — scratch-only and naive-only consumers never
-  /// pay for it. (Like the rest of the evaluation core, not thread-safe.)
+  /// drives the delta-driven enablement updates of SpEvaluator and the
+  /// witness updates of TpEvaluator (flips into I−) and GusEvaluator
+  /// (flips into I+). Built lazily on first access — scratch-only and
+  /// naive-only consumers never pay for it. (Like the rest of the
+  /// evaluation core, not thread-safe.)
   const std::vector<std::uint32_t>& neg_occ_offsets() const {
     EnsureNegIndex();
     return neg_occ_offsets_;

@@ -16,7 +16,11 @@ ResidualResult WellFoundedResidualWithContext(EvalContext& ctx,
 
   // Double-buffered residual storage: `current` and `next` swap roles each
   // round and keep their capacity, so rounds after the first rewrite the
-  // shrinking residual in place instead of reallocating it.
+  // shrinking residual in place instead of reallocating it. The residual
+  // engine is S_P-based (SpMode is its only incremental axis): rewriting
+  // the program each round already erases decided literals, so there is no
+  // long-lived rule set for GusMode-style witness counters to amortize
+  // over — each round's SpEvaluator primes against the fresh residual.
   OwnedRules current = ctx.AcquireRules();
   current.AssignFrom(gp.View());
   OwnedRules next = ctx.AcquireRules();

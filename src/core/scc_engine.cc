@@ -6,6 +6,7 @@
 #include "analysis/atom_graph.h"
 #include "core/alternating.h"
 #include "ground/owned_rules.h"
+#include "wfs/wp_engine.h"
 
 namespace afp {
 
@@ -96,12 +97,20 @@ SccWfsResult WellFoundedSccWithContext(EvalContext& ctx,
     result.total_local_size += local.pool.size() + local.rules.size();
 
     HornSolver solver(local.View(), &ctx);
-    Bitset local_seed = ctx.AcquireBitset(local.num_atoms);
-    AfpResult local_result =
-        AlternatingFixpointWithContext(ctx, solver, local_seed, afp_opts);
-    ctx.ReleaseBitset(std::move(local_seed));
+    PartialModel local_model;
+    if (options.inner == SccInnerEngine::kWp) {
+      WpOptions wp_opts;
+      wp_opts.gus_mode = options.gus_mode;
+      local_model = WellFoundedViaWpOnSolver(ctx, solver, wp_opts).model;
+    } else {
+      Bitset local_seed = ctx.AcquireBitset(local.num_atoms);
+      AfpResult local_result =
+          AlternatingFixpointWithContext(ctx, solver, local_seed, afp_opts);
+      ctx.ReleaseBitset(std::move(local_seed));
+      local_model = std::move(local_result.model);
+    }
     for (std::uint32_t i = 0; i < members.size(); ++i) {
-      switch (local_result.model.Value(i)) {
+      switch (local_model.Value(i)) {
         case TruthValue::kTrue:
           global_true.Set(members[i]);
           break;
@@ -113,11 +122,12 @@ SccWfsResult WellFoundedSccWithContext(EvalContext& ctx,
       }
     }
     // Recycle the local model's bitsets for the next component (reversing
-    // the fixpoint's escape note — they re-enter the pool cycle here).
-    ctx.NoteAdoptedBytes(local_result.model.true_atoms().CapacityBytes() +
-                         local_result.model.false_atoms().CapacityBytes());
-    ctx.ReleaseBitset(std::move(local_result.model.true_atoms()));
-    ctx.ReleaseBitset(std::move(local_result.model.false_atoms()));
+    // the inner fixpoint's escape note — they re-enter the pool cycle
+    // here).
+    ctx.NoteAdoptedBytes(local_model.true_atoms().CapacityBytes() +
+                         local_model.false_atoms().CapacityBytes());
+    ctx.ReleaseBitset(std::move(local_model.true_atoms()));
+    ctx.ReleaseBitset(std::move(local_model.false_atoms()));
   }
   ctx.ReleaseRules(std::move(local));
 
@@ -133,6 +143,12 @@ SccWfsResult WellFoundedScc(const GroundProgram& gp, HornMode mode) {
   EvalContext ctx;
   SccOptions options;
   options.horn_mode = mode;
+  return WellFoundedSccWithContext(ctx, gp, options);
+}
+
+SccWfsResult WellFoundedScc(const GroundProgram& gp,
+                            const SccOptions& options) {
+  EvalContext ctx;
   return WellFoundedSccWithContext(ctx, gp, options);
 }
 

@@ -10,10 +10,26 @@
 
 namespace afp {
 
+/// Which engine solves each component's local subprogram. By Theorem 7.8
+/// both compute the same local (well-founded) model; the axis exists so the
+/// delta-driven machinery of either engine family can be exercised — and
+/// ablated — under the many-small-programs access pattern.
+enum class SccInnerEngine {
+  /// The alternating fixpoint (§5): S_P twice per round (SpEvaluator).
+  kAfp,
+  /// The W_P iteration (§6): T_P + greatest unfounded set per round
+  /// (TpEvaluator + GusEvaluator).
+  kWp,
+};
+
 /// Options for the component-wise well-founded computation.
 struct SccOptions {
   HornMode horn_mode = HornMode::kCounting;
+  /// S_P enablement recomputation for the kAfp inner engine.
   SpMode sp_mode = SpMode::kDelta;
+  SccInnerEngine inner = SccInnerEngine::kAfp;
+  /// T_P / U_P witness recomputation for the kWp inner engine.
+  GusMode gus_mode = GusMode::kDelta;
 };
 
 /// Result of the component-wise well-founded computation.
@@ -44,8 +60,9 @@ struct SccWfsResult {
 ///   * literals whose external atom is *undefined* are capped with a
 ///     sentinel undefined atom (defined by `u :- not u`), which preserves
 ///     the three-valued semantics inside the component;
-///   * each component is then solved by the alternating fixpoint on its
-///     (usually tiny) local subprogram.
+///   * each component is then solved on its (usually tiny) local
+///     subprogram by the alternating fixpoint or, under
+///     SccInnerEngine::kWp, by the W_P iteration.
 ///
 /// On (ground-)locally-stratified programs every component is negation-free
 /// internally, so each local fixpoint is a plain Horn solve and the result
@@ -53,6 +70,11 @@ struct SccWfsResult {
 /// the property tests.
 SccWfsResult WellFoundedScc(const GroundProgram& gp,
                             HornMode mode = HornMode::kCounting);
+
+/// As above with full option control (inner engine, Sp/Gus modes) and a
+/// private, throwaway EvalContext.
+SccWfsResult WellFoundedScc(const GroundProgram& gp,
+                            const SccOptions& options);
 
 /// As above, drawing every per-component buffer — local rules, occurrence
 /// indexes, fixpoint scratch — from one shared `ctx`, so solving thousands

@@ -1,5 +1,6 @@
 #include "wfs/unfounded.h"
 
+#include <cassert>
 #include <utility>
 #include <vector>
 
@@ -16,8 +17,8 @@ void GreatestUnfoundedSet(EvalContext& ctx, const HornSolver& solver,
   std::vector<std::uint32_t> remaining = ctx.AcquireU32();
   remaining.resize(view.rules.size());
   std::vector<std::uint32_t> queue = ctx.AcquireU32();
-  ++ctx.stats().sp_calls;
-  ctx.stats().rules_rescanned += view.rules.size();
+  ++ctx.stats().gus_calls;
+  ctx.stats().gus_rules_rescanned += view.rules.size();
 
   for (std::uint32_t ri = 0; ri < view.rules.size(); ++ri) {
     const GroundRule& r = view.rules[ri];
@@ -74,6 +75,268 @@ Bitset GreatestUnfoundedSet(const HornSolver& solver, const PartialModel& I) {
   Bitset out;
   GreatestUnfoundedSet(ctx, solver, I, &out);
   return out;
+}
+
+GusEvaluator::GusEvaluator(const HornSolver& solver, EvalContext& ctx,
+                           GusMode mode)
+    : solver_(solver), ctx_(ctx), mode_(mode) {
+  // The persistent counters and indexes exist only on the delta path; a
+  // kScratch evaluator stays a thin shim over the free function, so the
+  // ablation baseline's pool traffic and peak_scratch_bytes reflect the
+  // scratch algorithm alone.
+  if (mode_ != GusMode::kDelta) return;
+  witness_ = ctx.AcquireU32();
+  missing_ = ctx.AcquireU32();
+  x_ = ctx.AcquireBitset(0);
+  last_true_ = ctx.AcquireBitset(0);
+  last_false_ = ctx.AcquireBitset(0);
+  head_offsets_ = ctx.AcquireU32();
+  head_rules_ = ctx.AcquireU32();
+  rule_stamp_ = ctx.AcquireU32();
+  queue_ = ctx.AcquireU32();
+  touched_ = ctx.AcquireU32();
+  removed_ = ctx.AcquireU32();
+}
+
+GusEvaluator::~GusEvaluator() {
+  if (mode_ != GusMode::kDelta) return;
+  ctx_.ReleaseU32(std::move(witness_));
+  ctx_.ReleaseU32(std::move(missing_));
+  ctx_.ReleaseBitset(std::move(x_));
+  ctx_.ReleaseBitset(std::move(last_true_));
+  ctx_.ReleaseBitset(std::move(last_false_));
+  ctx_.ReleaseU32(std::move(head_offsets_));
+  ctx_.ReleaseU32(std::move(head_rules_));
+  ctx_.ReleaseU32(std::move(rule_stamp_));
+  ctx_.ReleaseU32(std::move(queue_));
+  ctx_.ReleaseU32(std::move(touched_));
+  ctx_.ReleaseU32(std::move(removed_));
+}
+
+void GusEvaluator::Eval(const PartialModel& I, Bitset* out) {
+  assert(I.true_atoms().universe_size() == solver_.view().num_atoms);
+  assert(I.false_atoms().universe_size() == solver_.view().num_atoms);
+  if (mode_ == GusMode::kScratch) {
+    // Ablation baseline: the free function charges the call and the full
+    // rescan itself.
+    GreatestUnfoundedSet(ctx_, solver_, I, out);
+    return;
+  }
+  ++ctx_.stats().gus_calls;
+  if (!primed_) {
+    Prime(I);
+  } else {
+    ApplyDelta(I);
+  }
+  *out = x_;
+  out->Complement();
+}
+
+void GusEvaluator::Prime(const PartialModel& I) {
+  const RuleView& view = solver_.view();
+  const std::size_t nrules = view.rules.size();
+  witness_.assign(nrules, 0);
+  if (!(I.true_atoms().None() && I.false_atoms().None())) {
+    for (std::uint32_t ri = 0; ri < nrules; ++ri) {
+      const GroundRule& r = view.rules[ri];
+      for (AtomId a : view.pos(r)) {
+        if (I.false_atoms().Test(a)) ++witness_[ri];
+      }
+      for (AtomId a : view.neg(r)) {
+        if (I.true_atoms().Test(a)) ++witness_[ri];
+      }
+    }
+    ctx_.stats().gus_rules_rescanned += nrules;
+  }
+  // The all-undefined interpretation — every engine's first call — leaves
+  // every witness counter at zero without touching a single body literal.
+
+  rule_stamp_.assign(nrules, 0);
+  epoch_ = 0;
+  last_true_ = I.true_atoms();
+  last_false_ = I.false_atoms();
+  FullSolve();
+  primed_ = true;
+}
+
+void GusEvaluator::FullSolve() {
+  const RuleView& view = solver_.view();
+  x_.Resize(view.num_atoms);
+  missing_.resize(view.rules.size());
+  queue_.clear();
+  for (std::uint32_t ri = 0; ri < view.rules.size(); ++ri) {
+    const GroundRule& r = view.rules[ri];
+    // Unlike the scratch path, `missing_` counts down for every rule —
+    // usable or not — so a rule re-enabled by a later delta resumes with
+    // an accurate positive-body countdown.
+    missing_[ri] = r.pos_len;
+    if (witness_[ri] == 0 && r.pos_len == 0 && !x_.Test(r.head)) {
+      x_.Set(r.head);
+      queue_.push_back(r.head);
+    }
+  }
+  const auto& off = solver_.pos_occ_offsets();
+  const auto& occ = solver_.pos_occ_rules();
+  while (!queue_.empty()) {
+    AtomId a = queue_.back();
+    queue_.pop_back();
+    for (std::uint32_t k = off[a]; k < off[a + 1]; ++k) {
+      std::uint32_t ri = occ[k];
+      if (--missing_[ri] == 0 && witness_[ri] == 0) {
+        AtomId h = view.rules[ri].head;
+        if (!x_.Test(h)) {
+          x_.Set(h);
+          queue_.push_back(h);
+        }
+      }
+    }
+  }
+}
+
+void GusEvaluator::EnsureHeadIndex() {
+  // Built on the first delta application rather than at priming: the
+  // index only serves ApplyDelta's re-derivation probes, and evaluators
+  // that never get past their first Eval (trivial SCC components, one-shot
+  // uses) should not pay the counting sort.
+  if (head_index_built_) return;
+  const RuleView& view = solver_.view();
+  std::vector<std::uint32_t> cursor = ctx_.AcquireU32();
+  BuildCsrIndex(
+      view.num_atoms, view.rules,
+      [](const GroundRule& r) { return std::span<const AtomId>(&r.head, 1); },
+      &head_offsets_, &head_rules_, &cursor);
+  ctx_.ReleaseU32(std::move(cursor));
+  head_index_built_ = true;
+}
+
+void GusEvaluator::ApplyDelta(const PartialModel& I) {
+  const RuleView& view = solver_.view();
+  EnsureHeadIndex();
+  if (epoch_ == UINT32_MAX) {  // stamp wrap: restart the epoch space
+    rule_stamp_.assign(view.rules.size(), 0);
+    epoch_ = 0;
+  }
+  ++epoch_;
+  touched_.clear();
+  std::size_t flipped = 0;
+  std::size_t scans = 0;
+
+  // Record each touched rule once, with its pre-delta usability, so the
+  // worklist phases below see clean before/after states even when several
+  // flipped atoms hit the same rule.
+  auto touch = [&](std::uint32_t ri) {
+    if (rule_stamp_[ri] != epoch_) {
+      rule_stamp_[ri] = epoch_;
+      touched_.push_back((ri << 1) | (witness_[ri] == 0 ? 1u : 0u));
+    }
+  };
+
+  const auto& poff = solver_.pos_occ_offsets();
+  const auto& pocc = solver_.pos_occ_rules();
+  Bitset::ForEachChanged(
+      last_false_, I.false_atoms(), [&](std::size_t a, bool now_false) {
+        ++flipped;
+        for (std::uint32_t k = poff[a]; k < poff[a + 1]; ++k) {
+          ++scans;
+          std::uint32_t ri = pocc[k];
+          touch(ri);
+          if (now_false) {
+            ++witness_[ri];  // positive literal a became false in I
+          } else {
+            --witness_[ri];
+          }
+        }
+      });
+  const auto& noff = solver_.neg_occ_offsets();
+  const auto& nocc = solver_.neg_occ_rules();
+  Bitset::ForEachChanged(
+      last_true_, I.true_atoms(), [&](std::size_t a, bool now_true) {
+        ++flipped;
+        for (std::uint32_t k = noff[a]; k < noff[a + 1]; ++k) {
+          ++scans;
+          std::uint32_t ri = nocc[k];
+          touch(ri);
+          if (now_true) {
+            ++witness_[ri];  // negative literal `not a` became false in I
+          } else {
+            --witness_[ri];
+          }
+        }
+      });
+  last_false_ = I.false_atoms();
+  last_true_ = I.true_atoms();
+  ctx_.stats().delta_atoms += flipped;
+
+  // Phase 1 — over-delete (the DRed half): any counted support that passed
+  // through a rule which lost its witness-freedom is tentatively retracted,
+  // cascading through the positive-occurrence index. Over-deletion is what
+  // keeps cyclic support honest: a "surviving" support count could itself
+  // rest on atoms that are about to fall out of X.
+  queue_.clear();
+  removed_.clear();
+  auto remove_atom = [&](AtomId a) {
+    if (x_.Test(a)) {
+      x_.Reset(a);
+      removed_.push_back(a);
+      queue_.push_back(a);
+    }
+  };
+  for (std::uint32_t rec : touched_) {
+    const std::uint32_t ri = rec >> 1;
+    const bool was_usable = (rec & 1u) != 0;
+    if (was_usable && witness_[ri] != 0 && missing_[ri] == 0) {
+      remove_atom(view.rules[ri].head);  // a firing rule became unusable
+    }
+  }
+  while (!queue_.empty()) {
+    AtomId a = queue_.back();
+    queue_.pop_back();
+    for (std::uint32_t k = poff[a]; k < poff[a + 1]; ++k) {
+      std::uint32_t ri = pocc[k];
+      if (++missing_[ri] == 1 && witness_[ri] == 0) {
+        remove_atom(view.rules[ri].head);  // rule stopped firing
+      }
+    }
+  }
+
+  // Phase 2 — re-derive: seed with rules that became usable while fully
+  // supported, probe each over-deleted atom's defining rules through the
+  // head index, and propagate additions by counting.
+  auto add_atom = [&](AtomId a) {
+    if (!x_.Test(a)) {
+      x_.Set(a);
+      queue_.push_back(a);
+    }
+  };
+  for (std::uint32_t rec : touched_) {
+    const std::uint32_t ri = rec >> 1;
+    const bool was_usable = (rec & 1u) != 0;
+    if (!was_usable && witness_[ri] == 0 && missing_[ri] == 0) {
+      add_atom(view.rules[ri].head);  // newly usable and fully supported
+    }
+  }
+  for (AtomId a : removed_) {
+    if (x_.Test(a)) continue;  // already re-derived
+    for (std::uint32_t k = head_offsets_[a]; k < head_offsets_[a + 1]; ++k) {
+      ++scans;
+      std::uint32_t ri = head_rules_[k];
+      if (witness_[ri] == 0 && missing_[ri] == 0) {
+        add_atom(a);
+        break;
+      }
+    }
+  }
+  while (!queue_.empty()) {
+    AtomId a = queue_.back();
+    queue_.pop_back();
+    for (std::uint32_t k = poff[a]; k < poff[a + 1]; ++k) {
+      std::uint32_t ri = pocc[k];
+      if (--missing_[ri] == 0 && witness_[ri] == 0) {
+        add_atom(view.rules[ri].head);
+      }
+    }
+  }
+  ctx_.stats().gus_rules_rescanned += scans;
 }
 
 bool IsUnfoundedSet(const RuleView& view, const PartialModel& I,

@@ -1,6 +1,9 @@
 #ifndef AFP_WFS_UNFOUNDED_H_
 #define AFP_WFS_UNFOUNDED_H_
 
+#include <cstdint>
+#include <vector>
+
 #include "core/eval_context.h"
 #include "core/horn_solver.h"
 #include "core/interpretation.h"
@@ -9,7 +12,7 @@
 namespace afp {
 
 /// Computes the greatest unfounded set U_P(I) of the program with respect to
-/// the partial interpretation I (Definition 6.1).
+/// the partial interpretation I (Definition 6.1), from scratch.
 ///
 /// An atom p belongs to an unfounded set U iff every rule for p has a
 /// "witness of unusability": a body literal false in I, or a positive body
@@ -18,13 +21,107 @@ namespace afp {
 /// closed under "p has a rule with no false literal whose positive body lies
 /// in X" — a Horn-style least fixpoint evaluated by counting propagation.
 ///
-/// `solver` supplies the positive-occurrence index for the rule view.
+/// Precondition: `I`'s bitsets are sized to the solver's atom universe.
+/// Postcondition: the returned set is the unique ⊆-greatest unfounded set
+/// (every unfounded set w.r.t. I is contained in it; checkable with
+/// IsUnfoundedSet). `solver` supplies the positive-occurrence index for the
+/// rule view. This is the GusMode::kScratch baseline; GusEvaluator below is
+/// the delta-driven path.
 Bitset GreatestUnfoundedSet(const HornSolver& solver, const PartialModel& I);
 
-/// As above, into `*out` with all scratch (counters, queue) drawn from
-/// `ctx`; the W_P iteration calls this once per round through one context.
+/// As above, into `*out` (resized here) with all scratch (counters, queue)
+/// drawn from `ctx`. Charges one gus_call and a full-program
+/// gus_rules_rescanned to the context's EvalStats.
 void GreatestUnfoundedSet(EvalContext& ctx, const HornSolver& solver,
                           const PartialModel& I, Bitset* out);
+
+/// Incremental U_P evaluator binding one HornSolver to one EvalContext —
+/// the unfounded-set mirror of SpEvaluator.
+///
+/// Construction borrows scratch from the context (cheap once the context is
+/// warm); destruction returns it. The first Eval in GusMode::kDelta primes
+/// per-rule witness-of-unusability counters over BOTH body polarities
+/// (positive body literals false in I, via the positive-occurrence index;
+/// negative body literals true in I, via the negative-occurrence one) and
+/// computes the externally-supported set X = H − U_P(I) by counting
+/// propagation. Every later call:
+///
+///   1. updates the witness counters only for rules reachable from atoms
+///      whose truth status flipped since the previous call;
+///   2. shrinks X by an over-delete worklist seeded from rules that lost
+///      their last witness-free firing (cascading through the
+///      positive-occurrence index, DRed-style: any counted support that
+///      passed through an invalidated rule is tentatively retracted);
+///   3. re-derives over-deleted atoms that still have a firing rule, found
+///      through a head index (rules grouped by head atom, built once per
+///      evaluator from pooled storage), and propagates additions from
+///      newly-enabled rules.
+///
+/// Under the monotone W_P iteration every atom flips at most once per
+/// polarity, so the total witness-update work across a whole run is bounded
+/// by the program size — independent of the number of rounds — where the
+/// from-scratch path pays |rules| per round. Arbitrary (non-monotone) call
+/// sequences are also supported: flips in either direction are handled, as
+/// the differential tests pin against the scratch reference.
+///
+/// Precondition: `I` passed to Eval is sized to the solver's universe and
+/// consistent (true/false disjoint). Postcondition: `*out` equals the
+/// scratch GreatestUnfoundedSet(solver, I) bit for bit, in either mode.
+class GusEvaluator {
+ public:
+  GusEvaluator(const HornSolver& solver, EvalContext& ctx,
+               GusMode mode = GusMode::kDelta);
+  ~GusEvaluator();
+
+  GusEvaluator(const GusEvaluator&) = delete;
+  GusEvaluator& operator=(const GusEvaluator&) = delete;
+
+  /// Computes U_P(I) into `*out` (resized and overwritten here). Charges
+  /// one gus_call; gus_rules_rescanned grows by the witness examinations
+  /// actually performed (full program in kScratch, touched rules plus
+  /// re-derivation probes in kDelta).
+  void Eval(const PartialModel& I, Bitset* out);
+
+  GusMode mode() const { return mode_; }
+
+ private:
+  void Prime(const PartialModel& I);
+  void FullSolve();
+  void EnsureHeadIndex();
+  void ApplyDelta(const PartialModel& I);
+
+  const HornSolver& solver_;
+  EvalContext& ctx_;
+  GusMode mode_;
+  bool primed_ = false;
+  /// witness_[r]: number of unusability witnesses rule r has in the last I
+  /// seen — positive body literals false in I plus negative body literals
+  /// true in I. Rule usable iff 0. Persistent across calls.
+  std::vector<std::uint32_t> witness_;
+  /// missing_[r]: positive body atoms of rule r not (yet) in x_ —
+  /// maintained for every rule regardless of usability, so rules re-enabled
+  /// by a later delta resume with an accurate countdown. Rule fires iff
+  /// witness_ and missing_ are both 0.
+  std::vector<std::uint32_t> missing_;
+  /// The externally-supported set X = H − U_P(I), maintained across calls.
+  Bitset x_;
+  Bitset last_true_;
+  Bitset last_false_;
+  /// Head index (CSR): rules grouped by head atom; drives re-derivation.
+  /// Built lazily on the first delta application — only ApplyDelta's
+  /// probe loop reads it.
+  bool head_index_built_ = false;
+  std::vector<std::uint32_t> head_offsets_;
+  std::vector<std::uint32_t> head_rules_;
+  /// Deduplicates touched rules within one delta application.
+  std::vector<std::uint32_t> rule_stamp_;
+  std::uint32_t epoch_ = 0;
+  /// Per-call scratch: atom worklist, touched-rule records
+  /// ((rule_id << 1) | was_usable), atoms over-deleted this call.
+  std::vector<std::uint32_t> queue_;
+  std::vector<std::uint32_t> touched_;
+  std::vector<std::uint32_t> removed_;
+};
 
 /// Returns true iff `candidate` is an unfounded set of the program w.r.t. I,
 /// by direct check of Definition 6.1 (used in tests and assertions).

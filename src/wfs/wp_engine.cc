@@ -1,5 +1,6 @@
 #include "wfs/wp_engine.h"
 
+#include <cassert>
 #include <utility>
 
 #include "core/horn_solver.h"
@@ -39,33 +40,178 @@ Bitset ImmediateConsequences(const RuleView& view, const PartialModel& I) {
   return out;
 }
 
-WpResult WellFoundedViaWpWithContext(EvalContext& ctx,
-                                     const GroundProgram& gp) {
+TpEvaluator::TpEvaluator(const HornSolver& solver, EvalContext& ctx,
+                         GusMode mode)
+    : solver_(solver), ctx_(ctx), mode_(mode) {
+  // Counter state exists only on the delta path; a kScratch evaluator is
+  // a thin shim over ImmediateConsequences, so the ablation baseline's
+  // pool traffic reflects the scratch algorithm alone.
+  if (mode_ != GusMode::kDelta) return;
+  unsat_ = ctx.AcquireU32();
+  support_ = ctx.AcquireU32();
+  heads_ = ctx.AcquireBitset(0);
+  last_true_ = ctx.AcquireBitset(0);
+  last_false_ = ctx.AcquireBitset(0);
+}
+
+TpEvaluator::~TpEvaluator() {
+  if (mode_ != GusMode::kDelta) return;
+  ctx_.ReleaseU32(std::move(unsat_));
+  ctx_.ReleaseU32(std::move(support_));
+  ctx_.ReleaseBitset(std::move(heads_));
+  ctx_.ReleaseBitset(std::move(last_true_));
+  ctx_.ReleaseBitset(std::move(last_false_));
+}
+
+void TpEvaluator::Eval(const PartialModel& I, Bitset* out) {
+  assert(I.true_atoms().universe_size() == solver_.view().num_atoms);
+  assert(I.false_atoms().universe_size() == solver_.view().num_atoms);
+  if (mode_ == GusMode::kScratch) {
+    // Ablation baseline: one full body scan per call.
+    ImmediateConsequences(ctx_, solver_.view(), I, out);
+    return;
+  }
+  if (!primed_) {
+    Prime(I);
+  } else {
+    ApplyDelta(I);
+  }
+  *out = heads_;
+}
+
+void TpEvaluator::Prime(const PartialModel& I) {
+  const RuleView& view = solver_.view();
+  const std::size_t nrules = view.rules.size();
+  unsat_.resize(nrules);
+  if (I.true_atoms().None() && I.false_atoms().None()) {
+    // The all-undefined interpretation satisfies no literal: the countdown
+    // is the full body length, with no body scan at all. This is every
+    // W_P run's first call (I_0 = ∅), so priming there is free.
+    for (std::uint32_t ri = 0; ri < nrules; ++ri) {
+      const GroundRule& r = view.rules[ri];
+      unsat_[ri] = r.pos_len + r.neg_len;
+    }
+  } else {
+    for (std::uint32_t ri = 0; ri < nrules; ++ri) {
+      const GroundRule& r = view.rules[ri];
+      std::uint32_t u = 0;
+      for (AtomId a : view.pos(r)) {
+        if (!I.true_atoms().Test(a)) ++u;
+      }
+      for (AtomId a : view.neg(r)) {
+        if (!I.false_atoms().Test(a)) ++u;
+      }
+      unsat_[ri] = u;
+    }
+    ctx_.stats().rules_rescanned += nrules;
+  }
+  support_.assign(view.num_atoms, 0);
+  heads_.Resize(view.num_atoms);
+  for (std::uint32_t ri = 0; ri < nrules; ++ri) {
+    if (unsat_[ri] == 0) {
+      AtomId h = view.rules[ri].head;
+      if (++support_[h] == 1) heads_.Set(h);
+    }
+  }
+  last_true_ = I.true_atoms();
+  last_false_ = I.false_atoms();
+  primed_ = true;
+}
+
+void TpEvaluator::ApplyDelta(const PartialModel& I) {
+  const RuleView& view = solver_.view();
+  std::size_t flipped = 0;
+  std::size_t scans = 0;
+  auto satisfy = [&](std::uint32_t ri) {
+    if (--unsat_[ri] == 0) {
+      AtomId h = view.rules[ri].head;
+      if (++support_[h] == 1) heads_.Set(h);
+    }
+  };
+  auto unsatisfy = [&](std::uint32_t ri) {
+    if (unsat_[ri]++ == 0) {
+      AtomId h = view.rules[ri].head;
+      if (--support_[h] == 0) heads_.Reset(h);
+    }
+  };
+
+  const auto& poff = solver_.pos_occ_offsets();
+  const auto& pocc = solver_.pos_occ_rules();
+  Bitset::ForEachChanged(
+      last_true_, I.true_atoms(), [&](std::size_t a, bool now_true) {
+        ++flipped;
+        for (std::uint32_t k = poff[a]; k < poff[a + 1]; ++k) {
+          ++scans;
+          if (now_true) {
+            satisfy(pocc[k]);  // positive literal a became true in I
+          } else {
+            unsatisfy(pocc[k]);
+          }
+        }
+      });
+  const auto& noff = solver_.neg_occ_offsets();
+  const auto& nocc = solver_.neg_occ_rules();
+  Bitset::ForEachChanged(
+      last_false_, I.false_atoms(), [&](std::size_t a, bool now_false) {
+        ++flipped;
+        for (std::uint32_t k = noff[a]; k < noff[a + 1]; ++k) {
+          ++scans;
+          if (now_false) {
+            satisfy(nocc[k]);  // negative literal `not a` became true in I
+          } else {
+            unsatisfy(nocc[k]);
+          }
+        }
+      });
+  last_true_ = I.true_atoms();
+  last_false_ = I.false_atoms();
+  ctx_.stats().delta_atoms += flipped;
+  ctx_.stats().rules_rescanned += scans;
+}
+
+WpResult WellFoundedViaWpOnSolver(EvalContext& ctx, const HornSolver& solver,
+                                  const WpOptions& options) {
   WpResult result;
   const EvalStats start = ctx.stats();
-  // Provides the shared occurrence index (built into pooled storage).
-  HornSolver solver(gp.View(), &ctx);
-  PartialModel I = PartialModel::AllUndefined(gp.num_atoms());
-  Bitset new_true = ctx.AcquireBitset(gp.num_atoms());
-  Bitset new_false = ctx.AcquireBitset(gp.num_atoms());
+  const std::size_t n = solver.view().num_atoms;
+  // One evaluator per half of the W_P transformation; both see the same
+  // monotone I_0 ⊆ I_1 ⊆ ... stream, so every atom flips at most once per
+  // polarity across the whole run.
+  TpEvaluator tp(solver, ctx, options.gus_mode);
+  GusEvaluator gus(solver, ctx, options.gus_mode);
+  // All four round buffers come from the pool; the two that leave inside
+  // the result model are escape-noted below, keeping the pool balanced
+  // when a caller (the SCC engine) runs thousands of these per context.
+  PartialModel I(ctx.AcquireBitset(n), ctx.AcquireBitset(n));
+  Bitset new_true = ctx.AcquireBitset(n);
+  Bitset new_false = ctx.AcquireBitset(n);
   while (true) {
     ++result.iterations;
-    ImmediateConsequences(ctx, gp.View(), I, &new_true);
-    GreatestUnfoundedSet(ctx, solver, I, &new_false);
+    tp.Eval(I, &new_true);
+    gus.Eval(I, &new_false);
     if (new_true == I.true_atoms() && new_false == I.false_atoms()) break;
     std::swap(I.true_atoms(), new_true);
     std::swap(I.false_atoms(), new_false);
   }
   ctx.ReleaseBitset(std::move(new_true));
   ctx.ReleaseBitset(std::move(new_false));
+  ctx.NoteEscapedBytes(I.true_atoms().CapacityBytes() +
+                       I.false_atoms().CapacityBytes());
   result.model = std::move(I);
   result.eval = ctx.stats().Since(start);
   return result;
 }
 
-WpResult WellFoundedViaWp(const GroundProgram& gp) {
+WpResult WellFoundedViaWpWithContext(EvalContext& ctx, const GroundProgram& gp,
+                                     const WpOptions& options) {
+  // Provides the shared occurrence indexes (built into pooled storage).
+  HornSolver solver(gp.View(), &ctx);
+  return WellFoundedViaWpOnSolver(ctx, solver, options);
+}
+
+WpResult WellFoundedViaWp(const GroundProgram& gp, const WpOptions& options) {
   EvalContext ctx;
-  return WellFoundedViaWpWithContext(ctx, gp);
+  return WellFoundedViaWpWithContext(ctx, gp, options);
 }
 
 }  // namespace afp

@@ -5,6 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "core/alternating.h"
 #include "core/horn_solver.h"
 #include "ground/grounder.h"
@@ -199,6 +203,59 @@ TEST(WpEngine, IterationCountBounded) {
   GroundProgram gp = MustGround(p);
   WpResult r = WellFoundedViaWp(gp);
   EXPECT_LE(r.iterations, gp.num_atoms() + 2);
+}
+
+TEST(GusEvaluatorUnit, Example61DeltaSequenceMatchesScratch) {
+  // Walk the Example 6.1 interpretation in from the empty one literal at a
+  // time: the delta evaluator must reproduce the scratch U_P at every
+  // prefix, including the first (free) all-undefined priming call.
+  Program p = workload::Example51();
+  GroundProgram gp = MustGround(p);
+  EvalContext ctx;
+  HornSolver solver(gp.View(), &ctx);
+  GusEvaluator gus(solver, ctx, GusMode::kDelta);
+
+  PartialModel I = PartialModel::AllUndefined(gp.num_atoms());
+  Bitset out;
+  gus.Eval(I, &out);
+  EXPECT_EQ(out, GreatestUnfoundedSet(solver, I));
+
+  std::vector<std::pair<std::string, bool>> steps = {
+      {"p(c)", true}, {"p(g)", false}, {"p(h)", false}};
+  for (const auto& [name, truth] : steps) {
+    for (AtomId a = 0; a < gp.num_atoms(); ++a) {
+      if (gp.AtomName(a) != name) continue;
+      (truth ? I.true_atoms() : I.false_atoms()).Set(a);
+    }
+    gus.Eval(I, &out);
+    EXPECT_EQ(out, GreatestUnfoundedSet(solver, I)) << "after " << name;
+    EXPECT_TRUE(IsUnfoundedSet(gp.View(), I, out)) << "after " << name;
+  }
+  // At the full Example 6.1 interpretation, U1 is contained in the result.
+  EXPECT_TRUE(
+      NamedSet(gp, {"p(d)", "p(e)", "p(f)"}).IsSubsetOf(out));
+}
+
+TEST(WpEngine, DeltaDoesLessWorkOnDeepIteration) {
+  // The Example 8.2-style regime: a chain forces one W_P round per rank,
+  // the many-rounds case the witness counters target. The delta path's
+  // total body examinations must come in well under scratch (>= 3x here;
+  // bench_ablation records the full trajectory and CI gates the ratio).
+  Program p = workload::WinMove(graphs::Chain(40));
+  GroundProgram gp = MustGround(p);
+  WpOptions delta;
+  delta.gus_mode = GusMode::kDelta;
+  WpOptions scratch;
+  scratch.gus_mode = GusMode::kScratch;
+  WpResult d = WellFoundedViaWp(gp, delta);
+  WpResult s = WellFoundedViaWp(gp, scratch);
+  ASSERT_EQ(d.model, s.model);
+  ASSERT_EQ(d.iterations, s.iterations);
+  const std::size_t d_total = d.eval.rules_rescanned + d.eval.gus_rules_rescanned;
+  const std::size_t s_total = s.eval.rules_rescanned + s.eval.gus_rules_rescanned;
+  EXPECT_GE(s_total, 3 * d_total)
+      << "delta " << d_total << " vs scratch " << s_total;
+  EXPECT_EQ(d.eval.gus_calls, d.iterations);
 }
 
 }  // namespace

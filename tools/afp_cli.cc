@@ -8,6 +8,11 @@
 //   --engine=afp|wp|residual|scc       well-founded engine (default afp)
 //   --sp=delta|scratch                 S_P enablement recomputation
 //                                      (default delta; scratch = ablation)
+//   --gus=delta|scratch                T_P / unfounded-set witness
+//                                      recomputation for the W_P iteration
+//                                      (default delta; scratch = ablation)
+//   --inner=afp|wp                     per-component engine for --engine=scc
+//                                      (default afp)
 //   --query=ATOM                       point query (repeatable via commas)
 //   --select=PATTERN                   enumerate matches, e.g. wins(X)
 //   --trace                            print the Table-I style trace (wfs)
@@ -33,6 +38,10 @@ struct Options {
   std::string engine = "afp";
   std::string sp = "delta";
   bool sp_given = false;
+  std::string gus = "delta";
+  bool gus_given = false;
+  std::string inner = "afp";
+  bool inner_given = false;
   std::vector<std::string> queries;
   std::vector<std::string> selects;
   bool trace = false;
@@ -108,6 +117,14 @@ int main(int argc, char** argv) {
       opts.sp_given = true;
       continue;
     }
+    if (ParseFlag(arg, "gus", &opts.gus)) {
+      opts.gus_given = true;
+      continue;
+    }
+    if (ParseFlag(arg, "inner", &opts.inner)) {
+      opts.inner_given = true;
+      continue;
+    }
     if (ParseFlag(arg, "query", &value)) {
       SplitCommas(value, &opts.queries);
       continue;
@@ -146,17 +163,45 @@ int main(int argc, char** argv) {
     std::cerr << "afp: unknown --sp mode '" << opts.sp << "'\n";
     return 1;
   }
+  if (opts.gus != "delta" && opts.gus != "scratch") {
+    std::cerr << "afp: unknown --gus mode '" << opts.gus << "'\n";
+    return 1;
+  }
+  if (opts.inner != "afp" && opts.inner != "wp") {
+    std::cerr << "afp: unknown --inner engine '" << opts.inner << "'\n";
+    return 1;
+  }
   const afp::SpMode sp_mode =
       opts.sp == "scratch" ? afp::SpMode::kScratch : afp::SpMode::kDelta;
+  const afp::GusMode gus_mode =
+      opts.gus == "scratch" ? afp::GusMode::kScratch : afp::GusMode::kDelta;
+  const afp::SccInnerEngine inner_engine = opts.inner == "wp"
+                                               ? afp::SccInnerEngine::kWp
+                                               : afp::SccInnerEngine::kAfp;
   // The S_P mode axis only exists where S_P is iterated: the wfs engines
   // afp/residual/scc and the stable search. Warn instead of silently
   // ignoring it elsewhere (e.g. an --engine=wp ablation would otherwise
-  // compare two identical runs).
+  // compare two identical runs). Same for the W_P-side axes: --gus drives
+  // the T_P/U_P witness counters (wp engine, or scc with --inner=wp) and
+  // --inner picks the scc per-component engine.
   const bool sp_applies =
-      (opts.semantics == "wfs" && opts.engine != "wp") ||
+      (opts.semantics == "wfs" && opts.engine != "wp" &&
+       !(opts.engine == "scc" && opts.inner == "wp")) ||
       opts.semantics == "stable";
   if (opts.sp_given && !sp_applies) {
     std::cerr << "afp: note: --sp has no effect for --semantics="
+              << opts.semantics << " --engine=" << opts.engine << "\n";
+  }
+  const bool gus_applies =
+      opts.semantics == "wfs" &&
+      (opts.engine == "wp" ||
+       (opts.engine == "scc" && opts.inner == "wp"));
+  if (opts.gus_given && !gus_applies) {
+    std::cerr << "afp: note: --gus has no effect for --semantics="
+              << opts.semantics << " --engine=" << opts.engine << "\n";
+  }
+  if (opts.inner_given && !(opts.semantics == "wfs" && opts.engine == "scc")) {
+    std::cerr << "afp: note: --inner has no effect for --semantics="
               << opts.semantics << " --engine=" << opts.engine << "\n";
   }
 
@@ -204,7 +249,9 @@ int main(int argc, char** argv) {
     afp::PartialModel model;
     afp::EvalStats eval;
     if (opts.engine == "wp") {
-      afp::WpResult r = afp::WellFoundedViaWp(gp);
+      afp::WpOptions wopts;
+      wopts.gus_mode = gus_mode;
+      afp::WpResult r = afp::WellFoundedViaWp(gp, wopts);
       if (opts.stats) {
         std::cout << "% W_P iterations: " << r.iterations << "\n";
       }
@@ -226,6 +273,8 @@ int main(int argc, char** argv) {
       afp::EvalContext ctx;
       afp::SccOptions sopts;
       sopts.sp_mode = sp_mode;
+      sopts.inner = inner_engine;
+      sopts.gus_mode = gus_mode;
       afp::SccWfsResult r = afp::WellFoundedSccWithContext(ctx, gp, sopts);
       if (opts.stats) {
         std::cout << "% components: " << r.num_components
@@ -258,6 +307,9 @@ int main(int argc, char** argv) {
                 << "  rules rescanned: " << eval.rules_rescanned
                 << "  delta atoms: " << eval.delta_atoms
                 << "  peak scratch bytes: " << eval.peak_scratch_bytes
+                << "\n";
+      std::cout << "% GUS calls: " << eval.gus_calls
+                << "  GUS rules rescanned: " << eval.gus_rules_rescanned
                 << "\n";
     }
     PrintModel(gp, model, opts);

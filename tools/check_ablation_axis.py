@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Regression gate over BENCH_ablation_axis.json (see docs/BENCHMARKS.md).
+
+The delta-driven evaluation paths (SpMode::kDelta for S_P enablement,
+GusMode::kDelta for the T_P / unfounded-set witness counters) exist to do
+strictly less rule-body rescanning than their from-scratch ablation
+baselines. This check fails CI if that ever regresses:
+
+  * every delta/scratch pair must have the delta side rescan FEWER rule
+    bodies than the scratch side (ratio scratch/delta > 1.0) — a delta mode
+    rescanning as much as scratch means the incremental machinery silently
+    stopped working;
+  * the flagship workloads — win-move at the largest benched size and the
+    Example 8.2 chain — must keep a ratio of at least MIN_FLAGSHIP_RATIO
+    (3x) on the GusMode axis, the headline number recorded in ROADMAP.md.
+
+Counters, not wall-clock, are gated: rescan counts are deterministic for a
+fixed workload, so this is safe on noisy CI machines.
+
+Usage: check_ablation_axis.py [path/to/BENCH_ablation_axis.json]
+Exit status: 0 when every row passes, 1 otherwise.
+"""
+
+import json
+import sys
+
+MIN_RATIO = 1.0
+MIN_FLAGSHIP_RATIO = 3.0
+# (axis, workload) rows that must meet MIN_FLAGSHIP_RATIO. WinMove/1024 and
+# WfNodes/256 are the two instances the ISSUE's acceptance criterion names;
+# keep this list in sync with the BENCHMARK(...)->Arg(...) registrations in
+# bench/bench_ablation.cc.
+FLAGSHIPS = {("gus", "WinMove/1024"), ("gus", "WfNodes/256")}
+
+
+def main() -> int:
+    path = sys.argv[1] if len(sys.argv) > 1 else "bench-results/BENCH_ablation_axis.json"
+    with open(path) as f:
+        report = json.load(f)
+    rows = report.get("rows", [])
+    if not rows:
+        print(f"check_ablation_axis: no rows in {path}", file=sys.stderr)
+        return 1
+
+    failures = []
+    seen_flagships = set()
+    ratios = []
+    for row in rows:
+        axis = row.get("axis", "sp")
+        workload = row.get("workload", "?")
+        ratio = row.get("rescan_ratio_scratch_over_delta")
+        label = f"{axis}:{workload}"
+        if ratio is None:
+            # A pair missing its ratio would silently drop out of the gate;
+            # treat it as a failure so bench renames get noticed.
+            failures.append(f"{label}: no rescan ratio recorded")
+            continue
+        ratios.append((label, ratio))
+        if ratio <= MIN_RATIO:
+            failures.append(
+                f"{label}: delta rescans >= scratch "
+                f"(ratio {ratio} <= {MIN_RATIO})")
+        if (axis, workload) in FLAGSHIPS:
+            seen_flagships.add((axis, workload))
+            if ratio < MIN_FLAGSHIP_RATIO:
+                failures.append(
+                    f"{label}: flagship ratio {ratio} < {MIN_FLAGSHIP_RATIO}")
+    for missing in sorted(FLAGSHIPS - seen_flagships):
+        failures.append(f"{missing[0]}:{missing[1]}: flagship row missing")
+
+    for label, ratio in sorted(ratios):
+        print(f"  {label}: scratch/delta rescan ratio {ratio}")
+    if failures:
+        for f_ in failures:
+            print(f"FAIL {f_}", file=sys.stderr)
+        return 1
+    print(f"check_ablation_axis: {len(ratios)} rows OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
