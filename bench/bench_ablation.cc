@@ -14,11 +14,13 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <thread>
 
 #include "core/alternating.h"
 #include "core/relevance.h"
 #include "core/residual.h"
 #include "core/scc_engine.h"
+#include "wfs/unfounded.h"
 #include "wfs/wp_engine.h"
 #include "fol/general_program.h"
 #include "fol/simplify.h"
@@ -302,6 +304,99 @@ void BM_SingleSpNaive(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SingleSpNaive);
+
+// The thread-scaling axis: win-move over a clustered graph whose
+// condensation has wide antichains (64-node strongly connected clusters,
+// sparse forward wiring), solved by the wavefront scheduler at 1/2/4
+// workers. The 1-thread row runs the plain sequential path — the
+// scheduler only engages past one worker — so speedups are relative to
+// the exact engine single-threaded users get. run_benches.sh distills
+// these into the "threads" axis of BENCH_ablation_axis.json and
+// check_ablation_axis.py gates the speedups (wall-clock, so the gate
+// applies only when the recording machine has the cores to show it;
+// hardware_concurrency is recorded alongside).
+std::unique_ptr<afp::Program> g_cluster_program;
+std::unique_ptr<afp::GroundProgram> g_cluster_ground;
+
+const afp::GroundProgram& ClusteredWinMoveInstance(int n) {
+  static int current_n = -1;
+  if (current_n != n) {
+    g_cluster_ground.reset();
+    const int clusters = n / 64;
+    g_cluster_program = std::make_unique<afp::Program>(
+        afp::workload::WinMove(afp::graphs::ClusteredScc(
+            clusters, /*cluster_size=*/64, /*intra_per_cluster=*/128,
+            /*inter_edges=*/clusters, /*seed=*/17)));
+    auto g = afp::Grounder::Ground(*g_cluster_program);
+    g_cluster_ground = std::make_unique<afp::GroundProgram>(std::move(g).value());
+    current_n = n;
+  }
+  return *g_cluster_ground;
+}
+
+void BM_ThreadsWinMove(benchmark::State& state) {
+  const auto& gp = ClusteredWinMoveInstance(static_cast<int>(state.range(0)));
+  afp::SccOptions opts;
+  opts.num_threads = static_cast<int>(state.range(1));
+  afp::EvalContextRegistry registry;  // warm worker pools across iterations
+  opts.registry = &registry;
+  // The sequential 1-thread row solves out of `ctx` (the registry only
+  // serves workers), so keep it warm across iterations too — otherwise
+  // the gated speedups would measure pool warm-up asymmetry on top of
+  // scheduler scaling.
+  afp::EvalContext ctx;
+  std::size_t components = 0;
+  std::size_t max_width = 0;
+  for (auto _ : state) {
+    afp::SccWfsResult r = afp::WellFoundedSccWithContext(ctx, gp, opts);
+    benchmark::DoNotOptimize(r);
+    components = r.num_components;
+    max_width = r.sched.MaxWavefrontWidth();
+  }
+  state.counters["threads"] = static_cast<double>(opts.num_threads);
+  state.counters["components"] = static_cast<double>(components);
+  state.counters["max_wavefront_width"] = static_cast<double>(max_width);
+  state.counters["hardware_concurrency"] =
+      static_cast<double>(std::thread::hardware_concurrency());
+}
+BENCHMARK(BM_ThreadsWinMove)
+    ->Args({4096, 1})
+    ->Args({4096, 2})
+    ->Args({4096, 4})
+    ->UseRealTime();
+
+// The borrowed-view unfounded-set axis (GusEvaluator::EvalSupported vs
+// Eval): a steady-state call on the Example 8.2 chain at n=1024, where
+// Eval's only extra work over EvalSupported is materializing U_P —
+// the O(n/64) copy+complement of the supported set per call.
+void BM_GusEvalCopyChain(benchmark::State& state) {
+  const auto& gp = WfNodesInstance(static_cast<int>(state.range(0)));
+  afp::EvalContext ctx;
+  afp::HornSolver solver(gp.View(), &ctx);
+  afp::GusEvaluator gus(solver, ctx, afp::GusMode::kDelta);
+  afp::PartialModel I = afp::PartialModel::AllUndefined(gp.num_atoms());
+  afp::Bitset out;
+  gus.Eval(I, &out);  // prime
+  for (auto _ : state) {
+    gus.Eval(I, &out);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_GusEvalCopyChain)->Arg(1024)->Arg(16384);
+
+void BM_GusEvalBorrowedChain(benchmark::State& state) {
+  const auto& gp = WfNodesInstance(static_cast<int>(state.range(0)));
+  afp::EvalContext ctx;
+  afp::HornSolver solver(gp.View(), &ctx);
+  afp::GusEvaluator gus(solver, ctx, afp::GusMode::kDelta);
+  afp::PartialModel I = afp::PartialModel::AllUndefined(gp.num_atoms());
+  (void)gus.EvalSupported(I);  // prime
+  for (auto _ : state) {
+    const afp::Bitset& x = gus.EvalSupported(I);
+    benchmark::DoNotOptimize(&x);
+  }
+}
+BENCHMARK(BM_GusEvalBorrowedChain)->Arg(1024)->Arg(16384);
 
 // Component-wise engine on the same instances as the monolithic ones.
 void BM_SccEngine(benchmark::State& state) {

@@ -105,4 +105,42 @@ void AtomDependencyGraph::ComputeSccs(const RuleView& view) {
   num_components_ = members_.size();
 }
 
+void AtomDependencyGraph::EnsureCondensation() const {
+  if (condensation_built_) return;
+  // Cross-component arcs, flipped to dependency -> dependent (an atom
+  // arc h -> a means h depends on a, so the scheduling edge runs
+  // comp(a) -> comp(h)), deduped by sort+unique. Tarjan already gives
+  // comp(a) < comp(h), so every edge points id-upward and component id
+  // order is a topological order of the condensation.
+  std::vector<std::uint64_t> edges;
+  for (AtomId h = 0; h < num_atoms_; ++h) {
+    const std::uint32_t ch = comp_[h];
+    for (std::uint32_t k = adj_offsets_[h]; k < adj_offsets_[h + 1]; ++k) {
+      const std::uint32_t ca = comp_[adj_[k]];
+      if (ca != ch) {
+        edges.push_back((static_cast<std::uint64_t>(ca) << 32) | ch);
+      }
+    }
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  cond_offsets_.assign(num_components_ + 1, 0);
+  cond_successors_.resize(edges.size());
+  cond_in_degrees_.assign(num_components_, 0);
+  for (std::uint64_t e : edges) ++cond_offsets_[(e >> 32) + 1];
+  for (std::size_t i = 1; i < cond_offsets_.size(); ++i) {
+    cond_offsets_[i] += cond_offsets_[i - 1];
+  }
+  std::vector<std::uint32_t> cursor(cond_offsets_.begin(),
+                                    cond_offsets_.end() - 1);
+  for (std::uint64_t e : edges) {
+    const std::uint32_t src = static_cast<std::uint32_t>(e >> 32);
+    const std::uint32_t dst = static_cast<std::uint32_t>(e);
+    cond_successors_[cursor[src]++] = dst;
+    ++cond_in_degrees_[dst];
+  }
+  condensation_built_ = true;
+}
+
 }  // namespace afp

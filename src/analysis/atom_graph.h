@@ -39,8 +39,36 @@ class AtomDependencyGraph {
   /// programs have a total well-founded model (their perfect model).
   bool IsLocallyStratified() const { return locally_stratified_; }
 
+  /// The condensation DAG, CSR by source component: for component c,
+  /// entries [condensation_offsets()[c], condensation_offsets()[c+1]) of
+  /// condensation_successors() are the distinct components that depend on
+  /// c (edges point dependency -> dependent, so every edge goes from a
+  /// smaller component id to a larger one). This is the dispatch order of
+  /// the wavefront scheduler (exec/scheduler.h): a component is ready once
+  /// all its predecessors have published.
+  ///
+  /// Built lazily on first access and cached (the sequential engine never
+  /// pays for it). Like HornSolver's lazy negative index, the build is NOT
+  /// thread-safe: touch these accessors once before handing the graph to
+  /// worker threads.
+  const std::vector<std::uint32_t>& condensation_offsets() const {
+    EnsureCondensation();
+    return cond_offsets_;
+  }
+  const std::vector<std::uint32_t>& condensation_successors() const {
+    EnsureCondensation();
+    return cond_successors_;
+  }
+  /// Number of distinct predecessor components per component (the Kahn
+  /// in-degrees the scheduler counts down).
+  const std::vector<std::uint32_t>& condensation_in_degrees() const {
+    EnsureCondensation();
+    return cond_in_degrees_;
+  }
+
  private:
   void ComputeSccs(const RuleView& view);
+  void EnsureCondensation() const;
 
   std::size_t num_atoms_;
   // CSR adjacency: head -> body atoms (positive then negative, with the
@@ -52,6 +80,10 @@ class AtomDependencyGraph {
   std::vector<std::vector<AtomId>> members_;
   std::size_t num_components_ = 0;
   bool locally_stratified_ = true;
+  mutable bool condensation_built_ = false;
+  mutable std::vector<std::uint32_t> cond_offsets_;
+  mutable std::vector<std::uint32_t> cond_successors_;
+  mutable std::vector<std::uint32_t> cond_in_degrees_;
 };
 
 }  // namespace afp

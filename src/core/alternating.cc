@@ -5,12 +5,12 @@
 
 namespace afp {
 
-AfpResult AlternatingFixpointWithContext(EvalContext& ctx,
-                                         const HornSolver& solver,
-                                         const Bitset& seed_negatives,
-                                         const AfpOptions& options) {
+AfpResult AlternatingFixpointOnEvaluators(EvalContext& ctx,
+                                          SpEvaluator& even, SpEvaluator& odd,
+                                          std::size_t n,
+                                          const Bitset& seed_negatives,
+                                          const AfpOptions& options) {
   AfpResult result;
-  const std::size_t n = solver.view().num_atoms;
   // A default-constructed seed (universe 0) means "no seed": substitute a
   // properly sized empty set once, so the iteration below stays one code
   // path for the seeded and unseeded cases alike.
@@ -22,16 +22,6 @@ AfpResult AlternatingFixpointWithContext(EvalContext& ctx,
   }
   assert(seed->universe_size() == n);
   const EvalStats start = ctx.stats();
-
-  // One evaluator per subsequence: the even arguments Ĩ_0 ⊆ Ĩ_2 ⊆ ...
-  // increase and the odd ones decrease (monotone by §5), so each evaluator
-  // sees a shrinking delta stream and the enablement updates between
-  // consecutive rounds approach zero as the fixpoint nears. (The W_P
-  // engine applies the same treatment to its T_P/U_P halves through
-  // TpEvaluator and GusEvaluator; docs/ARCHITECTURE.md lays the two delta
-  // index families side by side.)
-  SpEvaluator even(solver, ctx, options.sp_mode, options.horn_mode);
-  SpEvaluator odd(solver, ctx, options.sp_mode, options.horn_mode);
 
   Bitset under_neg = ctx.AcquireBitset(n);  // Ĩ_0 (⊆ final Ã)
   under_neg |= *seed;
@@ -94,6 +84,24 @@ AfpResult AlternatingFixpointWithContext(EvalContext& ctx,
   result.eval = ctx.stats().Since(start);
   result.sp_calls = result.eval.sp_calls;
   return result;
+}
+
+AfpResult AlternatingFixpointWithContext(EvalContext& ctx,
+                                         const HornSolver& solver,
+                                         const Bitset& seed_negatives,
+                                         const AfpOptions& options) {
+  // One evaluator per subsequence: the even arguments Ĩ_0 ⊆ Ĩ_2 ⊆ ...
+  // increase and the odd ones decrease (monotone by §5), so each evaluator
+  // sees a shrinking delta stream and the enablement updates between
+  // consecutive rounds approach zero as the fixpoint nears. (The W_P
+  // engine applies the same treatment to its T_P/U_P halves through
+  // TpEvaluator and GusEvaluator; docs/ARCHITECTURE.md lays the two delta
+  // index families side by side.)
+  SpEvaluator even(solver, ctx, options.sp_mode, options.horn_mode);
+  SpEvaluator odd(solver, ctx, options.sp_mode, options.horn_mode);
+  return AlternatingFixpointOnEvaluators(ctx, even, odd,
+                                         solver.view().num_atoms,
+                                         seed_negatives, options);
 }
 
 AfpResult AlternatingFixpointWithSolver(const HornSolver& solver,

@@ -91,6 +91,20 @@ AfpResult AlternatingFixpointWithContext(EvalContext& ctx,
                                          const Bitset& seed_negatives,
                                          const AfpOptions& options = {});
 
+/// The innermost loop on caller-owned evaluators: `even` and `odd` must
+/// both be bound (or Rebind-ed) to the same solver over `n` atoms,
+/// sharing `ctx`, and fresh (not yet primed) for this run — the two
+/// monotone subsequences each need their own delta stream. The SCC
+/// engine's ComponentSolver keeps one even/odd pair alive across all
+/// components and re-enters here per component, paying zero evaluator
+/// construction and zero pool round-trips per component. Semantics and
+/// escape-noting as AlternatingFixpointWithContext (which is now this
+/// plus evaluator construction).
+AfpResult AlternatingFixpointOnEvaluators(EvalContext& ctx, SpEvaluator& even,
+                                          SpEvaluator& odd, std::size_t n,
+                                          const Bitset& seed_negatives,
+                                          const AfpOptions& options = {});
+
 }  // namespace afp
 
 #endif  // AFP_CORE_ALTERNATING_H_

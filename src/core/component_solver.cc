@@ -1,0 +1,39 @@
+#include "core/component_solver.h"
+
+#include <utility>
+
+namespace afp {
+
+ComponentSolver::ComponentSolver(
+    EvalContext& ctx, const SccOptions& options, const RuleView& view,
+    const AtomDependencyGraph& graph,
+    const std::vector<std::vector<std::uint32_t>>& comp_rules)
+    : ctx_(ctx),
+      options_(options),
+      view_(view),
+      graph_(graph),
+      comp_rules_(comp_rules),
+      local_(ctx.AcquireRules()),
+      local_id_(ctx.AcquireU32()),
+      stamp_(ctx.AcquireU32()) {
+  afp_opts_.horn_mode = options_.horn_mode;
+  afp_opts_.sp_mode = options_.sp_mode;
+  local_id_.assign(view.num_atoms, 0);
+  // UINT32_MAX never collides with a component id, so unstamped atoms are
+  // recognized across every component this worker solves.
+  stamp_.assign(view.num_atoms, UINT32_MAX);
+}
+
+ComponentSolver::~ComponentSolver() {
+  // Evaluators release their pooled buffers first (they borrow from ctx_
+  // and their destructors run before the members below are released).
+  even_.reset();
+  odd_.reset();
+  tp_.reset();
+  gus_.reset();
+  ctx_.ReleaseRules(std::move(local_));
+  ctx_.ReleaseU32(std::move(local_id_));
+  ctx_.ReleaseU32(std::move(stamp_));
+}
+
+}  // namespace afp

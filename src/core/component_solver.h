@@ -1,0 +1,289 @@
+#ifndef AFP_CORE_COMPONENT_SOLVER_H_
+#define AFP_CORE_COMPONENT_SOLVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "analysis/atom_graph.h"
+#include "core/alternating.h"
+#include "core/eval_context.h"
+#include "core/horn_solver.h"
+#include "core/interpretation.h"
+#include "core/scc_engine.h"
+#include "ground/ground_program.h"
+#include "ground/owned_rules.h"
+#include "wfs/unfounded.h"
+#include "wfs/wp_engine.h"
+
+namespace afp {
+
+/// The per-component half of the SCC engine, extracted so the sequential
+/// loop and the wavefront scheduler's workers share one implementation.
+/// One ComponentSolver is one worker's machinery: it owns the local rule
+/// buffer, the atom-id remap scratch, and — the piece that closes the kWp
+/// wall-clock gap — ONE evaluator pair per inner engine, kept alive and
+/// Rebind-ed across every component this worker solves, so per-component
+/// solves pay zero evaluator construction, zero pool round-trips, and
+/// reuse the retained head-index capacity instead of re-growing it.
+///
+/// `Solve(c, gm)` builds component c's local subprogram by substituting
+/// decided externals read from the global model `gm`, runs the configured
+/// inner fixpoint, and publishes the members' verdicts back through `gm`.
+/// GlobalModel is a policy with
+///
+///   bool IsTrue(AtomId) / bool IsFalse(AtomId)   — reads; must be exact
+///       for atoms of completed components (the scheduler guarantees all
+///       predecessors completed) and are never issued for other external
+///       atoms;
+///   void Publish(members, local_model)           — writes each member's
+///       decided verdict; called exactly once per component.
+///
+/// Two policies exist: SequentialGlobalModel (plain bitsets, the
+/// single-threaded engine) and AtomicGlobalModel (shared atomic words for
+/// concurrent workers). A ComponentSolver itself is strictly
+/// single-threaded — one per worker, each bound to that worker's private
+/// EvalContext.
+class ComponentSolver {
+ public:
+  /// Everything referenced must outlive the solver; `comp_rules` is the
+  /// rule-ids-by-head-component bucketing the engine computes up front.
+  ComponentSolver(EvalContext& ctx, const SccOptions& options,
+                  const RuleView& view, const AtomDependencyGraph& graph,
+                  const std::vector<std::vector<std::uint32_t>>& comp_rules);
+  ~ComponentSolver();
+
+  ComponentSolver(const ComponentSolver&) = delete;
+  ComponentSolver& operator=(const ComponentSolver&) = delete;
+
+  struct Outcome {
+    /// Inner fixpoint rounds (A_P applications under kAfp, W_P rounds
+    /// under kWp) — the per-component trajectory entry.
+    std::uint32_t iterations = 0;
+    /// Local subprogram size solved (rules + body pool).
+    std::size_t local_size = 0;
+  };
+
+  template <typename GlobalModel>
+  Outcome Solve(std::uint32_t c, GlobalModel& gm);
+
+ private:
+  EvalContext& ctx_;
+  SccOptions options_;
+  const RuleView& view_;
+  const AtomDependencyGraph& graph_;
+  const std::vector<std::vector<std::uint32_t>>& comp_rules_;
+  AfpOptions afp_opts_;
+  /// Local rule buffer recycled across components (pooled).
+  OwnedRules local_;
+  /// Scratch map AtomId -> local id, versioned by component id to avoid
+  /// O(n) clears (pooled).
+  std::vector<std::uint32_t> local_id_;
+  std::vector<std::uint32_t> stamp_;
+  std::vector<AtomId> pos_buf_, neg_buf_;
+  /// The persistent evaluator pairs (constructed on first use, Rebind-ed
+  /// each component). kAfp uses even_/odd_, kWp uses tp_/gus_.
+  std::optional<SpEvaluator> even_, odd_;
+  std::optional<TpEvaluator> tp_;
+  std::optional<GusEvaluator> gus_;
+};
+
+/// GlobalModel policy over two plain bitsets — the sequential engine's
+/// view of the global partial model.
+struct SequentialGlobalModel {
+  Bitset* true_atoms;
+  Bitset* false_atoms;
+
+  bool IsTrue(AtomId a) const { return true_atoms->Test(a); }
+  bool IsFalse(AtomId a) const { return false_atoms->Test(a); }
+  void Publish(const std::vector<AtomId>& members,
+               const PartialModel& local) {
+    for (std::uint32_t i = 0; i < members.size(); ++i) {
+      switch (local.Value(i)) {
+        case TruthValue::kTrue:
+          true_atoms->Set(members[i]);
+          break;
+        case TruthValue::kFalse:
+          false_atoms->Set(members[i]);
+          break;
+        case TruthValue::kUndefined:
+          break;
+      }
+    }
+  }
+};
+
+/// GlobalModel policy over shared atomic words, for concurrent workers.
+///
+/// The ownership/publication contract (docs/ARCHITECTURE.md): every
+/// worker writes only the bits of its own component's member atoms —
+/// disjoint BIT ranges, though two components' atoms may share a 64-bit
+/// word, which is why the word-level writes are fetch_or rather than
+/// plain stores. The happens-before edge between a predecessor's Publish
+/// and a successor's reads IS the scheduler's completion/claim mutex —
+/// that is why the bit ops and the reads can be relaxed. The trailing
+/// seq-cst fence globally orders each component's publish but is NOT a
+/// substitute for that edge: anyone replacing the mutex-protected ready
+/// queue with a lock-free one must pair the publish with acquire-side
+/// reads (or keep a release/acquire edge in the queue itself).
+class AtomicGlobalModel {
+ public:
+  explicit AtomicGlobalModel(std::size_t num_atoms)
+      : num_atoms_(num_atoms),
+        true_words_((num_atoms + 63) / 64),
+        false_words_((num_atoms + 63) / 64) {}
+
+  bool IsTrue(AtomId a) const {
+    return (true_words_[a >> 6].load(std::memory_order_relaxed) >>
+            (a & 63)) &
+           1ULL;
+  }
+  bool IsFalse(AtomId a) const {
+    return (false_words_[a >> 6].load(std::memory_order_relaxed) >>
+            (a & 63)) &
+           1ULL;
+  }
+
+  void Publish(const std::vector<AtomId>& members,
+               const PartialModel& local) {
+    for (std::uint32_t i = 0; i < members.size(); ++i) {
+      const AtomId a = members[i];
+      switch (local.Value(i)) {
+        case TruthValue::kTrue:
+          true_words_[a >> 6].fetch_or(1ULL << (a & 63),
+                                       std::memory_order_relaxed);
+          break;
+        case TruthValue::kFalse:
+          false_words_[a >> 6].fetch_or(1ULL << (a & 63),
+                                        std::memory_order_relaxed);
+          break;
+        case TruthValue::kUndefined:
+          break;
+      }
+    }
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+  }
+
+  /// Copies the accumulated words into plain bitsets (call after the
+  /// worker pool has joined). The bitsets are resized to the universe.
+  void ExportTo(Bitset* true_atoms, Bitset* false_atoms) const {
+    true_atoms->Resize(num_atoms_);
+    false_atoms->Resize(num_atoms_);
+    for (std::size_t wi = 0; wi < true_words_.size(); ++wi) {
+      true_atoms->set_word(wi,
+                           true_words_[wi].load(std::memory_order_relaxed));
+      false_atoms->set_word(
+          wi, false_words_[wi].load(std::memory_order_relaxed));
+    }
+  }
+
+ private:
+  std::size_t num_atoms_;
+  std::vector<std::atomic<std::uint64_t>> true_words_;
+  std::vector<std::atomic<std::uint64_t>> false_words_;
+};
+
+template <typename GlobalModel>
+ComponentSolver::Outcome ComponentSolver::Solve(std::uint32_t c,
+                                                GlobalModel& gm) {
+  const std::vector<AtomId>& members = graph_.components()[c];
+  for (std::uint32_t i = 0; i < members.size(); ++i) {
+    local_id_[members[i]] = i;
+    stamp_[members[i]] = c;
+  }
+  const AtomId sentinel = static_cast<AtomId>(members.size());
+  bool sentinel_used = false;
+
+  local_.rules.clear();
+  local_.pool.clear();
+  local_.num_atoms = members.size() + 1;
+  for (std::uint32_t ri : comp_rules_[c]) {
+    const GroundRule& r = view_.rules[ri];
+    pos_buf_.clear();
+    neg_buf_.clear();
+    bool dead = false;
+    for (AtomId q : view_.pos(r)) {
+      if (stamp_[q] == c) {
+        pos_buf_.push_back(local_id_[q]);
+      } else if (gm.IsTrue(q)) {
+        // erased: satisfied
+      } else if (gm.IsFalse(q)) {
+        dead = true;
+        break;
+      } else {
+        pos_buf_.push_back(sentinel);  // undefined external
+        sentinel_used = true;
+      }
+    }
+    if (!dead) {
+      for (AtomId q : view_.neg(r)) {
+        if (stamp_[q] == c) {
+          neg_buf_.push_back(local_id_[q]);
+        } else if (gm.IsFalse(q)) {
+          // erased: not q holds
+        } else if (gm.IsTrue(q)) {
+          dead = true;
+          break;
+        } else {
+          pos_buf_.push_back(sentinel);  // undefined external caps body
+          sentinel_used = true;
+        }
+      }
+    }
+    if (!dead) local_.Add(local_id_[r.head], pos_buf_, neg_buf_);
+  }
+  if (sentinel_used) {
+    // u :- not u — permanently undefined.
+    AtomId s = sentinel;
+    local_.Add(s, {}, std::span<const AtomId>(&s, 1));
+  }
+
+  Outcome out;
+  out.local_size = local_.pool.size() + local_.rules.size();
+
+  HornSolver solver(local_.View(), &ctx_);
+  PartialModel local_model;
+  if (options_.inner == SccInnerEngine::kWp) {
+    if (tp_) {
+      tp_->Rebind(solver);
+      gus_->Rebind(solver);
+    } else {
+      tp_.emplace(solver, ctx_, options_.gus_mode);
+      gus_.emplace(solver, ctx_, options_.gus_mode);
+    }
+    WpResult r =
+        WellFoundedViaWpOnEvaluators(ctx_, *tp_, *gus_, local_.num_atoms);
+    out.iterations = static_cast<std::uint32_t>(r.iterations);
+    local_model = std::move(r.model);
+  } else {
+    if (even_) {
+      even_->Rebind(solver);
+      odd_->Rebind(solver);
+    } else {
+      even_.emplace(solver, ctx_, options_.sp_mode, options_.horn_mode);
+      odd_.emplace(solver, ctx_, options_.sp_mode, options_.horn_mode);
+    }
+    Bitset local_seed = ctx_.AcquireBitset(local_.num_atoms);
+    AfpResult r = AlternatingFixpointOnEvaluators(
+        ctx_, *even_, *odd_, local_.num_atoms, local_seed, afp_opts_);
+    ctx_.ReleaseBitset(std::move(local_seed));
+    out.iterations = static_cast<std::uint32_t>(r.outer_iterations);
+    local_model = std::move(r.model);
+  }
+
+  gm.Publish(members, local_model);
+
+  // Recycle the local model's bitsets for the next component (reversing
+  // the inner fixpoint's escape note — they re-enter the pool cycle
+  // here).
+  ctx_.NoteAdoptedBytes(local_model.true_atoms().CapacityBytes() +
+                        local_model.false_atoms().CapacityBytes());
+  ctx_.ReleaseBitset(std::move(local_model.true_atoms()));
+  ctx_.ReleaseBitset(std::move(local_model.false_atoms()));
+  return out;
+}
+
+}  // namespace afp
+
+#endif  // AFP_CORE_COMPONENT_SOLVER_H_

@@ -98,9 +98,25 @@ void EvalContext::NoteScratchBytes(std::ptrdiff_t outstanding_delta) {
                pool_bytes_ + static_cast<std::size_t>(outstanding_bytes_));
 }
 
+void EvalContextRegistry::EnsureSize(std::size_t n) {
+  while (contexts_.size() < n) {
+    contexts_.push_back(std::make_unique<EvalContext>());
+  }
+}
+
+EvalStats EvalContextRegistry::AggregateStats() const {
+  EvalStats total;
+  for (const auto& ctx : contexts_) total.Accumulate(ctx->stats());
+  return total;
+}
+
+void EvalContextRegistry::ResetStats() {
+  for (const auto& ctx : contexts_) ctx->ResetStats();
+}
+
 SpEvaluator::SpEvaluator(const HornSolver& solver, EvalContext& ctx,
                          SpMode mode, HornMode horn_mode)
-    : solver_(solver),
+    : solver_(&solver),
       ctx_(ctx),
       mode_(mode),
       horn_mode_(horn_mode),
@@ -117,13 +133,13 @@ SpEvaluator::~SpEvaluator() {
 }
 
 void SpEvaluator::Eval(const Bitset& assumed_false, Bitset* out) {
-  assert(assumed_false.universe_size() == solver_.view().num_atoms);
+  assert(assumed_false.universe_size() == solver_->view().num_atoms);
   assert(out != &assumed_false);
   ++ctx_.stats().sp_calls;
   if (horn_mode_ == HornMode::kNaive) {
     // Ablation baseline: textbook T_P iteration, no incremental state.
-    ctx_.stats().rules_rescanned += solver_.view().rules.size();
-    *out = solver_.EventualConsequences(assumed_false, HornMode::kNaive);
+    ctx_.stats().rules_rescanned += solver_->view().rules.size();
+    *out = solver_->EventualConsequences(assumed_false, HornMode::kNaive);
     return;
   }
   if (mode_ == SpMode::kScratch || !primed_) {
@@ -141,7 +157,7 @@ Bitset SpEvaluator::Eval(const Bitset& assumed_false) {
 }
 
 void SpEvaluator::Prime(const Bitset& assumed_false) {
-  const RuleView& view = solver_.view();
+  const RuleView& view = solver_->view();
   if (assumed_false.None()) {
     // Ĩ = ∅ satisfies no negative literal: every counter is the rule's
     // full negative-body length, with no body scan at all. This is the
@@ -167,8 +183,8 @@ void SpEvaluator::Prime(const Bitset& assumed_false) {
 }
 
 void SpEvaluator::ApplyDelta(const Bitset& assumed_false) {
-  const std::vector<std::uint32_t>& off = solver_.neg_occ_offsets();
-  const std::vector<std::uint32_t>& occ = solver_.neg_occ_rules();
+  const std::vector<std::uint32_t>& off = solver_->neg_occ_offsets();
+  const std::vector<std::uint32_t>& occ = solver_->neg_occ_rules();
   std::size_t flipped = 0;
   std::size_t touched = 0;
   Bitset::ForEachChanged(
@@ -189,7 +205,7 @@ void SpEvaluator::ApplyDelta(const Bitset& assumed_false) {
 }
 
 void SpEvaluator::Propagate(Bitset* out) {
-  const RuleView& view = solver_.view();
+  const RuleView& view = solver_->view();
   out->Resize(view.num_atoms);
   remaining_.resize(view.rules.size());
   queue_.clear();
@@ -207,8 +223,8 @@ void SpEvaluator::Propagate(Bitset* out) {
     }
   }
 
-  const std::vector<std::uint32_t>& off = solver_.pos_occ_offsets();
-  const std::vector<std::uint32_t>& occ = solver_.pos_occ_rules();
+  const std::vector<std::uint32_t>& off = solver_->pos_occ_offsets();
+  const std::vector<std::uint32_t>& occ = solver_->pos_occ_rules();
   while (!queue_.empty()) {
     AtomId a = queue_.back();
     queue_.pop_back();

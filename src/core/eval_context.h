@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <utility>
 #include <vector>
@@ -108,6 +109,23 @@ struct EvalStats {
     d.peak_scratch_bytes = peak_scratch_bytes;
     return d;
   }
+
+  /// Folds another context's (or worker's) stats into this one: counters
+  /// add, peaks take the max (pools peak independently). The single place
+  /// that knows how to merge — EvalContextRegistry::AggregateStats and
+  /// the parallel SCC engine's per-worker fold both go through here, so
+  /// a counter added to this struct cannot be summed in one and silently
+  /// dropped in the other.
+  void Accumulate(const EvalStats& o) {
+    sp_calls += o.sp_calls;
+    rules_rescanned += o.rules_rescanned;
+    delta_atoms += o.delta_atoms;
+    gus_calls += o.gus_calls;
+    gus_rules_rescanned += o.gus_rules_rescanned;
+    peak_scratch_bytes = peak_scratch_bytes > o.peak_scratch_bytes
+                             ? peak_scratch_bytes
+                             : o.peak_scratch_bytes;
+  }
 };
 
 /// Reusable evaluation scratch shared by all well-founded engines: pooled
@@ -164,6 +182,45 @@ class EvalContext {
   EvalStats stats_;
 };
 
+/// A fixed roster of EvalContexts, one per worker thread of a parallel
+/// run (the wavefront scheduler's workers index straight into it). The
+/// registry is the ownership boundary that keeps the no-locks contract
+/// honest: every context is created up front on the calling thread, each
+/// worker touches exclusively its own slot while the pool runs, and the
+/// caller reads stats back only after the workers have joined.
+///
+/// A registry outlives any number of runs, so worker pools stay warm
+/// across repeated solves exactly like a single context does across
+/// repeated sequential solves. Not thread-safe itself (EnsureSize and
+/// the stats readers are caller-thread operations).
+class EvalContextRegistry {
+ public:
+  EvalContextRegistry() = default;
+  EvalContextRegistry(const EvalContextRegistry&) = delete;
+  EvalContextRegistry& operator=(const EvalContextRegistry&) = delete;
+
+  /// Grows the roster to at least `n` contexts. Call before spawning the
+  /// workers that will index into the new slots; existing slots (and the
+  /// scratch they pooled) are retained.
+  void EnsureSize(std::size_t n);
+
+  std::size_t size() const { return contexts_.size(); }
+
+  /// Worker `i`'s private context. The reference is stable across
+  /// EnsureSize calls (slots are heap-allocated).
+  EvalContext& ForWorker(std::size_t i) { return *contexts_[i]; }
+
+  /// Sum of every slot's counters; peak_scratch_bytes is the max across
+  /// slots (each slot's pool peaks independently).
+  EvalStats AggregateStats() const;
+
+  /// Clears every slot's counters (the pools stay warm).
+  void ResetStats();
+
+ private:
+  std::vector<std::unique_ptr<EvalContext>> contexts_;
+};
+
 /// Fills `offsets`/`entries` with the CSR occurrence index of
 /// `literals(rule)` over `rules`: for every atom a, entries
 /// [offsets[a], offsets[a+1]) are the rule ids in whose `literals` span a
@@ -217,6 +274,16 @@ class SpEvaluator {
   SpEvaluator(const SpEvaluator&) = delete;
   SpEvaluator& operator=(const SpEvaluator&) = delete;
 
+  /// Re-targets the evaluator at a different solver, keeping the pooled
+  /// buffers (the next Eval re-primes into them). This is how the SCC
+  /// engine's ComponentSolver runs one evaluator pair across thousands of
+  /// per-component solvers without a single pool round-trip per
+  /// component. The new solver must share this evaluator's context.
+  void Rebind(const HornSolver& solver) {
+    solver_ = &solver;
+    primed_ = false;
+  }
+
   /// Computes S_P(assumed_false) into `*out` (resized and cleared here).
   /// Precondition: `out` must not alias `assumed_false`, and
   /// `assumed_false` must have the solver's atom universe size.
@@ -236,7 +303,7 @@ class SpEvaluator {
   void ApplyDelta(const Bitset& assumed_false);
   void Propagate(Bitset* out);
 
-  const HornSolver& solver_;
+  const HornSolver* solver_;
   EvalContext& ctx_;
   SpMode mode_;
   HornMode horn_mode_;

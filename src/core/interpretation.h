@@ -34,8 +34,18 @@ class PartialModel {
 
   const Bitset& true_atoms() const { return true_; }
   const Bitset& false_atoms() const { return false_; }
-  Bitset& true_atoms() { return true_; }
-  Bitset& false_atoms() { return false_; }
+  /// Mutable access invalidates the cached counts below — the engines'
+  /// round loops swap buffers through these, so a model under iteration
+  /// never pays for the cache, and a settled model pays one popcount pass
+  /// total no matter how many num_*/IsTotal calls follow.
+  Bitset& true_atoms() {
+    counts_valid_ = false;
+    return true_;
+  }
+  Bitset& false_atoms() {
+    counts_valid_ = false;
+    return false_;
+  }
 
   TruthValue Value(AtomId a) const {
     if (true_.Test(a)) return TruthValue::kTrue;
@@ -48,10 +58,27 @@ class PartialModel {
   /// True iff the true/false sets are disjoint.
   bool IsConsistent() const { return true_.IsDisjointWith(false_); }
 
-  std::size_t num_true() const { return true_.Count(); }
-  std::size_t num_false() const { return false_.Count(); }
+  /// Cardinalities, cached across calls (invalidated by the mutable
+  /// accessors). One bitset popcount pass fills all three.
+  ///
+  /// Thread-safety note: the cache makes these const methods physically
+  /// mutating (mutable fields), so concurrent reads of ONE PartialModel
+  /// from several threads need external synchronization or a per-thread
+  /// copy — unlike the pre-cache version. Nothing in-tree shares a model
+  /// across threads (parallel workers own their local models and the
+  /// result model is read after the pool joins); keep it that way or
+  /// synchronize.
+  std::size_t num_true() const {
+    EnsureCounts();
+    return cached_true_;
+  }
+  std::size_t num_false() const {
+    EnsureCounts();
+    return cached_false_;
+  }
   std::size_t num_undefined() const {
-    return true_.universe_size() - num_true() - num_false();
+    EnsureCounts();
+    return true_.universe_size() - cached_true_ - cached_false_;
   }
 
   bool operator==(const PartialModel& o) const {
@@ -59,8 +86,18 @@ class PartialModel {
   }
 
  private:
+  void EnsureCounts() const {
+    if (counts_valid_) return;
+    cached_true_ = true_.Count();
+    cached_false_ = false_.Count();
+    counts_valid_ = true;
+  }
+
   Bitset true_;
   Bitset false_;
+  mutable std::size_t cached_true_ = 0;
+  mutable std::size_t cached_false_ = 0;
+  mutable bool counts_valid_ = false;
 };
 
 /// Three-valued value of a rule body (conjunction of literals) in `m`:

@@ -1,8 +1,10 @@
 #include "core/relevance.h"
 
+#include <utility>
 #include <vector>
 
 #include "core/alternating.h"
+#include "exec/scheduler.h"
 #include "parser/parser.h"
 
 namespace afp {
@@ -50,9 +52,9 @@ RelevantSlice RelevantSubprogram(const RuleView& view,
   return slice;
 }
 
-StatusOr<RelevanceQueryResult> QueryWithRelevance(const GroundProgram& gp,
-                                                  const std::string& atom_text,
-                                                  HornMode mode) {
+StatusOr<RelevanceQueryResult> QueryWithRelevanceWithContext(
+    EvalContext& ctx, const GroundProgram& gp, const std::string& atom_text,
+    HornMode mode) {
   RelevanceQueryResult result;
   result.full_size = gp.TotalSize();
 
@@ -63,19 +65,77 @@ StatusOr<RelevanceQueryResult> QueryWithRelevance(const GroundProgram& gp,
     return result;
   }
 
-  Bitset query(gp.num_atoms());
+  Bitset query = ctx.AcquireBitset(gp.num_atoms());
   query.Set(target);
   RelevantSlice slice = RelevantSubprogram(gp.View(), query);
+  ctx.ReleaseBitset(std::move(query));
   result.slice_size = slice.rules.pool.size() + slice.rules.rules.size();
 
-  EvalContext ctx;
-  HornSolver solver(slice.rules.View(), &ctx);
-  AfpOptions opts;
-  opts.horn_mode = mode;
-  AfpResult afp = AlternatingFixpointWithContext(
-      ctx, solver, Bitset(gp.num_atoms()), opts);
-  result.value = afp.model.Value(target);
+  {
+    HornSolver solver(slice.rules.View(), &ctx);
+    AfpOptions opts;
+    opts.horn_mode = mode;
+    Bitset seed = ctx.AcquireBitset(gp.num_atoms());
+    AfpResult afp = AlternatingFixpointWithContext(ctx, solver, seed, opts);
+    ctx.ReleaseBitset(std::move(seed));
+    result.value = afp.model.Value(target);
+    // The model's bitsets were escape-noted by the fixpoint; a point
+    // query keeps only the verdict, so hand them back to the pool.
+    ctx.NoteAdoptedBytes(afp.model.true_atoms().CapacityBytes() +
+                         afp.model.false_atoms().CapacityBytes());
+    ctx.ReleaseBitset(std::move(afp.model.true_atoms()));
+    ctx.ReleaseBitset(std::move(afp.model.false_atoms()));
+  }
   return result;
+}
+
+StatusOr<RelevanceQueryResult> QueryWithRelevance(const GroundProgram& gp,
+                                                  const std::string& atom_text,
+                                                  HornMode mode) {
+  EvalContext ctx;
+  return QueryWithRelevanceWithContext(ctx, gp, atom_text, mode);
+}
+
+std::vector<StatusOr<RelevanceQueryResult>> QueryBatchWithRelevance(
+    const GroundProgram& gp, const std::vector<std::string>& atom_texts,
+    const QueryBatchOptions& options) {
+  std::vector<StatusOr<RelevanceQueryResult>> results;
+  results.reserve(atom_texts.size());
+  for (std::size_t i = 0; i < atom_texts.size(); ++i) {
+    results.push_back(Status::FailedPrecondition("query not executed"));
+  }
+
+  EvalContextRegistry private_registry;
+  EvalContextRegistry& registry =
+      options.registry ? *options.registry : private_registry;
+  const std::size_t num_workers =
+      options.num_threads > 1 ? static_cast<std::size_t>(options.num_threads)
+                              : 1;
+  registry.EnsureSize(num_workers);
+
+  if (num_workers == 1) {
+    for (std::size_t i = 0; i < atom_texts.size(); ++i) {
+      results[i] = QueryWithRelevanceWithContext(
+          registry.ForWorker(0), gp, atom_texts[i], options.horn_mode);
+    }
+    return results;
+  }
+
+  // A query batch is an antichain: an edge-free DAG over the queries. The
+  // workers write disjoint results slots, and each reads only the
+  // immutable ground program plus its own registry context.
+  std::vector<std::uint32_t> offsets(atom_texts.size() + 1, 0);
+  std::vector<std::uint32_t> targets;
+  DagView dag{atom_texts.size(), &offsets, &targets};
+  SchedulerOptions sched_opts;
+  sched_opts.num_threads = options.num_threads;
+  RunWavefront(dag, sched_opts,
+               [&](std::uint32_t i, std::uint32_t worker) {
+                 results[i] = QueryWithRelevanceWithContext(
+                     registry.ForWorker(worker), gp, atom_texts[i],
+                     options.horn_mode);
+               });
+  return results;
 }
 
 }  // namespace afp

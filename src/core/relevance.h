@@ -2,7 +2,9 @@
 #define AFP_CORE_RELEVANCE_H_
 
 #include <string>
+#include <vector>
 
+#include "core/eval_context.h"
 #include "core/horn_solver.h"
 #include "core/interpretation.h"
 #include "ground/ground_program.h"
@@ -45,6 +47,35 @@ struct RelevanceQueryResult {
 StatusOr<RelevanceQueryResult> QueryWithRelevance(
     const GroundProgram& gp, const std::string& atom_text,
     HornMode mode = HornMode::kCounting);
+
+/// As above, drawing the slice buffer, the solver indexes, and the
+/// fixpoint scratch from `ctx`, so a loop of point queries allocates
+/// like a single one (the PR 2 follow-up: no more private context per
+/// call).
+StatusOr<RelevanceQueryResult> QueryWithRelevanceWithContext(
+    EvalContext& ctx, const GroundProgram& gp, const std::string& atom_text,
+    HornMode mode = HornMode::kCounting);
+
+/// Options for a relevance-sliced query batch.
+struct QueryBatchOptions {
+  HornMode horn_mode = HornMode::kCounting;
+  /// Worker threads. Point queries are mutually independent — an
+  /// antichain — so a batch dispatches straight to the wavefront worker
+  /// pool, each worker slicing and solving through its own registry
+  /// context. <= 1 answers the queries in order on the calling thread
+  /// through `registry`'s slot 0 (or a private context).
+  int num_threads = 1;
+  /// Optional warm per-worker contexts (grown as needed); null means a
+  /// batch-private registry. Must not be used concurrently by two runs.
+  EvalContextRegistry* registry = nullptr;
+};
+
+/// Answers a batch of point queries, one RelevanceQueryResult per input
+/// atom (same order). Results are identical at every thread count — each
+/// query reads only the immutable ground program.
+std::vector<StatusOr<RelevanceQueryResult>> QueryBatchWithRelevance(
+    const GroundProgram& gp, const std::vector<std::string>& atom_texts,
+    const QueryBatchOptions& options = {});
 
 }  // namespace afp
 

@@ -1,14 +1,104 @@
 #include "core/scc_engine.h"
 
+#include <algorithm>
+#include <memory>
 #include <utility>
 #include <vector>
 
 #include "analysis/atom_graph.h"
-#include "core/alternating.h"
+#include "core/component_solver.h"
+#include "exec/scheduler.h"
 #include "ground/owned_rules.h"
-#include "wfs/wp_engine.h"
 
 namespace afp {
+
+namespace {
+
+/// Buckets rule ids by the component of their head.
+std::vector<std::vector<std::uint32_t>> BucketRulesByComponent(
+    const RuleView& view, const AtomDependencyGraph& graph) {
+  std::vector<std::vector<std::uint32_t>> comp_rules(graph.num_components());
+  for (std::uint32_t ri = 0; ri < view.rules.size(); ++ri) {
+    comp_rules[graph.component_of()[view.rules[ri].head]].push_back(ri);
+  }
+  return comp_rules;
+}
+
+/// The parallel path: ready components dispatched to a fixed worker pool,
+/// each worker solving through its own registry context and publishing
+/// into the shared atomic model. Component id order is a topological
+/// order of the condensation (Tarjan), so the in-degree countdown is all
+/// the ordering the workers need.
+void RunParallel(EvalContext& ctx, const AtomDependencyGraph& graph,
+                 const RuleView& view,
+                 const std::vector<std::vector<std::uint32_t>>& comp_rules,
+                 const SccOptions& options, SccWfsResult* result) {
+  const std::size_t n = view.num_atoms;
+  const std::size_t num_components = graph.num_components();
+  // Mirror the scheduler's worker clamp so no registry slot or
+  // ComponentSolver is created for a worker that can never hold work.
+  const std::size_t num_workers =
+      std::min({static_cast<std::size_t>(options.num_threads),
+                std::max<std::size_t>(num_components, 1), std::size_t{256}});
+
+  // Everything shared is created — and the condensation built — before
+  // any worker exists; workers only read it. The precomputed in-degrees
+  // ride along so the scheduler does not recount them from the CSR.
+  DagView dag{num_components, &graph.condensation_offsets(),
+              &graph.condensation_successors(),
+              &graph.condensation_in_degrees()};
+
+  EvalContextRegistry private_registry;
+  EvalContextRegistry& registry =
+      options.registry ? *options.registry : private_registry;
+  registry.EnsureSize(num_workers);
+  std::vector<EvalStats> starts(num_workers);
+  for (std::size_t w = 0; w < num_workers; ++w) {
+    starts[w] = registry.ForWorker(w).stats();
+  }
+
+  std::vector<std::unique_ptr<ComponentSolver>> solvers;
+  solvers.reserve(num_workers);
+  for (std::size_t w = 0; w < num_workers; ++w) {
+    solvers.push_back(std::make_unique<ComponentSolver>(
+        registry.ForWorker(w), options, view, graph, comp_rules));
+  }
+
+  AtomicGlobalModel gm(n);
+  std::vector<std::uint32_t> iterations(num_components, 0);
+  std::vector<std::size_t> local_sizes(num_components, 0);
+
+  SchedulerOptions sched_opts;
+  sched_opts.num_threads = static_cast<int>(num_workers);
+  result->sched = RunWavefront(
+      dag, sched_opts, [&](std::uint32_t c, std::uint32_t worker) {
+        ComponentSolver::Outcome o = solvers[worker]->Solve(c, gm);
+        iterations[c] = o.iterations;
+        local_sizes[c] = o.local_size;
+      });
+
+  // Workers have joined: tear the solvers down (returning their pooled
+  // buffers to the registry slots) before reading the slot stats, then
+  // fold the workers' deltas into the caller's context so its
+  // Since-snapshots see the whole run.
+  solvers.clear();
+  for (std::size_t w = 0; w < num_workers; ++w) {
+    ctx.stats().Accumulate(registry.ForWorker(w).stats().Since(starts[w]));
+  }
+
+  result->component_iterations.assign(iterations.begin(), iterations.end());
+  for (std::size_t s : local_sizes) result->total_local_size += s;
+
+  Bitset global_true = ctx.AcquireBitset(n);
+  Bitset global_false = ctx.AcquireBitset(n);
+  gm.ExportTo(&global_true, &global_false);
+  ctx.NoteEscapedBytes(global_true.CapacityBytes() +
+                       global_false.CapacityBytes());
+  result->model =
+      PartialModel(std::move(global_true), std::move(global_false));
+}
+
+}  // namespace
 
 SccWfsResult WellFoundedSccWithContext(EvalContext& ctx,
                                        const GroundProgram& gp,
@@ -21,115 +111,30 @@ SccWfsResult WellFoundedSccWithContext(EvalContext& ctx,
   SccWfsResult result;
   result.num_components = graph.num_components();
   result.locally_stratified = graph.IsLocallyStratified();
+  result.component_iterations.reserve(graph.num_components());
 
-  // Bucket rules by the component of their head.
-  std::vector<std::vector<std::uint32_t>> comp_rules(graph.num_components());
-  for (std::uint32_t ri = 0; ri < view.rules.size(); ++ri) {
-    comp_rules[graph.component_of()[view.rules[ri].head]].push_back(ri);
+  const std::vector<std::vector<std::uint32_t>> comp_rules =
+      BucketRulesByComponent(view, graph);
+
+  if (options.num_threads > 1) {
+    RunParallel(ctx, graph, view, comp_rules, options, &result);
+    result.eval = ctx.stats().Since(start);
+    return result;
   }
 
+  // Sequential path: components in id order (a topological order of the
+  // condensation), one ComponentSolver, the caller's context throughout.
   Bitset global_true = ctx.AcquireBitset(n);
   Bitset global_false = ctx.AcquireBitset(n);
-  // Scratch map AtomId -> local id, versioned to avoid O(n) clears.
-  std::vector<std::uint32_t> local_id(n, 0);
-  std::vector<std::uint32_t> stamp(n, UINT32_MAX);
-
-  AfpOptions afp_opts;
-  afp_opts.horn_mode = options.horn_mode;
-  afp_opts.sp_mode = options.sp_mode;
-
-  // One local rule buffer recycled across all components.
-  OwnedRules local = ctx.AcquireRules();
-
-  std::vector<AtomId> pos_buf, neg_buf;
-  for (std::uint32_t c = 0; c < graph.num_components(); ++c) {
-    const std::vector<AtomId>& members = graph.components()[c];
-    for (std::uint32_t i = 0; i < members.size(); ++i) {
-      local_id[members[i]] = i;
-      stamp[members[i]] = c;
+  SequentialGlobalModel gm{&global_true, &global_false};
+  {
+    ComponentSolver solver(ctx, options, view, graph, comp_rules);
+    for (std::uint32_t c = 0; c < graph.num_components(); ++c) {
+      ComponentSolver::Outcome o = solver.Solve(c, gm);
+      result.component_iterations.push_back(o.iterations);
+      result.total_local_size += o.local_size;
     }
-    const AtomId sentinel = static_cast<AtomId>(members.size());
-    bool sentinel_used = false;
-
-    local.rules.clear();
-    local.pool.clear();
-    local.num_atoms = members.size() + 1;
-    for (std::uint32_t ri : comp_rules[c]) {
-      const GroundRule& r = view.rules[ri];
-      pos_buf.clear();
-      neg_buf.clear();
-      bool dead = false;
-      for (AtomId q : view.pos(r)) {
-        if (stamp[q] == c) {
-          pos_buf.push_back(local_id[q]);
-        } else if (global_true.Test(q)) {
-          // erased: satisfied
-        } else if (global_false.Test(q)) {
-          dead = true;
-          break;
-        } else {
-          pos_buf.push_back(sentinel);  // undefined external
-          sentinel_used = true;
-        }
-      }
-      if (!dead) {
-        for (AtomId q : view.neg(r)) {
-          if (stamp[q] == c) {
-            neg_buf.push_back(local_id[q]);
-          } else if (global_false.Test(q)) {
-            // erased: not q holds
-          } else if (global_true.Test(q)) {
-            dead = true;
-            break;
-          } else {
-            pos_buf.push_back(sentinel);  // undefined external caps body
-            sentinel_used = true;
-          }
-        }
-      }
-      if (!dead) local.Add(local_id[r.head], pos_buf, neg_buf);
-    }
-    if (sentinel_used) {
-      // u :- not u — permanently undefined.
-      AtomId s = sentinel;
-      local.Add(s, {}, std::span<const AtomId>(&s, 1));
-    }
-    result.total_local_size += local.pool.size() + local.rules.size();
-
-    HornSolver solver(local.View(), &ctx);
-    PartialModel local_model;
-    if (options.inner == SccInnerEngine::kWp) {
-      WpOptions wp_opts;
-      wp_opts.gus_mode = options.gus_mode;
-      local_model = WellFoundedViaWpOnSolver(ctx, solver, wp_opts).model;
-    } else {
-      Bitset local_seed = ctx.AcquireBitset(local.num_atoms);
-      AfpResult local_result =
-          AlternatingFixpointWithContext(ctx, solver, local_seed, afp_opts);
-      ctx.ReleaseBitset(std::move(local_seed));
-      local_model = std::move(local_result.model);
-    }
-    for (std::uint32_t i = 0; i < members.size(); ++i) {
-      switch (local_model.Value(i)) {
-        case TruthValue::kTrue:
-          global_true.Set(members[i]);
-          break;
-        case TruthValue::kFalse:
-          global_false.Set(members[i]);
-          break;
-        case TruthValue::kUndefined:
-          break;
-      }
-    }
-    // Recycle the local model's bitsets for the next component (reversing
-    // the inner fixpoint's escape note — they re-enter the pool cycle
-    // here).
-    ctx.NoteAdoptedBytes(local_model.true_atoms().CapacityBytes() +
-                         local_model.false_atoms().CapacityBytes());
-    ctx.ReleaseBitset(std::move(local_model.true_atoms()));
-    ctx.ReleaseBitset(std::move(local_model.false_atoms()));
   }
-  ctx.ReleaseRules(std::move(local));
 
   ctx.NoteEscapedBytes(global_true.CapacityBytes() +
                        global_false.CapacityBytes());

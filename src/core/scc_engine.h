@@ -2,10 +2,13 @@
 #define AFP_CORE_SCC_ENGINE_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <vector>
 
 #include "core/eval_context.h"
 #include "core/horn_solver.h"
 #include "core/interpretation.h"
+#include "exec/scheduler.h"
 #include "ground/ground_program.h"
 
 namespace afp {
@@ -30,6 +33,20 @@ struct SccOptions {
   SccInnerEngine inner = SccInnerEngine::kAfp;
   /// T_P / U_P witness recomputation for the kWp inner engine.
   GusMode gus_mode = GusMode::kDelta;
+  /// Worker threads for the wavefront scheduler over the condensation DAG.
+  /// <= 1 keeps the fully sequential path (component id order, no threads
+  /// spawned, no atomics); > 1 dispatches ready components to a fixed
+  /// worker pool. Models and per-component iteration trajectories are
+  /// identical at every thread count (pinned by the differential tests);
+  /// EvalStats counter totals match too, except peak_scratch_bytes, which
+  /// depends on how components share the per-worker pools.
+  int num_threads = 1;
+  /// Optional warm per-worker contexts for the parallel path (grown to
+  /// num_threads slots if needed). Null means a run-private registry.
+  /// Passing one across runs keeps every worker's scratch pool warm, the
+  /// same way passing one EvalContext does for sequential engines. Must
+  /// not be used concurrently by two runs.
+  EvalContextRegistry* registry = nullptr;
 };
 
 /// Result of the component-wise well-founded computation.
@@ -45,8 +62,18 @@ struct SccWfsResult {
   /// model is total — the perfect model).
   bool locally_stratified = false;
   /// Work counters for this computation (rules rescanned, delta sizes,
-  /// peak scratch bytes).
+  /// peak scratch bytes). In parallel runs the counters are the sum over
+  /// all workers (deterministic — every component does the same work on
+  /// any worker); peak_scratch_bytes is the max across worker pools.
   EvalStats eval;
+  /// Per-component inner-solve iteration counts (A_P rounds under kAfp,
+  /// W_P rounds under kWp), indexed by component id — the trajectory the
+  /// determinism tests compare across thread counts.
+  std::vector<std::uint32_t> component_iterations;
+  /// Scheduler execution profile; populated only by the parallel path
+  /// (num_workers == 0 otherwise). wavefront_widths is the condensation's
+  /// static antichain profile — the parallelism the program offers.
+  SchedulerStats sched;
 };
 
 /// Computes the well-founded model one strongly connected component of the

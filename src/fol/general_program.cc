@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "core/eval_context.h"
 #include "ground/atom_table.h"
 #include "util/bitset.h"
 
@@ -96,8 +97,9 @@ namespace {
 /// Ground evaluation engine per Definition 8.2.
 class GeneralEvaluator {
  public:
-  GeneralEvaluator(GeneralProgram& gp, const GeneralAfpOptions& options)
-      : gp_(gp), options_(options) {}
+  GeneralEvaluator(EvalContext& ctx, GeneralProgram& gp,
+                   const GeneralAfpOptions& options)
+      : ctx_(ctx), gp_(gp), options_(options) {}
 
   StatusOr<GeneralAfpResult> Run() {
     AFP_RETURN_IF_ERROR(gp_.Validate());
@@ -108,15 +110,21 @@ class GeneralEvaluator {
     // naive first-order T iteration below.
     const std::size_t n = universe_.size();
     GeneralAfpResult result;
-    Bitset under_neg(n);
-    Bitset under_pos(n);
+    // All five loop bitsets cycle through the caller's pool; a batch of
+    // general-program evaluations allocates only on its first call.
+    Bitset under_neg = ctx_.AcquireBitset(n);
+    Bitset under_pos = ctx_.AcquireBitset(n);
+    Bitset over_neg = ctx_.AcquireBitset(n);
+    Bitset over_pos = ctx_.AcquireBitset(n);
+    Bitset next_under_neg = ctx_.AcquireBitset(n);
     while (true) {
       ++result.outer_iterations;
-      under_pos = Sp(under_neg);
-      Bitset over_pos = Sp(Bitset::ComplementOf(under_pos));
-      Bitset next_under_neg = Bitset::ComplementOf(over_pos);
+      Sp(under_neg, &under_pos);
+      over_neg.AssignComplementOf(under_pos);
+      Sp(over_neg, &over_pos);
+      next_under_neg.AssignComplementOf(over_pos);
       if (next_under_neg == under_neg) break;
-      under_neg = std::move(next_under_neg);
+      std::swap(under_neg, next_under_neg);
     }
 
     for (std::size_t a = 0; a < n; ++a) {
@@ -128,6 +136,11 @@ class GeneralEvaluator {
                              gp_.base().terms()),
           v);
     }
+    ctx_.ReleaseBitset(std::move(under_neg));
+    ctx_.ReleaseBitset(std::move(under_pos));
+    ctx_.ReleaseBitset(std::move(over_neg));
+    ctx_.ReleaseBitset(std::move(over_pos));
+    ctx_.ReleaseBitset(std::move(next_under_neg));
     return result;
   }
 
@@ -207,8 +220,10 @@ class GeneralEvaluator {
   /// S_P(Ĩ): least fixpoint of the one-step consequence over first-order
   /// bodies, with the negative set fixed (Definition 4.2 generalized per
   /// §8.1).
-  Bitset Sp(const Bitset& assumed_false) {
-    Bitset derived(universe_.size());
+  void Sp(const Bitset& assumed_false, Bitset* out) {
+    ++ctx_.stats().sp_calls;
+    out->Resize(universe_.size());
+    Bitset& derived = *out;
     bool changed = true;
     while (changed) {
       changed = false;
@@ -226,7 +241,6 @@ class GeneralEvaluator {
                       assumed_false, changed);
       }
     }
-    return derived;
   }
 
   void EnumerateRule(const GeneralRule& r, const FormulaPtr& body,
@@ -347,6 +361,7 @@ class GeneralEvaluator {
     }
   }
 
+  EvalContext& ctx_;
   GeneralProgram& gp_;
   const GeneralAfpOptions& options_;
   std::vector<TermId> domain_;
@@ -360,10 +375,17 @@ class GeneralEvaluator {
 
 }  // namespace
 
+StatusOr<GeneralAfpResult> GeneralAlternatingFixpointWithContext(
+    EvalContext& ctx, GeneralProgram& program,
+    const GeneralAfpOptions& options) {
+  GeneralEvaluator eval(ctx, program, options);
+  return eval.Run();
+}
+
 StatusOr<GeneralAfpResult> GeneralAlternatingFixpoint(
     GeneralProgram& program, const GeneralAfpOptions& options) {
-  GeneralEvaluator eval(program, options);
-  return eval.Run();
+  EvalContext ctx;
+  return GeneralAlternatingFixpointWithContext(ctx, program, options);
 }
 
 }  // namespace afp

@@ -72,6 +72,8 @@ struct GeneralAfpOptions {
   std::size_t max_base = 2'000'000;
 };
 
+class EvalContext;  // core/eval_context.h
+
 /// Evaluates the general program under alternating fixpoint logic (§8.1):
 /// rule bodies are assigned truth values per Definition 8.2 (explicit
 /// literal form; positive literals looked up in S_P's output, negative
@@ -82,6 +84,15 @@ struct GeneralAfpOptions {
 /// facts are not modified.
 StatusOr<GeneralAfpResult> GeneralAlternatingFixpoint(
     GeneralProgram& program, const GeneralAfpOptions& options = {});
+
+/// As above, drawing every fixpoint-loop bitset from `ctx` (and charging
+/// sp_calls to its stats), so a caller evaluating many general programs —
+/// or interleaving them with ground solves — reuses one scratch pool
+/// instead of allocating per call. The plain entry point wraps a private
+/// context, exactly like the ground engines' `*WithContext` pattern.
+StatusOr<GeneralAfpResult> GeneralAlternatingFixpointWithContext(
+    EvalContext& ctx, GeneralProgram& program,
+    const GeneralAfpOptions& options = {});
 
 }  // namespace afp
 

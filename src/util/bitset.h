@@ -95,6 +95,37 @@ class Bitset {
     return out;
   }
 
+  /// Makes this the complement of `o` within o's universe, in one word
+  /// pass (where `*this = o; Complement();` pays two). The borrowed-view
+  /// unfounded-set evaluation uses this to turn the maintained supported
+  /// set X into the next round's false set without an intermediate copy.
+  Bitset& AssignComplementOf(const Bitset& o) {
+    size_ = o.size_;
+    words_.resize(o.words_.size());
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] = ~o.words_[i];
+    TrimLastWord();
+    return *this;
+  }
+
+  /// True iff this equals the complement of `o` within the shared universe
+  /// (equal universe sizes required). One word pass, no materialization.
+  bool IsComplementOf(const Bitset& o) const {
+    if (size_ != o.size_) return false;
+    if (words_.empty()) return true;
+    for (std::size_t i = 0; i + 1 < words_.size(); ++i) {
+      if (words_[i] != ~o.words_[i]) return false;
+    }
+    std::uint64_t mask = (size_ % 64 == 0) ? ~0ULL : (1ULL << (size_ % 64)) - 1;
+    return words_.back() == (~o.words_.back() & mask);
+  }
+
+  /// Word-granular access, for mirroring a bitset into (or out of) an
+  /// atomically shared word array — the parallel SCC engine's publication
+  /// path. Bit i lives in word i/64 at position i%64.
+  std::size_t num_words() const { return words_.size(); }
+  std::uint64_t word(std::size_t wi) const { return words_[wi]; }
+  void set_word(std::size_t wi, std::uint64_t w) { words_[wi] = w; }
+
   bool operator==(const Bitset& o) const {
     return size_ == o.size_ && words_ == o.words_;
   }

@@ -6,12 +6,12 @@
 
 namespace afp {
 
-void GreatestUnfoundedSet(EvalContext& ctx, const HornSolver& solver,
-                          const PartialModel& I, Bitset* out) {
+void ExternallySupportedSet(EvalContext& ctx, const HornSolver& solver,
+                            const PartialModel& I, Bitset* out) {
   const RuleView& view = solver.view();
   // X = least set such that p ∈ X whenever some rule for p has no body
   // literal false in I and all its positive body atoms are in X. Then
-  // U_P(I) = H − X. `out` doubles as X and is complemented at the end.
+  // U_P(I) = H − X; GreatestUnfoundedSet complements this on top.
   out->Resize(view.num_atoms);
   Bitset& x = *out;
   std::vector<std::uint32_t> remaining = ctx.AcquireU32();
@@ -67,6 +67,11 @@ void GreatestUnfoundedSet(EvalContext& ctx, const HornSolver& solver,
   }
   ctx.ReleaseU32(std::move(remaining));
   ctx.ReleaseU32(std::move(queue));
+}
+
+void GreatestUnfoundedSet(EvalContext& ctx, const HornSolver& solver,
+                          const PartialModel& I, Bitset* out) {
+  ExternallySupportedSet(ctx, solver, I, out);
   out->Complement();
 }
 
@@ -79,7 +84,7 @@ Bitset GreatestUnfoundedSet(const HornSolver& solver, const PartialModel& I) {
 
 GusEvaluator::GusEvaluator(const HornSolver& solver, EvalContext& ctx,
                            GusMode mode)
-    : solver_(solver), ctx_(ctx), mode_(mode) {
+    : solver_(&solver), ctx_(ctx), mode_(mode) {
   // The persistent counters and indexes exist only on the delta path; a
   // kScratch evaluator stays a thin shim over the free function, so the
   // ablation baseline's pool traffic and peak_scratch_bytes reflect the
@@ -114,13 +119,18 @@ GusEvaluator::~GusEvaluator() {
 }
 
 void GusEvaluator::Eval(const PartialModel& I, Bitset* out) {
-  assert(I.true_atoms().universe_size() == solver_.view().num_atoms);
-  assert(I.false_atoms().universe_size() == solver_.view().num_atoms);
+  out->AssignComplementOf(EvalSupported(I));
+}
+
+const Bitset& GusEvaluator::EvalSupported(const PartialModel& I) {
+  assert(I.true_atoms().universe_size() == solver_->view().num_atoms);
+  assert(I.false_atoms().universe_size() == solver_->view().num_atoms);
   if (mode_ == GusMode::kScratch) {
     // Ablation baseline: the free function charges the call and the full
-    // rescan itself.
-    GreatestUnfoundedSet(ctx_, solver_, I, out);
-    return;
+    // rescan itself. x_ is a plain (never pool-acquired) bitset in this
+    // mode — just per-evaluator storage for the borrowed view.
+    ExternallySupportedSet(ctx_, *solver_, I, &x_);
+    return x_;
   }
   ++ctx_.stats().gus_calls;
   if (!primed_) {
@@ -128,12 +138,11 @@ void GusEvaluator::Eval(const PartialModel& I, Bitset* out) {
   } else {
     ApplyDelta(I);
   }
-  *out = x_;
-  out->Complement();
+  return x_;
 }
 
 void GusEvaluator::Prime(const PartialModel& I) {
-  const RuleView& view = solver_.view();
+  const RuleView& view = solver_->view();
   const std::size_t nrules = view.rules.size();
   witness_.assign(nrules, 0);
   if (!(I.true_atoms().None() && I.false_atoms().None())) {
@@ -160,7 +169,7 @@ void GusEvaluator::Prime(const PartialModel& I) {
 }
 
 void GusEvaluator::FullSolve() {
-  const RuleView& view = solver_.view();
+  const RuleView& view = solver_->view();
   x_.Resize(view.num_atoms);
   missing_.resize(view.rules.size());
   queue_.clear();
@@ -175,8 +184,8 @@ void GusEvaluator::FullSolve() {
       queue_.push_back(r.head);
     }
   }
-  const auto& off = solver_.pos_occ_offsets();
-  const auto& occ = solver_.pos_occ_rules();
+  const auto& off = solver_->pos_occ_offsets();
+  const auto& occ = solver_->pos_occ_rules();
   while (!queue_.empty()) {
     AtomId a = queue_.back();
     queue_.pop_back();
@@ -199,7 +208,7 @@ void GusEvaluator::EnsureHeadIndex() {
   // that never get past their first Eval (trivial SCC components, one-shot
   // uses) should not pay the counting sort.
   if (head_index_built_) return;
-  const RuleView& view = solver_.view();
+  const RuleView& view = solver_->view();
   std::vector<std::uint32_t> cursor = ctx_.AcquireU32();
   BuildCsrIndex(
       view.num_atoms, view.rules,
@@ -210,7 +219,7 @@ void GusEvaluator::EnsureHeadIndex() {
 }
 
 void GusEvaluator::ApplyDelta(const PartialModel& I) {
-  const RuleView& view = solver_.view();
+  const RuleView& view = solver_->view();
   EnsureHeadIndex();
   if (epoch_ == UINT32_MAX) {  // stamp wrap: restart the epoch space
     rule_stamp_.assign(view.rules.size(), 0);
@@ -231,8 +240,8 @@ void GusEvaluator::ApplyDelta(const PartialModel& I) {
     }
   };
 
-  const auto& poff = solver_.pos_occ_offsets();
-  const auto& pocc = solver_.pos_occ_rules();
+  const auto& poff = solver_->pos_occ_offsets();
+  const auto& pocc = solver_->pos_occ_rules();
   Bitset::ForEachChanged(
       last_false_, I.false_atoms(), [&](std::size_t a, bool now_false) {
         ++flipped;
@@ -247,8 +256,8 @@ void GusEvaluator::ApplyDelta(const PartialModel& I) {
           }
         }
       });
-  const auto& noff = solver_.neg_occ_offsets();
-  const auto& nocc = solver_.neg_occ_rules();
+  const auto& noff = solver_->neg_occ_offsets();
+  const auto& nocc = solver_->neg_occ_rules();
   Bitset::ForEachChanged(
       last_true_, I.true_atoms(), [&](std::size_t a, bool now_true) {
         ++flipped;

@@ -35,6 +35,14 @@ Bitset GreatestUnfoundedSet(const HornSolver& solver, const PartialModel& I);
 void GreatestUnfoundedSet(EvalContext& ctx, const HornSolver& solver,
                           const PartialModel& I, Bitset* out);
 
+/// The complement form: computes the externally-supported set
+/// X = H − U_P(I) into `*out` (resized here) and stops before the final
+/// complement — GreatestUnfoundedSet is exactly this plus one
+/// Bitset::Complement. Same charging. GusEvaluator's kScratch
+/// EvalSupported path delegates here.
+void ExternallySupportedSet(EvalContext& ctx, const HornSolver& solver,
+                            const PartialModel& I, Bitset* out);
+
 /// Incremental U_P evaluator binding one HornSolver to one EvalContext —
 /// the unfounded-set mirror of SpEvaluator.
 ///
@@ -76,11 +84,32 @@ class GusEvaluator {
   GusEvaluator(const GusEvaluator&) = delete;
   GusEvaluator& operator=(const GusEvaluator&) = delete;
 
+  /// Re-targets the evaluator at a different solver (sharing this
+  /// evaluator's context), keeping the pooled buffers and the head-index
+  /// storage; the next Eval re-primes and the head index is rebuilt —
+  /// into the retained capacity — only if a delta application needs it.
+  /// See SpEvaluator::Rebind.
+  void Rebind(const HornSolver& solver) {
+    solver_ = &solver;
+    primed_ = false;
+    head_index_built_ = false;
+  }
+
   /// Computes U_P(I) into `*out` (resized and overwritten here). Charges
   /// one gus_call; gus_rules_rescanned grows by the witness examinations
   /// actually performed (full program in kScratch, touched rules plus
   /// re-derivation probes in kDelta).
   void Eval(const PartialModel& I, Bitset* out);
+
+  /// Borrowed-view evaluation: updates the internally maintained
+  /// externally-supported set X = H − U_P(I) and returns a reference to
+  /// it, valid until the next Eval/EvalSupported/Rebind or destruction.
+  /// U_P membership is read as !x.Test(a). This skips the O(n/64)
+  /// copy+complement that Eval pays per call to materialize U_P into
+  /// `out` — the engine loop (WellFoundedViaWpOnSolver) consumes X
+  /// directly via Bitset::IsComplementOf / AssignComplementOf.
+  /// Same charging and postconditions as Eval otherwise.
+  const Bitset& EvalSupported(const PartialModel& I);
 
   GusMode mode() const { return mode_; }
 
@@ -90,7 +119,7 @@ class GusEvaluator {
   void EnsureHeadIndex();
   void ApplyDelta(const PartialModel& I);
 
-  const HornSolver& solver_;
+  const HornSolver* solver_;
   EvalContext& ctx_;
   GusMode mode_;
   bool primed_ = false;

@@ -42,7 +42,7 @@ Bitset ImmediateConsequences(const RuleView& view, const PartialModel& I) {
 
 TpEvaluator::TpEvaluator(const HornSolver& solver, EvalContext& ctx,
                          GusMode mode)
-    : solver_(solver), ctx_(ctx), mode_(mode) {
+    : solver_(&solver), ctx_(ctx), mode_(mode) {
   // Counter state exists only on the delta path; a kScratch evaluator is
   // a thin shim over ImmediateConsequences, so the ablation baseline's
   // pool traffic reflects the scratch algorithm alone.
@@ -64,11 +64,11 @@ TpEvaluator::~TpEvaluator() {
 }
 
 void TpEvaluator::Eval(const PartialModel& I, Bitset* out) {
-  assert(I.true_atoms().universe_size() == solver_.view().num_atoms);
-  assert(I.false_atoms().universe_size() == solver_.view().num_atoms);
+  assert(I.true_atoms().universe_size() == solver_->view().num_atoms);
+  assert(I.false_atoms().universe_size() == solver_->view().num_atoms);
   if (mode_ == GusMode::kScratch) {
     // Ablation baseline: one full body scan per call.
-    ImmediateConsequences(ctx_, solver_.view(), I, out);
+    ImmediateConsequences(ctx_, solver_->view(), I, out);
     return;
   }
   if (!primed_) {
@@ -80,7 +80,7 @@ void TpEvaluator::Eval(const PartialModel& I, Bitset* out) {
 }
 
 void TpEvaluator::Prime(const PartialModel& I) {
-  const RuleView& view = solver_.view();
+  const RuleView& view = solver_->view();
   const std::size_t nrules = view.rules.size();
   unsat_.resize(nrules);
   if (I.true_atoms().None() && I.false_atoms().None()) {
@@ -119,7 +119,7 @@ void TpEvaluator::Prime(const PartialModel& I) {
 }
 
 void TpEvaluator::ApplyDelta(const PartialModel& I) {
-  const RuleView& view = solver_.view();
+  const RuleView& view = solver_->view();
   std::size_t flipped = 0;
   std::size_t scans = 0;
   auto satisfy = [&](std::uint32_t ri) {
@@ -135,8 +135,8 @@ void TpEvaluator::ApplyDelta(const PartialModel& I) {
     }
   };
 
-  const auto& poff = solver_.pos_occ_offsets();
-  const auto& pocc = solver_.pos_occ_rules();
+  const auto& poff = solver_->pos_occ_offsets();
+  const auto& pocc = solver_->pos_occ_rules();
   Bitset::ForEachChanged(
       last_true_, I.true_atoms(), [&](std::size_t a, bool now_true) {
         ++flipped;
@@ -149,8 +149,8 @@ void TpEvaluator::ApplyDelta(const PartialModel& I) {
           }
         }
       });
-  const auto& noff = solver_.neg_occ_offsets();
-  const auto& nocc = solver_.neg_occ_rules();
+  const auto& noff = solver_->neg_occ_offsets();
+  const auto& nocc = solver_->neg_occ_rules();
   Bitset::ForEachChanged(
       last_false_, I.false_atoms(), [&](std::size_t a, bool now_false) {
         ++flipped;
@@ -169,37 +169,45 @@ void TpEvaluator::ApplyDelta(const PartialModel& I) {
   ctx_.stats().rules_rescanned += scans;
 }
 
-WpResult WellFoundedViaWpOnSolver(EvalContext& ctx, const HornSolver& solver,
-                                  const WpOptions& options) {
+WpResult WellFoundedViaWpOnEvaluators(EvalContext& ctx, TpEvaluator& tp,
+                                      GusEvaluator& gus, std::size_t n) {
   WpResult result;
   const EvalStats start = ctx.stats();
-  const std::size_t n = solver.view().num_atoms;
-  // One evaluator per half of the W_P transformation; both see the same
-  // monotone I_0 ⊆ I_1 ⊆ ... stream, so every atom flips at most once per
-  // polarity across the whole run.
-  TpEvaluator tp(solver, ctx, options.gus_mode);
-  GusEvaluator gus(solver, ctx, options.gus_mode);
-  // All four round buffers come from the pool; the two that leave inside
+  // The three round buffers come from the pool; the two that leave inside
   // the result model are escape-noted below, keeping the pool balanced
   // when a caller (the SCC engine) runs thousands of these per context.
   PartialModel I(ctx.AcquireBitset(n), ctx.AcquireBitset(n));
   Bitset new_true = ctx.AcquireBitset(n);
-  Bitset new_false = ctx.AcquireBitset(n);
   while (true) {
     ++result.iterations;
     tp.Eval(I, &new_true);
-    gus.Eval(I, &new_false);
-    if (new_true == I.true_atoms() && new_false == I.false_atoms()) break;
+    // Borrowed view of the supported set X = H − U_P(I): the new false
+    // set is ¬X, consumed here by complement-compare / complement-assign
+    // instead of materializing U_P into a fourth buffer each round.
+    const Bitset& x = gus.EvalSupported(I);
+    if (new_true == I.true_atoms() && x.IsComplementOf(I.false_atoms())) {
+      break;
+    }
     std::swap(I.true_atoms(), new_true);
-    std::swap(I.false_atoms(), new_false);
+    I.false_atoms().AssignComplementOf(x);
   }
   ctx.ReleaseBitset(std::move(new_true));
-  ctx.ReleaseBitset(std::move(new_false));
   ctx.NoteEscapedBytes(I.true_atoms().CapacityBytes() +
                        I.false_atoms().CapacityBytes());
   result.model = std::move(I);
   result.eval = ctx.stats().Since(start);
   return result;
+}
+
+WpResult WellFoundedViaWpOnSolver(EvalContext& ctx, const HornSolver& solver,
+                                  const WpOptions& options) {
+  // One evaluator per half of the W_P transformation; both see the same
+  // monotone I_0 ⊆ I_1 ⊆ ... stream, so every atom flips at most once per
+  // polarity across the whole run.
+  TpEvaluator tp(solver, ctx, options.gus_mode);
+  GusEvaluator gus(solver, ctx, options.gus_mode);
+  return WellFoundedViaWpOnEvaluators(ctx, tp, gus,
+                                      solver.view().num_atoms);
 }
 
 WpResult WellFoundedViaWpWithContext(EvalContext& ctx, const GroundProgram& gp,

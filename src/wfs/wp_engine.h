@@ -12,6 +12,8 @@
 
 namespace afp {
 
+class GusEvaluator;  // wfs/unfounded.h
+
 /// Options for the W_P iteration.
 struct WpOptions {
   /// How the two halves of each round — T_P (Definition 3.7) and U_P
@@ -73,6 +75,14 @@ class TpEvaluator {
   TpEvaluator(const TpEvaluator&) = delete;
   TpEvaluator& operator=(const TpEvaluator&) = delete;
 
+  /// Re-targets the evaluator at a different solver (sharing this
+  /// evaluator's context), keeping the pooled buffers; the next Eval
+  /// re-primes. See SpEvaluator::Rebind.
+  void Rebind(const HornSolver& solver) {
+    solver_ = &solver;
+    primed_ = false;
+  }
+
   /// Computes T_P(I) into `*out` (resized and overwritten here). Body
   /// examinations are charged to the context's rules_rescanned (full
   /// program in kScratch, touched rules only in kDelta).
@@ -84,7 +94,7 @@ class TpEvaluator {
   void Prime(const PartialModel& I);
   void ApplyDelta(const PartialModel& I);
 
-  const HornSolver& solver_;
+  const HornSolver* solver_;
   EvalContext& ctx_;
   GusMode mode_;
   bool primed_ = false;
@@ -113,13 +123,20 @@ WpResult WellFoundedViaWpWithContext(EvalContext& ctx, const GroundProgram& gp,
                                      const WpOptions& options = {});
 
 /// The full-control entry point: W_P iteration on an existing solver,
-/// drawing all scratch from `ctx`. The SCC engine uses this to solve each
-/// component's local subprogram with the W_P construction
-/// (SccInnerEngine::kWp) through one shared context. The result model's
-/// bitsets are escape-noted; a caller that recycles them back into the pool
-/// must reverse the note with NoteAdoptedBytes first.
+/// drawing all scratch from `ctx`. The result model's bitsets are
+/// escape-noted; a caller that recycles them back into the pool must
+/// reverse the note with NoteAdoptedBytes first.
 WpResult WellFoundedViaWpOnSolver(EvalContext& ctx, const HornSolver& solver,
                                   const WpOptions& options = {});
+
+/// The innermost loop on caller-owned evaluators (both already bound —
+/// or Rebind-ed — to the same solver over `n` atoms, sharing `ctx`). The
+/// SCC engine's ComponentSolver keeps one Tp/Gus pair alive across all
+/// components (SccInnerEngine::kWp) and re-enters here per component, so
+/// per-component solves cost zero evaluator construction and zero pool
+/// round-trips. Escape-noting as above.
+WpResult WellFoundedViaWpOnEvaluators(EvalContext& ctx, TpEvaluator& tp,
+                                      GusEvaluator& gus, std::size_t n);
 
 }  // namespace afp
 

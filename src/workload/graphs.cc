@@ -2,6 +2,7 @@
 
 #include <random>
 #include <set>
+#include <utility>
 
 namespace afp {
 namespace graphs {
@@ -55,6 +56,39 @@ Digraph CompleteBipartite(int half) {
   g.n = 2 * half;
   for (int i = 0; i < half; ++i) {
     for (int j = half; j < 2 * half; ++j) g.edges.push_back({i, j});
+  }
+  return g;
+}
+
+Digraph ClusteredScc(int clusters, int cluster_size, int intra_per_cluster,
+                     int inter_edges, std::uint64_t seed) {
+  Digraph g;
+  g.n = clusters * cluster_size;
+  std::mt19937_64 rng(seed);
+  std::set<std::pair<int, int>> seen;
+  auto add = [&](int u, int v) {
+    if (u != v && seen.insert({u, v}).second) g.edges.push_back({u, v});
+  };
+  std::uniform_int_distribution<int> pick_node(0, cluster_size - 1);
+  for (int c = 0; c < clusters; ++c) {
+    const int base = c * cluster_size;
+    // Hamiltonian cycle: the cluster is one SCC by construction.
+    for (int i = 0; i < cluster_size; ++i) {
+      add(base + i, base + (i + 1) % cluster_size);
+    }
+    for (int e = 0; e < intra_per_cluster; ++e) {
+      add(base + pick_node(rng), base + pick_node(rng));
+    }
+  }
+  if (clusters > 1) {
+    std::uniform_int_distribution<int> pick_cluster(0, clusters - 1);
+    for (int e = 0; e < inter_edges; ++e) {
+      int a = pick_cluster(rng), b = pick_cluster(rng);
+      if (a == b) continue;  // keep the condensation acyclic
+      if (a > b) std::swap(a, b);
+      add(a * cluster_size + pick_node(rng),
+          b * cluster_size + pick_node(rng));
+    }
   }
   return g;
 }

@@ -33,6 +33,17 @@ Digraph RandomFunctional(int n, std::uint64_t seed);
 /// Complete bipartite from the first half to the second half.
 Digraph CompleteBipartite(int half);
 
+/// `clusters` strongly connected clusters of `cluster_size` nodes each
+/// (a Hamiltonian cycle per cluster plus `intra_per_cluster` random
+/// internal edges), wired by `inter_edges` random edges that always run
+/// from a lower-indexed cluster to a higher one. The win-move program
+/// over this graph grounds to one large SCC per cluster, and the sparse
+/// inter-cluster wiring leaves the condensation DAG with wide antichains
+/// — the workload the wavefront scheduler's thread-scaling axis (and its
+/// tests) measure. n = clusters * cluster_size.
+Digraph ClusteredScc(int clusters, int cluster_size, int intra_per_cluster,
+                     int inter_edges, std::uint64_t seed);
+
 /// An acyclic move graph matching the paper's Figure 4(a) run: sinks are
 /// {c,d,f,h,i}; b, e, g move to sinks; a moves only to b, e, g. Nodes a..i
 /// are 0..8. The trace in Example 5.2(a) is reproduced exactly:

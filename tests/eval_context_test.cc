@@ -403,5 +403,63 @@ TEST(SealRules, GroundProgramWorksAfterSealing) {
   EXPECT_TRUE(before.model.true_atoms().IsSubsetOf(after.model.true_atoms()));
 }
 
+TEST(EvalContextRegistryUnit, SlotsAreIndependentAndStatsAggregate) {
+  EvalContextRegistry registry;
+  registry.EnsureSize(3);
+  ASSERT_EQ(registry.size(), 3u);
+  // Slots are distinct contexts; growing keeps existing slots (and their
+  // references) intact.
+  EvalContext* slot0 = &registry.ForWorker(0);
+  registry.EnsureSize(5);
+  EXPECT_EQ(registry.size(), 5u);
+  EXPECT_EQ(slot0, &registry.ForWorker(0));
+
+  Program p = workload::WinMove(graphs::Figure4b());
+  auto ground = Grounder::Ground(p);
+  ASSERT_TRUE(ground.ok());
+  PartialModel m0, m1;
+  {
+    HornSolver s0(ground->View(), &registry.ForWorker(0));
+    m0 = AlternatingFixpointWithContext(registry.ForWorker(0), s0, Bitset())
+             .model;
+    HornSolver s1(ground->View(), &registry.ForWorker(1));
+    m1 = AlternatingFixpointWithContext(registry.ForWorker(1), s1, Bitset())
+             .model;
+  }
+  EXPECT_EQ(m0, m1);
+  const EvalStats agg = registry.AggregateStats();
+  EXPECT_EQ(agg.sp_calls, registry.ForWorker(0).stats().sp_calls +
+                              registry.ForWorker(1).stats().sp_calls);
+  EXPECT_GT(agg.sp_calls, 0u);
+  registry.ResetStats();
+  EXPECT_EQ(registry.AggregateStats().sp_calls, 0u);
+}
+
+TEST(EvalContextRegistryUnit, SpEvaluatorRebindMatchesFreshEvaluator) {
+  Program p1 = workload::WinMove(graphs::Figure4a());
+  Program p2 = workload::WinMove(graphs::Figure4b());
+  auto g1 = Grounder::Ground(p1);
+  auto g2 = Grounder::Ground(p2);
+  ASSERT_TRUE(g1.ok() && g2.ok());
+  EvalContext ctx;
+  HornSolver s1(g1->View(), &ctx);
+  HornSolver s2(g2->View(), &ctx);
+  SpEvaluator reused(s1, ctx);
+  Bitset none1(g1->num_atoms());
+  Bitset out;
+  reused.Eval(none1, &out);
+  none1.Set(0);
+  reused.Eval(none1, &out);  // prime the delta machinery
+
+  reused.Rebind(s2);
+  Bitset none2(g2->num_atoms());
+  Bitset reused_out, fresh_out;
+  reused.Eval(none2, &reused_out);
+  SpEvaluator fresh(s2, ctx);
+  fresh.Eval(none2, &fresh_out);
+  EXPECT_EQ(reused_out, fresh_out);
+  EXPECT_EQ(reused_out, s2.EventualConsequences(none2));
+}
+
 }  // namespace
 }  // namespace afp

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "core/alternating.h"
+#include "core/eval_context.h"
 #include "fol/formula.h"
 #include "fol/simplify.h"
 #include "ground/grounder.h"
@@ -111,6 +112,25 @@ TEST(GeneralProgram, ValidateRejectsFunctionSymbols) {
   gp.AddGeneralRule(b.MakeAtom("p"),
                     Formula::MakeAtom(b.MakeAtom("q", {fx})));
   EXPECT_FALSE(gp.Validate().ok());
+}
+
+TEST(GeneralAfp, ExternalContextIsThreadedAndPooled) {
+  // The WithContext entry point must agree with the plain one and leave
+  // its fixpoint scratch in the caller's pool (sp_calls charged there).
+  EvalContext ctx;
+  for (int n : {3, 5}) {
+    GeneralProgram gp1 = WellFoundedNodes(graphs::Chain(n));
+    auto pooled = GeneralAlternatingFixpointWithContext(ctx, gp1);
+    GeneralProgram gp2 = WellFoundedNodes(graphs::Chain(n));
+    auto fresh = GeneralAlternatingFixpoint(gp2);
+    ASSERT_TRUE(pooled.ok() && fresh.ok());
+    EXPECT_EQ(pooled->outer_iterations, fresh->outer_iterations);
+    EXPECT_EQ(pooled->values.size(), fresh->values.size());
+    for (const auto& [atom, value] : fresh->values) {
+      EXPECT_EQ(pooled->Value(atom), value) << atom;
+    }
+  }
+  EXPECT_GT(ctx.stats().sp_calls, 0u);
 }
 
 TEST(GeneralAfp, Example82WellFoundedNodesAcyclic) {

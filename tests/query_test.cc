@@ -148,6 +148,63 @@ TEST(Relevance, UnmaterializedAtomIsFalse) {
   EXPECT_EQ(r->slice_size, 0u);
 }
 
+TEST(Relevance, ContextThreadedQueriesMatchAndPoolScratch) {
+  // One context across a loop of point queries (the PR 2 follow-up):
+  // answers match the fresh-context entry point, and the shared context
+  // accumulates the batch's S_P work.
+  Program p = workload::WinMove(graphs::ErdosRenyi(25, 60, 11));
+  auto ground = Grounder::Ground(p);
+  ASSERT_TRUE(ground.ok());
+  EvalContext ctx;
+  std::size_t answered = 0;
+  for (int node = 0; node < 25; ++node) {
+    std::string atom = "wins(" + workload::NodeName(node) + ")";
+    auto pooled = QueryWithRelevanceWithContext(ctx, *ground, atom);
+    auto fresh = QueryWithRelevance(*ground, atom);
+    ASSERT_TRUE(pooled.ok() && fresh.ok());
+    EXPECT_EQ(pooled->value, fresh->value) << atom;
+    EXPECT_EQ(pooled->slice_size, fresh->slice_size) << atom;
+    ++answered;
+  }
+  EXPECT_GT(answered, 0u);
+  EXPECT_GT(ctx.stats().sp_calls, 0u);
+}
+
+// "Parallel" in the name keeps this inside the TSan CI lane's filter
+// (-R '(Scheduler|Parallel)') — the query batch is the one RunWavefront
+// consumer outside the SCC engine.
+TEST(Relevance, ParallelBatchMatchesSingleQueriesAtEveryThreadCount) {
+  Program p = workload::WinMove(graphs::ErdosRenyi(40, 100, 5));
+  auto ground = Grounder::Ground(p);
+  ASSERT_TRUE(ground.ok());
+  std::vector<std::string> atoms;
+  for (int node = 0; node < 40; node += 3) {
+    atoms.push_back("wins(" + workload::NodeName(node) + ")");
+  }
+  atoms.push_back("wins(nowhere)");  // closed world: false, not an error
+
+  std::vector<TruthValue> expected;
+  for (const std::string& a : atoms) {
+    auto r = QueryWithRelevance(*ground, a);
+    ASSERT_TRUE(r.ok()) << a;
+    expected.push_back(r->value);
+  }
+
+  EvalContextRegistry registry;
+  for (int threads : {1, 2, 4}) {
+    QueryBatchOptions opts;
+    opts.num_threads = threads;
+    opts.registry = &registry;
+    auto results = QueryBatchWithRelevance(*ground, atoms, opts);
+    ASSERT_EQ(results.size(), atoms.size());
+    for (std::size_t i = 0; i < atoms.size(); ++i) {
+      ASSERT_TRUE(results[i].ok()) << atoms[i];
+      EXPECT_EQ(results[i]->value, expected[i])
+          << atoms[i] << " at " << threads << " threads";
+    }
+  }
+}
+
 TEST(Relevance, SliceCanBeMuchSmallerThanProgram) {
   // Two disconnected game boards; querying one should not pay for the
   // other.

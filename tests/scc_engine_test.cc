@@ -167,5 +167,149 @@ TEST(SccEngine, UndefinedExternalsCapDependentAtoms) {
   EXPECT_EQ(r.model, AlternatingFixpoint(gp).model);
 }
 
+TEST(AtomGraph, CondensationEdgesAndInDegrees) {
+  // p <- q (cross-component), {p,q2,q3} chain: condensation edges point
+  // dependency -> dependent with in-degrees to match.
+  auto parsed = ParseProgram("q. p :- q. r :- p, q.");
+  ASSERT_TRUE(parsed.ok());
+  Program p = std::move(parsed).value();
+  GroundProgram gp = MustGround(p, GroundMode::kFull);
+  AtomDependencyGraph g(gp.View());
+  ASSERT_EQ(g.num_components(), 3u);
+  const auto& off = g.condensation_offsets();
+  const auto& succ = g.condensation_successors();
+  const auto& indeg = g.condensation_in_degrees();
+  ASSERT_EQ(off.size(), g.num_components() + 1);
+  ASSERT_EQ(indeg.size(), g.num_components());
+  AtomId qa = *ResolveAtom(gp, "q");
+  AtomId pa = *ResolveAtom(gp, "p");
+  AtomId ra = *ResolveAtom(gp, "r");
+  std::uint32_t cq = g.component_of()[qa];
+  std::uint32_t cp = g.component_of()[pa];
+  std::uint32_t cr = g.component_of()[ra];
+  // q feeds p and r; p feeds r. Every edge goes id-upward.
+  EXPECT_EQ(indeg[cq], 0u);
+  EXPECT_EQ(indeg[cp], 1u);
+  EXPECT_EQ(indeg[cr], 2u);
+  std::size_t total_edges = 0;
+  for (std::uint32_t c = 0; c < g.num_components(); ++c) {
+    for (std::uint32_t k = off[c]; k < off[c + 1]; ++k) {
+      EXPECT_GT(succ[k], c);
+      ++total_edges;
+    }
+  }
+  EXPECT_EQ(total_edges, 3u);
+  EXPECT_EQ(total_edges, indeg[cq] + indeg[cp] + indeg[cr]);
+}
+
+/// Sequential-vs-parallel check: models AND per-component iteration
+/// trajectories must be bit-identical at every thread count.
+void ExpectParallelMatchesSequential(const GroundProgram& gp,
+                                     const SccOptions& base) {
+  SccWfsResult seq = WellFoundedScc(gp, base);
+  ASSERT_EQ(seq.component_iterations.size(), seq.num_components);
+  for (int threads : {2, 4, 8}) {
+    SccOptions par = base;
+    par.num_threads = threads;
+    SccWfsResult r = WellFoundedScc(gp, par);
+    EXPECT_EQ(r.model, seq.model) << threads << " threads";
+    EXPECT_EQ(r.component_iterations, seq.component_iterations)
+        << threads << " threads";
+    EXPECT_EQ(r.total_local_size, seq.total_local_size)
+        << threads << " threads";
+    EXPECT_EQ(r.num_components, seq.num_components);
+    // Work counters are per-component deterministic, so their sums match
+    // the sequential run exactly (peak_scratch_bytes is the exception —
+    // it depends on which worker pool solved which component).
+    EXPECT_EQ(r.eval.sp_calls, seq.eval.sp_calls) << threads << " threads";
+    EXPECT_EQ(r.eval.rules_rescanned, seq.eval.rules_rescanned)
+        << threads << " threads";
+    EXPECT_EQ(r.eval.gus_calls, seq.eval.gus_calls) << threads << " threads";
+    // The pool is clamped to the component count, so tiny programs may
+    // report fewer workers than requested.
+    EXPECT_GE(r.sched.num_workers, 1u);
+    EXPECT_LE(r.sched.num_workers, static_cast<std::size_t>(threads));
+  }
+}
+
+TEST(SccEngineParallel, ClusteredWinMoveBothInnerEngines) {
+  Program p = workload::WinMove(
+      graphs::ClusteredScc(/*clusters=*/8, /*cluster_size=*/10,
+                           /*intra_per_cluster=*/16, /*inter_edges=*/12,
+                           /*seed=*/3));
+  GroundProgram gp = MustGround(p);
+  SccOptions afp_inner;
+  ExpectParallelMatchesSequential(gp, afp_inner);
+  SccOptions wp_inner;
+  wp_inner.inner = SccInnerEngine::kWp;
+  ExpectParallelMatchesSequential(gp, wp_inner);
+}
+
+TEST(SccEngineParallel, RandomProgramsAndGraphs) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    Program p = workload::RandomPropositional(30, 60, 3, 50, seed);
+    GroundProgram gp = MustGround(p, GroundMode::kFull);
+    ExpectParallelMatchesSequential(gp, SccOptions{});
+  }
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    Program p = workload::WinMove(graphs::ErdosRenyi(60, 140, seed));
+    GroundProgram gp = MustGround(p);
+    ExpectParallelMatchesSequential(gp, SccOptions{});
+  }
+}
+
+TEST(SccEngineParallel, EdgeCasePrograms) {
+  // Empty program: zero components, zero atoms, at every thread count.
+  Program empty;
+  GroundProgram gp0 = MustGround(empty);
+  for (int t : {1, 2, 4}) {
+    SccOptions o;
+    o.num_threads = t;
+    SccWfsResult r = WellFoundedScc(gp0, o);
+    EXPECT_EQ(r.num_components, 0u);
+    EXPECT_TRUE(r.model.true_atoms().None());
+  }
+  // Single-atom program.
+  auto parsed = ParseProgram("p :- not p.");
+  ASSERT_TRUE(parsed.ok());
+  Program p1 = std::move(parsed).value();
+  GroundProgram gp1 = MustGround(p1, GroundMode::kFull);
+  ExpectParallelMatchesSequential(gp1, SccOptions{});
+}
+
+TEST(SccEngineParallel, RegistryStaysWarmAcrossRuns) {
+  Program p = workload::WinMove(graphs::ClusteredScc(6, 8, 12, 8, 7));
+  GroundProgram gp = MustGround(p);
+  SccWfsResult seq = WellFoundedScc(gp);
+  EvalContextRegistry registry;
+  SccOptions par;
+  par.num_threads = 4;
+  par.registry = &registry;
+  for (int run = 0; run < 3; ++run) {
+    SccWfsResult r = WellFoundedScc(gp, par);
+    EXPECT_EQ(r.model, seq.model) << "run " << run;
+    EXPECT_EQ(r.component_iterations, seq.component_iterations)
+        << "run " << run;
+  }
+  EXPECT_EQ(registry.size(), 4u);
+  // The registry did real work and its counters aggregated it.
+  EXPECT_GT(registry.AggregateStats().sp_calls, 0u);
+}
+
+TEST(SccEngineParallel, SchedulerStatsExposeWideAntichain) {
+  // k independent clusters, no inter-cluster edges: the wins components
+  // form a pure antichain of width >= k.
+  Program p = workload::WinMove(graphs::ClusteredScc(10, 6, 10, 0, 1));
+  GroundProgram gp = MustGround(p);
+  SccOptions par;
+  par.num_threads = 4;
+  SccWfsResult r = WellFoundedScc(gp, par);
+  EXPECT_EQ(r.model, WellFoundedScc(gp).model);
+  EXPECT_GE(r.sched.MaxWavefrontWidth(), 10u);
+  std::size_t total = 0;
+  for (std::uint32_t w : r.sched.wavefront_widths) total += w;
+  EXPECT_EQ(total, r.num_components);
+}
+
 }  // namespace
 }  // namespace afp

@@ -236,6 +236,69 @@ TEST(GusEvaluatorUnit, Example61DeltaSequenceMatchesScratch) {
       NamedSet(gp, {"p(d)", "p(e)", "p(f)"}).IsSubsetOf(out));
 }
 
+TEST(GusEvaluatorUnit, BorrowedViewMatchesEvalInBothModes) {
+  // EvalSupported returns the maintained X = H − U_P(I) without the
+  // per-call copy+complement; its complement must equal Eval's output —
+  // and the scratch reference — at every step of a non-monotone walk.
+  Program p = workload::Example51();
+  GroundProgram gp = MustGround(p);
+  for (GusMode mode : {GusMode::kDelta, GusMode::kScratch}) {
+    EvalContext ctx;
+    HornSolver solver(gp.View(), &ctx);
+    GusEvaluator gus(solver, ctx, mode);
+    PartialModel I = PartialModel::AllUndefined(gp.num_atoms());
+    std::vector<std::pair<std::string, bool>> steps = {
+        {"p(c)", true}, {"p(g)", false}, {"p(h)", false}, {"p(c)", true}};
+    Bitset expected;
+    for (const auto& [name, truth] : steps) {
+      const Bitset& x = gus.EvalSupported(I);
+      expected = GreatestUnfoundedSet(solver, I);
+      EXPECT_TRUE(x.IsComplementOf(expected)) << "step " << name;
+      EXPECT_EQ(Bitset::ComplementOf(x), expected) << "step " << name;
+      for (AtomId a = 0; a < gp.num_atoms(); ++a) {
+        if (gp.AtomName(a) != name) continue;
+        (truth ? I.true_atoms() : I.false_atoms()).Set(a);
+      }
+    }
+  }
+}
+
+TEST(GusEvaluatorUnit, RebindReusesOneEvaluatorAcrossSolvers) {
+  // The ComponentSolver pattern: one evaluator, many programs. After a
+  // Rebind the next Eval must re-prime against the new solver and match a
+  // fresh evaluator bit for bit.
+  Program p1 = workload::WinMove(graphs::Figure4b());
+  Program p2 = workload::Example51();
+  GroundProgram gp1 = MustGround(p1);
+  GroundProgram gp2 = MustGround(p2);
+  EvalContext ctx;
+  HornSolver s1(gp1.View(), &ctx);
+  HornSolver s2(gp2.View(), &ctx);
+  GusEvaluator reused(s1, ctx, GusMode::kDelta);
+
+  PartialModel i1 = PartialModel::AllUndefined(gp1.num_atoms());
+  Bitset out;
+  reused.Eval(i1, &out);
+  // Force the delta machinery (head index and all) into action first.
+  i1.true_atoms().Set(0);
+  reused.Eval(i1, &out);
+
+  reused.Rebind(s2);
+  PartialModel i2 = PartialModel::AllUndefined(gp2.num_atoms());
+  Bitset reused_out, fresh_out;
+  reused.Eval(i2, &reused_out);
+  GusEvaluator fresh(s2, ctx, GusMode::kDelta);
+  fresh.Eval(i2, &fresh_out);
+  EXPECT_EQ(reused_out, fresh_out);
+  EXPECT_EQ(reused_out, GreatestUnfoundedSet(s2, i2));
+
+  i2.false_atoms().Set(1);
+  reused.Eval(i2, &reused_out);
+  fresh.Eval(i2, &fresh_out);
+  EXPECT_EQ(reused_out, fresh_out);
+  EXPECT_EQ(reused_out, GreatestUnfoundedSet(s2, i2));
+}
+
 TEST(WpEngine, DeltaDoesLessWorkOnDeepIteration) {
   // The Example 8.2-style regime: a chain forces one W_P round per rank,
   // the many-rounds case the witness counters target. The delta path's

@@ -13,6 +13,12 @@
 //                                      (default delta; scratch = ablation)
 //   --inner=afp|wp                     per-component engine for --engine=scc
 //                                      (default afp)
+//   --threads=N                        worker threads for --engine=scc: the
+//                                      wavefront scheduler dispatches ready
+//                                      components of the condensation DAG
+//                                      to N workers, each with its own
+//                                      pooled context (default 1; models
+//                                      are identical at every N)
 //   --query=ATOM                       point query (repeatable via commas)
 //   --select=PATTERN                   enumerate matches, e.g. wins(X)
 //   --trace                            print the Table-I style trace (wfs)
@@ -42,6 +48,8 @@ struct Options {
   bool gus_given = false;
   std::string inner = "afp";
   bool inner_given = false;
+  int threads = 1;
+  bool threads_given = false;
   std::vector<std::string> queries;
   std::vector<std::string> selects;
   bool trace = false;
@@ -125,6 +133,16 @@ int main(int argc, char** argv) {
       opts.inner_given = true;
       continue;
     }
+    if (ParseFlag(arg, "threads", &value)) {
+      try {
+        opts.threads = std::stoi(value);
+      } catch (const std::exception&) {
+        std::cerr << "afp: bad --threads value '" << value << "'\n";
+        return 1;
+      }
+      opts.threads_given = true;
+      continue;
+    }
     if (ParseFlag(arg, "query", &value)) {
       SplitCommas(value, &opts.queries);
       continue;
@@ -204,6 +222,16 @@ int main(int argc, char** argv) {
     std::cerr << "afp: note: --inner has no effect for --semantics="
               << opts.semantics << " --engine=" << opts.engine << "\n";
   }
+  if (opts.threads < 1) {
+    std::cerr << "afp: --threads must be >= 1\n";
+    return 1;
+  }
+  if (opts.threads_given &&
+      !(opts.semantics == "wfs" && opts.engine == "scc")) {
+    std::cerr << "afp: note: --threads has no effect for --semantics="
+              << opts.semantics << " --engine=" << opts.engine
+              << " (only --engine=scc runs the wavefront scheduler)\n";
+  }
 
   std::string text;
   if (opts.file.empty()) {
@@ -275,10 +303,29 @@ int main(int argc, char** argv) {
       sopts.sp_mode = sp_mode;
       sopts.inner = inner_engine;
       sopts.gus_mode = gus_mode;
+      sopts.num_threads = opts.threads;
       afp::SccWfsResult r = afp::WellFoundedSccWithContext(ctx, gp, sopts);
       if (opts.stats) {
         std::cout << "% components: " << r.num_components
                   << "  local size: " << r.total_local_size << "\n";
+        if (r.sched.num_workers > 0) {
+          const afp::SchedulerStats& sc = r.sched;
+          std::cout << "% scheduler: workers " << sc.num_workers
+                    << "  wavefronts " << sc.wavefront_widths.size()
+                    << "  max width " << sc.MaxWavefrontWidth()
+                    << "  max ready " << sc.max_ready
+                    << "  steals " << sc.steals
+                    << "  idle waits " << sc.idle_waits << "\n";
+          std::cout << "% wavefront widths:";
+          for (std::size_t d = 0; d < sc.wavefront_widths.size(); ++d) {
+            if (d >= 16) {
+              std::cout << " ...";
+              break;
+            }
+            std::cout << ' ' << sc.wavefront_widths[d];
+          }
+          std::cout << "\n";
+        }
       }
       eval = r.eval;
       model = std::move(r.model);

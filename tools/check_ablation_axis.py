@@ -4,7 +4,9 @@
 The delta-driven evaluation paths (SpMode::kDelta for S_P enablement,
 GusMode::kDelta for the T_P / unfounded-set witness counters) exist to do
 strictly less rule-body rescanning than their from-scratch ablation
-baselines. This check fails CI if that ever regresses:
+baselines, and the wavefront scheduler exists to turn condensation-DAG
+antichains into wall-clock speedup. This check fails CI if either ever
+regresses:
 
   * every delta/scratch pair must have the delta side rescan FEWER rule
     bodies than the scratch side (ratio scratch/delta > 1.0) — a delta mode
@@ -12,10 +14,18 @@ baselines. This check fails CI if that ever regresses:
     stopped working;
   * the flagship workloads — win-move at the largest benched size and the
     Example 8.2 chain — must keep a ratio of at least MIN_FLAGSHIP_RATIO
-    (3x) on the GusMode axis, the headline number recorded in ROADMAP.md.
+    (3x) on the GusMode axis, the headline number recorded in ROADMAP.md;
+  * the thread-scaling axis must exist for the flagship THREAD_FLAGSHIP
+    workload with 1- and 4-thread rows, every speedup must stay >= 1.0
+    (more workers never slower than one), and the 4-thread run must be at
+    least MIN_THREAD_SPEEDUP (2x) faster than the 1-thread run.
 
-Counters, not wall-clock, are gated: rescan counts are deterministic for a
-fixed workload, so this is safe on noisy CI machines.
+The rescan gates are counters, not wall-clock: deterministic for a fixed
+workload, so safe on noisy CI machines. The thread gates are necessarily
+wall-clock; they are enforced only when the RECORDING machine reported
+hardware_concurrency >= the gated thread count (a 1-core container can
+run the parallel engine correctly but cannot exhibit speedup — the row is
+still required to exist there, so the axis cannot silently vanish).
 
 Usage: check_ablation_axis.py [path/to/BENCH_ablation_axis.json]
 Exit status: 0 when every row passes, 1 otherwise.
@@ -31,6 +41,43 @@ MIN_FLAGSHIP_RATIO = 3.0
 # keep this list in sync with the BENCHMARK(...)->Arg(...) registrations in
 # bench/bench_ablation.cc.
 FLAGSHIPS = {("gus", "WinMove/1024"), ("gus", "WfNodes/256")}
+# The thread-scaling flagship: 4 threads must be >= 2x the 1-thread run.
+THREAD_FLAGSHIP = "WinMove/4096"
+GATED_THREAD = "4"
+MIN_THREAD_SPEEDUP = 2.0
+
+
+def check_thread_row(row, failures, lines):
+    workload = row.get("workload", "?")
+    label = f"threads:{workload}"
+    speedups = row.get("speedup_over_one_thread")
+    hc = row.get("hardware_concurrency")
+    if not speedups or "1" not in speedups:
+        failures.append(f"{label}: no 1-thread baseline recorded")
+        return
+    for t, s in sorted(speedups.items(), key=lambda kv: int(kv[0])):
+        lines.append(f"  {label}: {t} thread(s) speedup {s}x"
+                     f" (hw concurrency {hc})")
+    if speedups["1"] < MIN_RATIO:
+        # The 1-thread row is its own baseline; anything but 1.0 means the
+        # distiller broke.
+        failures.append(f"{label}: 1-thread speedup {speedups['1']} != 1.0")
+    enforce_wallclock = hc is not None and hc >= int(GATED_THREAD)
+    if not enforce_wallclock:
+        lines.append(f"  {label}: wall-clock gates SKIPPED (recorded with "
+                     f"hardware_concurrency {hc} < {GATED_THREAD})")
+        return
+    for t, s in speedups.items():
+        if s < MIN_RATIO:
+            failures.append(
+                f"{label}: {t} threads slower than 1 (speedup {s} < 1.0)")
+    if workload == THREAD_FLAGSHIP:
+        if GATED_THREAD not in speedups:
+            failures.append(f"{label}: no {GATED_THREAD}-thread row")
+        elif speedups[GATED_THREAD] < MIN_THREAD_SPEEDUP:
+            failures.append(
+                f"{label}: flagship {GATED_THREAD}-thread speedup "
+                f"{speedups[GATED_THREAD]} < {MIN_THREAD_SPEEDUP}")
 
 
 def main() -> int:
@@ -44,10 +91,16 @@ def main() -> int:
 
     failures = []
     seen_flagships = set()
+    seen_thread_workloads = set()
     ratios = []
+    thread_lines = []
     for row in rows:
         axis = row.get("axis", "sp")
         workload = row.get("workload", "?")
+        if axis == "threads":
+            seen_thread_workloads.add(workload)
+            check_thread_row(row, failures, thread_lines)
+            continue
         ratio = row.get("rescan_ratio_scratch_over_delta")
         label = f"{axis}:{workload}"
         if ratio is None:
@@ -67,14 +120,20 @@ def main() -> int:
                     f"{label}: flagship ratio {ratio} < {MIN_FLAGSHIP_RATIO}")
     for missing in sorted(FLAGSHIPS - seen_flagships):
         failures.append(f"{missing[0]}:{missing[1]}: flagship row missing")
+    if THREAD_FLAGSHIP not in seen_thread_workloads:
+        failures.append(
+            f"threads:{THREAD_FLAGSHIP}: thread-scaling row missing")
 
     for label, ratio in sorted(ratios):
         print(f"  {label}: scratch/delta rescan ratio {ratio}")
+    for line in thread_lines:
+        print(line)
     if failures:
         for f_ in failures:
             print(f"FAIL {f_}", file=sys.stderr)
         return 1
-    print(f"check_ablation_axis: {len(ratios)} rows OK")
+    print(f"check_ablation_axis: {len(ratios)} rescan rows + "
+          f"{len(seen_thread_workloads)} thread rows OK")
     return 0
 
 

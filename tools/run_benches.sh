@@ -113,6 +113,45 @@ for (axis, key) in sorted(rows):
     if d is not None and s:
         entry["rescan_ratio_scratch_over_delta"] = round(s / max(d, 1), 2)
     axis_rows.append(entry)
+
+# Thread-scaling axis: BM_Threads<Workload>/<size>/<threads> rows are
+# grouped per workload with wall-clock speedups relative to the 1-thread
+# run (the exact sequential engine path). hardware_concurrency travels
+# with the row so the gate can tell a real scaling regression from a
+# recording made on a machine with too few cores to show one.
+thread_rows = {}
+for b in report.get("benchmarks", []):
+    name = b.get("name", "")
+    if not name.startswith("BM_Threads"):
+        continue
+    base = name[len("BM_Threads"):]
+    if base.endswith("/real_time"):
+        base = base[: -len("/real_time")]
+    workload, _, threads = base.rpartition("/")
+    if not workload or not threads.isdigit():
+        continue
+    cell = {"real_time_ns": b.get("real_time")}
+    for c in ("components", "max_wavefront_width", "hardware_concurrency"):
+        if c in b:
+            cell[c] = b[c]
+    thread_rows.setdefault(workload, {})[threads] = cell
+
+for workload in sorted(thread_rows):
+    per = thread_rows[workload]
+    entry = {"axis": "threads", "workload": workload, "per_thread": per}
+    hc = next((c["hardware_concurrency"] for c in per.values()
+               if "hardware_concurrency" in c), None)
+    if hc is not None:
+        entry["hardware_concurrency"] = hc
+    one = per.get("1", {}).get("real_time_ns")
+    if one:
+        entry["speedup_over_one_thread"] = {
+            t: round(one / c["real_time_ns"], 2)
+            for t, c in sorted(per.items())
+            if c.get("real_time_ns")
+        }
+    axis_rows.append(entry)
+
 with open(dst, "w") as f:
     json.dump({"bench": "ablation_axis", "git_rev": git_rev,
                "timestamp": timestamp, "rows": axis_rows}, f, indent=1)
