@@ -39,16 +39,19 @@ void Analyze(const char* title, const Framework& fw) {
             {afp::Program::Pos(p.MakeAtom("arg", {x})),
              afp::Program::Neg(p.MakeAtom("not_defended", {x}))});
 
-  auto sol = afp::SolveWellFoundedProgram(std::move(p));
-  if (!sol.ok()) {
-    std::cerr << sol.status().ToString() << "\n";
+  auto solver = afp::Solver::FromProgram(std::move(p));
+  if (!solver.ok()) {
+    std::cerr << solver.status().ToString() << "\n";
     return;
   }
   std::cout << "=== " << title << " ===\n";
   afp::TablePrinter table({"argument", "grounded status"});
+  // Deliberately no Solve(): point queries on an unsolved session are
+  // answered through the relevance slicer — only the subprogram each
+  // argument depends on is evaluated.
   for (const auto& a : fw.args) {
-    auto accepted = sol->Query("accepted(" + a + ")");
-    auto defeated = sol->Query("defeated(" + a + ")");
+    auto accepted = solver->Query("accepted(" + a + ")");
+    auto defeated = solver->Query("defeated(" + a + ")");
     std::string status = "undecided";
     if (accepted.ok() && *accepted == afp::TruthValue::kTrue) {
       status = "IN (accepted)";

@@ -1,5 +1,6 @@
-// Quickstart: parse a normal logic program, compute its well-founded model
-// via the alternating fixpoint, and query it.
+// Quickstart: open an afp::Solver session over a normal logic program,
+// compute its well-founded model, query it — then update the program in
+// place and watch the incremental re-solve repair the model.
 //
 // Usage: quickstart [file.lp]     (reads a built-in program if no file)
 
@@ -34,24 +35,43 @@ int main(int argc, char** argv) {
     text = ss.str();
   }
 
-  // One call: parse -> validate -> ground -> alternating fixpoint.
-  auto solution = afp::SolveWellFounded(text);
-  if (!solution.ok()) {
-    std::cerr << "error: " << solution.status().ToString() << "\n";
+  // One session: parse + ground at construction, solve on demand.
+  auto solver = afp::Solver::FromText(text);
+  if (!solver.ok()) {
+    std::cerr << "error: " << solver.status().ToString() << "\n";
     return 1;
   }
+  solver->Solve();
 
-  std::cout << "ground atoms:  " << solution->ground.num_atoms() << "\n"
-            << "ground rules:  " << solution->ground.num_rules() << "\n"
-            << "A_P rounds:    " << solution->afp.outer_iterations << "\n\n"
+  std::cout << "ground atoms:  " << solver->ground().num_atoms() << "\n"
+            << "ground rules:  " << solver->ground().num_rules() << "\n"
+            << "A_P rounds:    " << solver->Stats().iterations << "\n\n"
             << "well-founded partial model (IDB):\n"
-            << solution->ModelText() << "\n";
+            << solver->ModelText() << "\n";
 
-  // Point queries.
+  // Point queries answer straight off the cached model.
   for (const char* atom : {"wins(a)", "wins(b)", "wins(c)"}) {
-    auto v = solution->Query(atom);
+    auto v = solver->Query(atom);
     if (v.ok()) {
       std::cout << atom << " = " << afp::TruthValueName(*v) << "\n";
+    }
+  }
+
+  // The session is updatable: retract a move and the solver repairs the
+  // model incrementally — only components downstream of the touched fact
+  // are candidates for re-solving.
+  auto update = solver->RetractFact("move(b,c)");
+  if (update.ok()) {
+    std::cout << "\nafter retract move(b,c) (re-solved "
+              << update->components_resolved << " of "
+              << (update->components_resolved + update->components_skipped +
+                  update->components_reused)
+              << " components):\n";
+    for (const char* atom : {"wins(a)", "wins(b)", "wins(c)"}) {
+      auto v = solver->Query(atom);
+      if (v.ok()) {
+        std::cout << atom << " = " << afp::TruthValueName(*v) << "\n";
+      }
     }
   }
   return 0;

@@ -20,13 +20,12 @@ void EvenCycles() {
   std::cout << "=== k independent choices: 2^k stable models ===\n";
   for (int k = 1; k <= 4; ++k) {
     afp::Program p = afp::workload::EvenNegativeCycles(k);
-    auto sol = afp::SolveWellFoundedProgram(std::move(p));
-    if (!sol.ok()) return;
-    afp::StableModelSearch search(sol->ground);
-    std::size_t count = search.Count();
+    auto solver = afp::Solver::FromProgram(std::move(p));
+    if (!solver.ok()) return;
+    std::size_t count = solver->CountStableModels();
     std::cout << "k=" << k << ": stable models = " << count
-              << ", WFS undefined atoms = " << sol->afp.model.num_undefined()
-              << "\n";
+              << ", WFS undefined atoms = "
+              << solver->Solve().num_undefined() << "\n";
   }
   std::cout << "\n";
 }
@@ -44,30 +43,26 @@ void ThreeColoring() {
     col(X,b) :- node(X), not col(X,r), not col(X,g).
     bad :- edge(X,Y), col(X,C), col(Y,C), not bad.
   )";
-  auto sol = afp::SolveWellFounded(text);
-  if (!sol.ok()) {
-    std::cerr << sol.status().ToString() << "\n";
+  auto solver = afp::Solver::FromText(text);
+  if (!solver.ok()) {
+    std::cerr << solver.status().ToString() << "\n";
     return;
   }
-  afp::StableSearchOptions opts;
-  opts.max_models = 5;
-  afp::StableModelSearch search(sol->ground, opts);
-  auto models = search.Enumerate();
-  std::cout << "first " << models.size()
-            << " colorings (search nodes: " << search.stats().nodes
-            << "):\n";
-  for (const afp::Bitset& m : models) {
+  afp::StableResult first = solver->StableModels(/*max_models=*/5);
+  std::cout << "first " << first.models.size()
+            << " colorings (search nodes: " << first.search.nodes << "):\n";
+  for (const afp::Bitset& m : first.models) {
     std::string line;
     m.ForEach([&](std::size_t a) {
-      std::string name = sol->ground.AtomName(static_cast<afp::AtomId>(a));
+      std::string name =
+          solver->ground().AtomName(static_cast<afp::AtomId>(a));
       if (name.rfind("col(", 0) == 0) line += name + " ";
     });
     std::cout << "  " << line << "\n";
   }
 
-  afp::StableModelSearch counter(sol->ground);
-  std::cout << "total 3-colorings of the 5-cycle: " << counter.Count()
-            << " (expected 30)\n";
+  std::cout << "total 3-colorings of the 5-cycle: "
+            << solver->CountStableModels() << " (expected 30)\n";
 }
 
 }  // namespace

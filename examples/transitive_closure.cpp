@@ -25,14 +25,14 @@ int main() {
   // Full instantiation: Fitting's semantics distinguishes "loops forever"
   // (undefined) from "underivable" (false), so rule instances with
   // underivable positive bodies must stay in the ground program.
-  afp::GroundOptions gopts;
-  gopts.mode = afp::GroundMode::kFull;
-  auto solution = afp::SolveWellFoundedProgram(std::move(program), gopts);
-  if (!solution.ok()) {
-    std::cerr << solution.status().ToString() << "\n";
+  afp::SolverOptions sopts;
+  sopts.ground.mode = afp::GroundMode::kFull;
+  auto solver = afp::Solver::FromProgram(std::move(program), sopts);
+  if (!solver.ok()) {
+    std::cerr << solver.status().ToString() << "\n";
     return 1;
   }
-  const afp::GroundProgram& gp = solution->ground;
+  const afp::GroundProgram& gp = solver->ground();
 
   afp::FittingResult fitting = afp::FittingFixpoint(gp);
   auto stratified = afp::StratifiedEvaluate(gp);
@@ -51,7 +51,7 @@ int main() {
   for (const char* atom :
        {"tc(a,b)", "tc(a,a)", "tc(a,c)", "ntc(a,c)", "ntc(a,b)",
         "ntc(c,a)"}) {
-    auto wfs = solution->Query(atom);
+    auto wfs = solver->Query(atom);
     auto fit = afp::QueryAtom(gp, fitting.model, atom);
     std::string strat = "n/a";
     if (stratified.ok()) {

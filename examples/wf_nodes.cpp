@@ -65,16 +65,16 @@ int main() {
             << " auxiliary relation(s)):\n"
             << normal->ToString() << "\n";
 
-  auto sol = afp::SolveWellFoundedProgram(std::move(normal).value());
-  if (!sol.ok()) {
-    std::cerr << sol.status().ToString() << "\n";
+  auto solver = afp::Solver::FromProgram(std::move(normal).value());
+  if (!solver.ok()) {
+    std::cerr << solver.status().ToString() << "\n";
     return 1;
   }
 
   afp::TablePrinter table({"node", "direct AFP", "via normal program"});
   for (int i = 0; i < g.n; ++i) {
     std::string atom = "w(" + afp::workload::NodeName(i) + ")";
-    auto nv = sol->Query(atom);
+    auto nv = solver->Query(atom);
     table.AddRow({atom, afp::TruthValueName(direct->Value(atom)),
                   nv.ok() ? afp::TruthValueName(*nv) : "?"});
   }

@@ -9,6 +9,7 @@
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "afp/afp.h"
 #include "workload/graphs.h"
@@ -18,19 +19,22 @@ namespace {
 
 void Solve(const char* title, const afp::Digraph& graph) {
   afp::Program program = afp::workload::WinMove(graph);
-  auto solution = afp::SolveWellFoundedProgram(std::move(program));
-  if (!solution.ok()) {
-    std::cerr << "error: " << solution.status().ToString() << "\n";
+  auto solver = afp::Solver::FromProgram(std::move(program));
+  if (!solver.ok()) {
+    std::cerr << "error: " << solver.status().ToString() << "\n";
     std::exit(1);
   }
-  const afp::PartialModel& m = solution->afp.model;
+  solver->Solve();
 
   std::cout << "=== " << title << " (" << graph.n << " nodes, "
             << graph.edges.size() << " edges) ===\n";
-  std::size_t won = 0, lost = 0, drawn = 0;
+  // One relevance-capable batch instead of n point lookups.
+  std::vector<std::string> atoms;
   for (int i = 0; i < graph.n; ++i) {
-    std::string atom = "wins(" + afp::workload::NodeName(i) + ")";
-    auto v = solution->Query(atom);
+    atoms.push_back("wins(" + afp::workload::NodeName(i) + ")");
+  }
+  std::size_t won = 0, lost = 0, drawn = 0;
+  for (auto& v : solver->QueryBatch(atoms)) {
     if (!v.ok()) continue;
     switch (*v) {
       case afp::TruthValue::kTrue:
@@ -45,9 +49,8 @@ void Solve(const char* title, const afp::Digraph& graph) {
     }
   }
   std::cout << "won: " << won << "  lost: " << lost << "  drawn: " << drawn
-            << "  (A_P rounds: " << solution->afp.outer_iterations << ")\n";
-  if (graph.n <= 12) std::cout << solution->ModelText() << "\n";
-  (void)m;
+            << "  (A_P rounds: " << solver->Stats().iterations << ")\n";
+  if (graph.n <= 12) std::cout << solver->ModelText() << "\n";
 }
 
 }  // namespace

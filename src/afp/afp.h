@@ -2,14 +2,27 @@
 #define AFP_AFP_AFP_H_
 
 /// \file
-/// Umbrella header for the alternating-fixpoint library. Most applications
-/// only need SolveWellFounded() below; the individual headers expose the
-/// full machinery (operators, baselines, analyses).
+/// Umbrella header for the alternating-fixpoint library.
+///
+/// The public API is the afp::Solver session (afp/solver.h): construct it
+/// from program text or a Program, then Solve(), Query(), Select(),
+/// StableModels(), Explain() — and update it in place with AssertFacts()
+/// / RetractFacts(), which re-solve incrementally instead of from
+/// scratch. One consolidated SolverOptions selects the engine
+/// ({kAfp, kResidual, kScc, kWp}) and its modes.
+///
+/// The individual headers expose the full machinery underneath — the four
+/// well-founded engines as free functions, the operators, baselines, and
+/// analyses — which remains the ablation and differential-testing
+/// surface. The one-shot SolveWellFounded() helpers below predate the
+/// Solver and are kept for small scripts and the test suite; new code
+/// should prefer the session API.
 
 #include <memory>
 #include <string>
 #include <utility>
 
+#include "afp/solver.h"
 #include "analysis/atom_graph.h"
 #include "analysis/dependency_graph.h"
 #include "analysis/strictness.h"
@@ -41,9 +54,10 @@
 
 namespace afp {
 
-/// A ground program paired with its well-founded model. The Program is held
-/// behind a unique_ptr so that the GroundProgram's back-reference stays
-/// valid when the solution is moved.
+/// A ground program paired with its well-founded model — the one-shot
+/// result form (prefer afp::Solver for anything longer-lived). The Program
+/// is held behind a unique_ptr so that the GroundProgram's back-reference
+/// stays valid when the solution is moved.
 struct WfsSolution {
   std::unique_ptr<Program> program;
   GroundProgram ground;

@@ -1,0 +1,299 @@
+#include "afp/solver.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/relevance.h"
+#include "core/residual.h"
+#include "parser/parser.h"
+#include "wfs/wp_engine.h"
+
+namespace afp {
+
+const char* SolverEngineName(SolverEngine e) {
+  switch (e) {
+    case SolverEngine::kAfp:
+      return "afp";
+    case SolverEngine::kResidual:
+      return "residual";
+    case SolverEngine::kScc:
+      return "scc";
+    case SolverEngine::kWp:
+      return "wp";
+  }
+  return "?";
+}
+
+StatusOr<Solver> Solver::FromText(std::string_view program_text,
+                                  SolverOptions options) {
+  AFP_ASSIGN_OR_RETURN(Program parsed, ParseProgram(program_text));
+  return FromProgram(std::move(parsed), std::move(options));
+}
+
+StatusOr<Solver> Solver::FromProgram(Program program, SolverOptions options) {
+  auto owned = std::make_unique<Program>(std::move(program));
+  AFP_ASSIGN_OR_RETURN(GroundProgram ground,
+                       Grounder::Ground(*owned, options.ground));
+  return Solver(std::move(owned), std::move(ground), std::move(options));
+}
+
+Solver::Solver(std::unique_ptr<Program> program, GroundProgram ground,
+               SolverOptions options)
+    : options_(std::move(options)),
+      program_(std::move(program)),
+      ground_(std::move(ground)),
+      ctx_(std::make_unique<EvalContext>()),
+      registry_(std::make_unique<EvalContextRegistry>()) {
+  stats_.engine = options_.engine;
+  stats_.num_atoms = ground_.num_atoms();
+  stats_.num_rules = ground_.num_rules();
+  stats_.ground_size = ground_.TotalSize();
+}
+
+void Solver::EnsureGraph() {
+  if (graph_) return;
+  graph_ = std::make_unique<AtomDependencyGraph>(ground_.View());
+  comp_rules_ = ComponentRuleBuckets(ground_.View(), *graph_);
+}
+
+SccOptions Solver::SccOptionsFromSession() {
+  SccOptions o;
+  o.horn_mode = options_.horn_mode;
+  o.sp_mode = options_.sp_mode;
+  o.inner = options_.inner;
+  o.gus_mode = options_.gus_mode;
+  o.num_threads = options_.num_threads;
+  o.registry = registry_.get();
+  return o;
+}
+
+const PartialModel& Solver::Solve() {
+  if (solved_) return model_;
+  const RuleView view = ground_.View();
+  trace_.clear();
+  component_iterations_.clear();
+  stats_.engine = options_.engine;
+  stats_.num_rules = ground_.num_rules();
+  stats_.ground_size = ground_.TotalSize();
+
+  switch (options_.engine) {
+    case SolverEngine::kAfp: {
+      HornSolver solver(view, ctx_.get());
+      AfpOptions a;
+      a.horn_mode = options_.horn_mode;
+      a.sp_mode = options_.sp_mode;
+      a.record_trace = options_.record_trace;
+      AfpResult r =
+          AlternatingFixpointWithContext(*ctx_, solver, Bitset(), a);
+      model_ = std::move(r.model);
+      trace_ = std::move(r.trace);
+      stats_.iterations = r.outer_iterations;
+      stats_.eval = r.eval;
+      break;
+    }
+    case SolverEngine::kWp: {
+      WpOptions w;
+      w.gus_mode = options_.gus_mode;
+      WpResult r = WellFoundedViaWpWithContext(*ctx_, ground_, w);
+      model_ = std::move(r.model);
+      stats_.iterations = r.iterations;
+      stats_.eval = r.eval;
+      break;
+    }
+    case SolverEngine::kResidual: {
+      ResidualOptions ro;
+      ro.horn_mode = options_.horn_mode;
+      ro.sp_mode = options_.sp_mode;
+      ResidualResult r = WellFoundedResidualWithContext(*ctx_, ground_, ro);
+      model_ = std::move(r.model);
+      stats_.iterations = r.rounds;
+      stats_.eval = r.eval;
+      break;
+    }
+    case SolverEngine::kScc: {
+      EnsureGraph();
+      SccWfsResult r = WellFoundedSccOnGraph(*ctx_, view, *graph_,
+                                             comp_rules_,
+                                             SccOptionsFromSession());
+      model_ = std::move(r.model);
+      component_iterations_ = std::move(r.component_iterations);
+      stats_.iterations = 0;
+      stats_.num_components = r.num_components;
+      stats_.total_local_size = r.total_local_size;
+      stats_.locally_stratified = r.locally_stratified;
+      stats_.sched = r.sched;
+      stats_.eval = r.eval;
+      break;
+    }
+  }
+  solved_ = true;
+  ++stats_.full_solves;
+  return model_;
+}
+
+StatusOr<TruthValue> Solver::Query(const std::string& atom_text) {
+  if (solved_) return QueryAtom(ground_, model_, atom_text);
+  auto r = QueryWithRelevanceWithContext(*ctx_, ground_, atom_text,
+                                         options_.horn_mode);
+  if (!r.ok()) return r.status();
+  return r->value;
+}
+
+std::vector<StatusOr<TruthValue>> Solver::QueryBatch(
+    const std::vector<std::string>& atom_texts) {
+  std::vector<StatusOr<TruthValue>> out;
+  out.reserve(atom_texts.size());
+  if (solved_) {
+    for (const std::string& text : atom_texts) {
+      out.push_back(QueryAtom(ground_, model_, text));
+    }
+    return out;
+  }
+  QueryBatchOptions opts;
+  opts.horn_mode = options_.horn_mode;
+  opts.num_threads = options_.num_threads;
+  opts.registry = registry_.get();
+  for (auto& r : QueryBatchWithRelevance(ground_, atom_texts, opts)) {
+    if (r.ok()) {
+      out.push_back(r->value);
+    } else {
+      out.push_back(r.status());
+    }
+  }
+  return out;
+}
+
+StatusOr<std::vector<QueryMatch>> Solver::Select(const std::string& pattern,
+                                                 QueryFilter filter) {
+  return afp::Select(ground_, Solve(), pattern, filter);
+}
+
+StatusOr<Justification> Solver::Explain(const std::string& atom_text) {
+  return afp::Explain(ground_, Solve(), atom_text);
+}
+
+StableResult Solver::StableModels(std::size_t max_models) {
+  StableSearchOptions so;
+  so.max_models = max_models;
+  so.sp_mode = options_.sp_mode;
+  so.horn_mode = options_.horn_mode;
+  StableModelSearch search(ground_, so);
+  StableResult r;
+  r.models = search.Enumerate();
+  r.search = search.stats();
+  r.eval = search.eval_stats();
+  return r;
+}
+
+std::size_t Solver::CountStableModels(std::size_t max_models) {
+  StableSearchOptions so;
+  so.max_models = max_models;
+  so.sp_mode = options_.sp_mode;
+  so.horn_mode = options_.horn_mode;
+  StableModelSearch search(ground_, so);
+  return search.Count();
+}
+
+std::string Solver::ModelText(const ModelPrintOptions& opts) {
+  return ModelToString(ground_, Solve(), opts);
+}
+
+std::string Solver::ModelJson(const ModelPrintOptions& opts) {
+  return ModelToJson(ground_, Solve(), opts);
+}
+
+StatusOr<UpdateStats> Solver::AssertFacts(
+    const std::vector<std::string>& atoms) {
+  return MutateFacts(atoms, /*add=*/true);
+}
+
+StatusOr<UpdateStats> Solver::RetractFacts(
+    const std::vector<std::string>& atoms) {
+  return MutateFacts(atoms, /*add=*/false);
+}
+
+StatusOr<UpdateStats> Solver::AssertFact(const std::string& atom) {
+  return MutateFacts({atom}, /*add=*/true);
+}
+
+StatusOr<UpdateStats> Solver::RetractFact(const std::string& atom) {
+  return MutateFacts({atom}, /*add=*/false);
+}
+
+StatusOr<UpdateStats> Solver::MutateFacts(
+    const std::vector<std::string>& atoms, bool add) {
+  // Resolve everything first so a bad atom fails the call atomically,
+  // before any mutation is applied.
+  std::vector<AtomId> ids;
+  ids.reserve(atoms.size());
+  for (const std::string& text : atoms) {
+    AFP_ASSIGN_OR_RETURN(AtomId id, ResolveAtom(ground_, text));
+    if (id == kInvalidAtom) {
+      return Status::NotFound(
+          std::string("cannot ") + (add ? "assert" : "retract") + " '" +
+          text +
+          "': atom is outside the grounded base (the universe is fixed at "
+          "construction — ground with GroundMode::kFull or mention the "
+          "atom in the initial program)");
+    }
+    ids.push_back(id);
+  }
+
+  EnsureGraph();
+  const std::vector<std::uint32_t>& comp_of = graph_->component_of();
+  UpdateStats up;
+  std::vector<AtomId> touched;
+  for (AtomId id : ids) {
+    if (add) {
+      if (!ground_.AddFact(id)) continue;
+      comp_rules_[comp_of[id]].push_back(
+          static_cast<std::uint32_t>(ground_.num_rules() - 1));
+      touched.push_back(id);
+    } else {
+      GroundProgram::FactRemoval rem = ground_.RemoveFact(id);
+      if (!rem.removed) continue;
+      // Buckets are kept sorted (matching a fresh bucketing), so both
+      // patches are binary searches: erase the fact rule's id, and slide
+      // the moved (previously last) rule's id down to its new slot.
+      std::vector<std::uint32_t>& bucket = comp_rules_[comp_of[id]];
+      bucket.erase(
+          std::lower_bound(bucket.begin(), bucket.end(), rem.erased_rule));
+      if (rem.moved_rule != rem.erased_rule) {
+        const AtomId moved_head = ground_.rule(rem.erased_rule).head;
+        std::vector<std::uint32_t>& mb = comp_rules_[comp_of[moved_head]];
+        auto old_it = std::lower_bound(mb.begin(), mb.end(), rem.moved_rule);
+        auto new_it =
+            std::lower_bound(mb.begin(), old_it, rem.erased_rule);
+        std::rotate(new_it, old_it, old_it + 1);
+        *new_it = rem.erased_rule;
+      }
+      touched.push_back(id);
+    }
+  }
+  up.facts_changed = touched.size();
+  stats_.num_rules = ground_.num_rules();
+  stats_.ground_size = ground_.TotalSize();
+  if (touched.empty() || !solved_) {
+    // Nothing changed, or no model exists yet (the first Solve() will be
+    // full and sees the mutated program).
+    return up;
+  }
+
+  trace_.clear();
+  std::vector<std::uint32_t>* iters =
+      component_iterations_.empty() ? nullptr : &component_iterations_;
+  SccUpdateStats r = SccResolveDownstream(
+      *ctx_, ground_.View(), *graph_, comp_rules_, SccOptionsFromSession(),
+      touched, &model_, iters);
+  up.components_downstream = r.components_downstream;
+  up.components_resolved = r.components_resolved;
+  up.components_skipped = r.components_skipped;
+  up.components_reused = graph_->num_components() - r.components_downstream;
+  up.model_changed = r.model_changed;
+  up.eval = r.eval;
+  stats_.eval = r.eval;
+  ++stats_.incremental_updates;
+  return up;
+}
+
+}  // namespace afp

@@ -1,0 +1,277 @@
+#ifndef AFP_AFP_SOLVER_H_
+#define AFP_AFP_SOLVER_H_
+
+/// \file
+/// The long-lived solver session: the primary public API of the library.
+///
+/// The paper presents the alternating fixpoint as a one-shot computation;
+/// everything built on top of it here — delta-driven evaluators, pooled
+/// contexts, the cached condensation, the wavefront scheduler — is
+/// session-shaped: compile (parse + ground + index) once, then solve,
+/// query, and UPDATE many times. afp::Solver is that session. The four
+/// well-founded engines remain available as free functions (the ablation
+/// surface); every user-facing entry point goes through the facade.
+///
+/// Lifecycle (see docs/API.md for the full contract):
+///
+///   auto solver = afp::Solver::FromText("p :- not q. q.");
+///   solver->Solve();                        // well-founded model
+///   solver->Query("p");                     // O(1) against the model
+///   solver->AssertFacts({"r"});             // EDB mutation + incremental
+///   solver->RetractFacts({"q"});            //   downstream-only re-solve
+///   solver->StableModels();                 // enumeration on demand
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/atom_graph.h"
+#include "ast/program.h"
+#include "core/alternating.h"
+#include "core/eval_context.h"
+#include "core/explain.h"
+#include "core/horn_solver.h"
+#include "core/interpretation.h"
+#include "core/query.h"
+#include "core/scc_engine.h"
+#include "exec/scheduler.h"
+#include "ground/ground_program.h"
+#include "ground/grounder.h"
+#include "stable/backtracking.h"
+#include "util/status.h"
+
+namespace afp {
+
+/// Which well-founded engine a Solve() runs. All four compute the same
+/// model (Theorem 7.8; pinned by the differential tests); the axis exists
+/// because their cost profiles differ per workload class — monolithic
+/// alternation (kAfp), residual-program shrinking (kResidual),
+/// component-wise evaluation with optional parallelism (kScc), and the
+/// original Van Gelder–Ross–Schlipf iteration (kWp).
+enum class SolverEngine { kAfp, kResidual, kScc, kWp };
+
+const char* SolverEngineName(SolverEngine e);
+
+/// The one options struct of the public API, replacing the four divergent
+/// per-engine structs (AfpOptions / ResidualOptions / SccOptions /
+/// WpOptions) at the call boundary. Fields that do not apply to the
+/// selected engine are ignored (e.g. gus_mode under kAfp).
+struct SolverOptions {
+  SolverEngine engine = SolverEngine::kAfp;
+  /// S_P propagation discipline (all engines' inner Horn solves).
+  HornMode horn_mode = HornMode::kCounting;
+  /// S_P enablement recomputation (kAfp, kResidual, kScc with inner kAfp,
+  /// and the stable-model search).
+  SpMode sp_mode = SpMode::kDelta;
+  /// T_P / unfounded-set witness recomputation (kWp, kScc with inner kWp).
+  GusMode gus_mode = GusMode::kDelta;
+  /// Per-component engine for kScc — and for every incremental re-solve,
+  /// which always runs component-wise regardless of `engine`.
+  SccInnerEngine inner = SccInnerEngine::kAfp;
+  /// Worker threads for kScc solves, incremental re-solves, and query
+  /// batches. Results are identical at every thread count.
+  int num_threads = 1;
+  /// Grounding controls (instantiation mode, semi-naive, simplification).
+  GroundOptions ground;
+  /// Record the Table-I style trace on kAfp solves (costly; debugging).
+  bool record_trace = false;
+};
+
+/// What the current model cost to compute, plus program shape. Reported by
+/// Solver::Stats(); refreshed by every Solve() and incremental update.
+struct SolverStats {
+  /// Engine that produced the current model.
+  SolverEngine engine = SolverEngine::kAfp;
+  std::size_t num_atoms = 0;
+  std::size_t num_rules = 0;
+  std::size_t ground_size = 0;
+  /// Outer iterations of the last full solve: A_P rounds (kAfp), W_P
+  /// rounds (kWp), alternating rounds (kResidual); 0 for kScc (see
+  /// num_components / component_iterations instead).
+  std::size_t iterations = 0;
+  /// kScc shape of the last full solve.
+  std::size_t num_components = 0;
+  std::size_t total_local_size = 0;
+  bool locally_stratified = false;
+  SchedulerStats sched;
+  /// Work counters of the last full solve or incremental update.
+  EvalStats eval;
+  /// Session counters.
+  std::size_t full_solves = 0;
+  std::size_t incremental_updates = 0;
+};
+
+/// What one AssertFacts / RetractFacts call did. The component counts are
+/// the incremental re-solve's receipt: everything outside
+/// `components_downstream` kept its verdict untouched, and of the
+/// downstream candidates only `components_resolved` local fixpoints were
+/// re-run (the change frontier died out before the rest).
+struct UpdateStats {
+  /// Facts actually added/removed (asserting a present fact or retracting
+  /// an absent one is a no-op and triggers no re-solve).
+  std::size_t facts_changed = 0;
+  std::size_t components_downstream = 0;
+  std::size_t components_resolved = 0;
+  std::size_t components_skipped = 0;
+  /// Components whose verdicts were reused untouched (upstream or
+  /// side-stream of every touched atom).
+  std::size_t components_reused = 0;
+  /// Whether any atom's truth value changed.
+  bool model_changed = false;
+  EvalStats eval;
+};
+
+/// Result of Solver::StableModels.
+struct StableResult {
+  /// The stable models found (positive-atom sets), in search order.
+  std::vector<Bitset> models;
+  StableSearchStats search;
+  EvalStats eval;
+};
+
+/// A long-lived solving session over one program: owns the parse → ground
+/// pipeline output, the pooled evaluation scratch (EvalContext +
+/// per-worker registry), the cached atom-dependency condensation, and the
+/// current well-founded model. Movable, not copyable; not thread-safe
+/// (one session per thread, like an EvalContext).
+class Solver {
+ public:
+  /// Parses and grounds `program_text`. Errors (parse, unsafe rules,
+  /// grounding limits) surface here; a returned Solver always holds a
+  /// valid ground program. No fixpoint is computed yet.
+  static StatusOr<Solver> FromText(std::string_view program_text,
+                                   SolverOptions options = {});
+
+  /// As FromText for an already constructed Program (takes ownership).
+  static StatusOr<Solver> FromProgram(Program program,
+                                      SolverOptions options = {});
+
+  Solver(Solver&&) = default;
+  Solver& operator=(Solver&&) = default;
+  Solver(const Solver&) = delete;
+  Solver& operator=(const Solver&) = delete;
+
+  /// Computes the well-founded model via the configured engine, or returns
+  /// the cached one (Solve after Solve is free; AssertFacts/RetractFacts
+  /// keep the cache current, so explicit re-solves are never needed).
+  const PartialModel& Solve();
+
+  /// Whether a current model is cached.
+  bool solved() const { return solved_; }
+
+  /// The current well-founded model (solves on demand).
+  const PartialModel& model() { return Solve(); }
+
+  /// Truth value of a ground atom written as text, e.g. "wins(a)". On a
+  /// solved session this is a model lookup; on an unsolved one the query
+  /// is answered through the relevance machinery — only the subprogram the
+  /// atom depends on is solved, the paper's query-directed evaluation —
+  /// without materializing the full model. Atoms outside the grounded
+  /// base are false (closed world).
+  StatusOr<TruthValue> Query(const std::string& atom_text);
+
+  /// As Query, for a batch. On an unsolved session the relevance-sliced
+  /// point queries are mutually independent and dispatch to the worker
+  /// pool when options.num_threads > 1; results are order-preserving and
+  /// thread-count independent.
+  std::vector<StatusOr<TruthValue>> QueryBatch(
+      const std::vector<std::string>& atom_texts);
+
+  /// Pattern enumeration against the model, e.g. "wins(X)" (solves on
+  /// demand). See Select() in core/query.h.
+  StatusOr<std::vector<QueryMatch>> Select(
+      const std::string& pattern,
+      QueryFilter filter = QueryFilter::kTrueOnly);
+
+  /// Why `atom_text` has its well-founded value (solves on demand).
+  StatusOr<Justification> Explain(const std::string& atom_text);
+
+  /// Enumerates stable models by the backtracking search with
+  /// well-founded pruning, honoring the session's sp_mode/horn_mode.
+  StableResult StableModels(
+      std::size_t max_models = static_cast<std::size_t>(-1));
+
+  /// Counts stable models without materializing them (the search still
+  /// runs; only the O(models × atoms) storage is skipped).
+  std::size_t CountStableModels(
+      std::size_t max_models = static_cast<std::size_t>(-1));
+
+  /// --- Incremental EDB updates -------------------------------------
+  ///
+  /// AssertFacts adds the fact rules `atom.`, RetractFacts removes them;
+  /// both then repair the model INCREMENTALLY: only components
+  /// condensation-downstream of the touched atoms are candidates, and the
+  /// re-solve stops where verdicts stop changing. The repaired model is
+  /// bit-identical — model and per-component trajectories — to a
+  /// from-scratch solve of the mutated program (pinned by the Solver
+  /// differential tests).
+  ///
+  /// Atoms must parse and resolve within the grounded base; an unknown
+  /// atom fails the whole call with NotFound and mutates nothing (the
+  /// grounded universe — and with it the cached condensation — is fixed
+  /// at construction; ground with GroundMode::kFull, or include the atom
+  /// in the initial program, to materialize atoms you plan to toggle).
+  /// On an unsolved session the mutation applies before the first full
+  /// solve (facts_changed reported, no re-solve counted).
+  StatusOr<UpdateStats> AssertFacts(const std::vector<std::string>& atoms);
+  StatusOr<UpdateStats> RetractFacts(const std::vector<std::string>& atoms);
+  StatusOr<UpdateStats> AssertFact(const std::string& atom);
+  StatusOr<UpdateStats> RetractFact(const std::string& atom);
+
+  /// --- Introspection ------------------------------------------------
+
+  const SolverStats& Stats() const { return stats_; }
+  const SolverOptions& options() const { return options_; }
+  const Program& program() const { return *program_; }
+  const GroundProgram& ground() const { return ground_; }
+
+  /// The model rendered as true/false/undef atom lists (solves on
+  /// demand).
+  std::string ModelText(const ModelPrintOptions& opts = {});
+  std::string ModelJson(const ModelPrintOptions& opts = {});
+
+  /// Table-I style trace of the last kAfp solve (record_trace only);
+  /// cleared by incremental updates.
+  const std::vector<AfpTraceRow>& trace() const { return trace_; }
+
+  /// Per-component iteration trajectory of the current model. Maintained
+  /// by kScc solves and incremental updates (empty under the monolithic
+  /// engines, which have no component trajectory).
+  const std::vector<std::uint32_t>& component_iterations() const {
+    return component_iterations_;
+  }
+
+ private:
+  Solver(std::unique_ptr<Program> program, GroundProgram ground,
+         SolverOptions options);
+
+  /// Lazily builds (and caches) the dependency graph + rule buckets the
+  /// kScc engine and every incremental update share.
+  void EnsureGraph();
+
+  /// Applies one batch of fact mutations and repairs the model.
+  StatusOr<UpdateStats> MutateFacts(const std::vector<std::string>& atoms,
+                                    bool add);
+
+  SccOptions SccOptionsFromSession();
+
+  SolverOptions options_;
+  std::unique_ptr<Program> program_;
+  GroundProgram ground_;
+  std::unique_ptr<EvalContext> ctx_;
+  std::unique_ptr<EvalContextRegistry> registry_;
+  std::unique_ptr<AtomDependencyGraph> graph_;
+  std::vector<std::vector<std::uint32_t>> comp_rules_;
+  bool solved_ = false;
+  PartialModel model_;
+  std::vector<std::uint32_t> component_iterations_;
+  std::vector<AfpTraceRow> trace_;
+  SolverStats stats_;
+};
+
+}  // namespace afp
+
+#endif  // AFP_AFP_SOLVER_H_

@@ -38,7 +38,9 @@ namespace afp {
 ///       predecessors completed) and are never issued for other external
 ///       atoms;
 ///   void Publish(members, local_model)           — writes each member's
-///       decided verdict; called exactly once per component.
+///       decided verdict; called exactly once per component;
+///   void PublishOne(atom, value)                 — the singleton fast
+///       path's publish: one member, decided without a local model.
 ///
 /// Two policies exist: SequentialGlobalModel (plain bitsets, the
 /// single-threaded engine) and AtomicGlobalModel (shared atomic words for
@@ -69,6 +71,20 @@ class ComponentSolver {
   Outcome Solve(std::uint32_t c, GlobalModel& gm);
 
  private:
+  /// The trivial-component fast path: a singleton component with no
+  /// self-dependency is decided by one three-valued evaluation of its rule
+  /// bodies over the (completed) externals — no local subprogram, no
+  /// HornSolver, no evaluator Rebind. Most components of a typical
+  /// condensation are singleton EDB facts, so this skips the per-component
+  /// machinery for the bulk of the DAG. Returns true (and publishes
+  /// through gm.PublishOne) unless a self-dependent rule forces the
+  /// general path. Runs identically at every thread count — it reads the
+  /// same completed externals the general path would substitute — so
+  /// per-component trajectories stay in sync between the sequential and
+  /// parallel engines (fast-path components report 1 iteration).
+  template <typename GlobalModel>
+  bool SolveSingleton(std::uint32_t c, GlobalModel& gm, Outcome* out);
+
   EvalContext& ctx_;
   SccOptions options_;
   const RuleView& view_;
@@ -112,6 +128,13 @@ struct SequentialGlobalModel {
       }
     }
   }
+  void PublishOne(AtomId a, TruthValue v) {
+    if (v == TruthValue::kTrue) {
+      true_atoms->Set(a);
+    } else if (v == TruthValue::kFalse) {
+      false_atoms->Set(a);
+    }
+  }
 };
 
 /// GlobalModel policy over shared atomic words, for concurrent workers.
@@ -145,24 +168,129 @@ class AtomicGlobalModel {
            1ULL;
   }
 
+  /// Publishes a component's verdicts. Member bits are batched into
+  /// per-word true/false masks first, so a component spanning W distinct
+  /// 64-bit words costs at most 2W fetch_or RMWs instead of one per
+  /// decided atom — component members are id-contiguous runs in practice
+  /// (Tarjan numbers them together), so large components collapse to a
+  /// handful of atomic ops.
   void Publish(const std::vector<AtomId>& members,
                const PartialModel& local) {
+    std::size_t wi = kNoWord;
+    std::uint64_t tmask = 0, fmask = 0;
     for (std::uint32_t i = 0; i < members.size(); ++i) {
       const AtomId a = members[i];
+      const std::size_t w = a >> 6;
+      if (w != wi) {
+        FlushWord(wi, tmask, fmask);
+        wi = w;
+        tmask = fmask = 0;
+      }
       switch (local.Value(i)) {
         case TruthValue::kTrue:
-          true_words_[a >> 6].fetch_or(1ULL << (a & 63),
-                                       std::memory_order_relaxed);
+          tmask |= 1ULL << (a & 63);
           break;
         case TruthValue::kFalse:
-          false_words_[a >> 6].fetch_or(1ULL << (a & 63),
-                                        std::memory_order_relaxed);
+          fmask |= 1ULL << (a & 63);
           break;
         case TruthValue::kUndefined:
           break;
       }
     }
+    FlushWord(wi, tmask, fmask);
     std::atomic_thread_fence(std::memory_order_seq_cst);
+  }
+
+  /// Singleton fast-path publish (see ComponentSolver::SolveSingleton).
+  void PublishOne(AtomId a, TruthValue v) {
+    if (v == TruthValue::kTrue) {
+      true_words_[a >> 6].fetch_or(1ULL << (a & 63),
+                                   std::memory_order_relaxed);
+    } else if (v == TruthValue::kFalse) {
+      false_words_[a >> 6].fetch_or(1ULL << (a & 63),
+                                    std::memory_order_relaxed);
+    }
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+  }
+
+  /// Seeds the words from a previously computed model (before any worker
+  /// exists) — the incremental re-solve starts from the old verdicts and
+  /// overwrites only the re-solved components' members.
+  void ImportFrom(const Bitset& true_atoms, const Bitset& false_atoms) {
+    for (std::size_t wi = 0; wi < true_words_.size(); ++wi) {
+      true_words_[wi].store(true_atoms.word(wi), std::memory_order_relaxed);
+      false_words_[wi].store(false_atoms.word(wi),
+                             std::memory_order_relaxed);
+    }
+  }
+
+  /// As Publish, but first CLEARS the members' previous bits (clear and
+  /// set ride the same per-word batching: one fetch_and plus up to two
+  /// fetch_or per touched word). Returns whether any member's verdict
+  /// changed — the signal that drives the incremental re-solve's
+  /// downstream dirtiness. Only this component's worker may touch these
+  /// bits (the ownership contract above), so the transient between clear
+  /// and set is invisible to other workers.
+  bool PublishOverwrite(const std::vector<AtomId>& members,
+                        const PartialModel& local) {
+    bool changed = false;
+    std::size_t wi = kNoWord;
+    std::uint64_t mmask = 0, tmask = 0, fmask = 0;
+    auto flush = [&] {
+      if (wi == kNoWord || mmask == 0) return;
+      const std::uint64_t prev_t =
+          true_words_[wi].fetch_and(~mmask, std::memory_order_relaxed);
+      const std::uint64_t prev_f =
+          false_words_[wi].fetch_and(~mmask, std::memory_order_relaxed);
+      if (tmask) true_words_[wi].fetch_or(tmask, std::memory_order_relaxed);
+      if (fmask) {
+        false_words_[wi].fetch_or(fmask, std::memory_order_relaxed);
+      }
+      changed |= ((prev_t ^ tmask) & mmask) != 0;
+      changed |= ((prev_f ^ fmask) & mmask) != 0;
+    };
+    for (std::uint32_t i = 0; i < members.size(); ++i) {
+      const AtomId a = members[i];
+      const std::size_t w = a >> 6;
+      if (w != wi) {
+        flush();
+        wi = w;
+        mmask = tmask = fmask = 0;
+      }
+      mmask |= 1ULL << (a & 63);
+      switch (local.Value(i)) {
+        case TruthValue::kTrue:
+          tmask |= 1ULL << (a & 63);
+          break;
+        case TruthValue::kFalse:
+          fmask |= 1ULL << (a & 63);
+          break;
+        case TruthValue::kUndefined:
+          break;
+      }
+    }
+    flush();
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    return changed;
+  }
+
+  /// Singleton overwrite (fast path of the incremental re-solve).
+  bool PublishOneOverwrite(AtomId a, TruthValue v) {
+    const std::uint64_t bit = 1ULL << (a & 63);
+    const std::uint64_t tmask = v == TruthValue::kTrue ? bit : 0;
+    const std::uint64_t fmask = v == TruthValue::kFalse ? bit : 0;
+    const std::uint64_t prev_t =
+        true_words_[a >> 6].fetch_and(~bit, std::memory_order_relaxed);
+    const std::uint64_t prev_f =
+        false_words_[a >> 6].fetch_and(~bit, std::memory_order_relaxed);
+    if (tmask) {
+      true_words_[a >> 6].fetch_or(tmask, std::memory_order_relaxed);
+    }
+    if (fmask) {
+      false_words_[a >> 6].fetch_or(fmask, std::memory_order_relaxed);
+    }
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    return ((prev_t ^ tmask) & bit) != 0 || ((prev_f ^ fmask) & bit) != 0;
   }
 
   /// Copies the accumulated words into plain bitsets (call after the
@@ -179,15 +307,72 @@ class AtomicGlobalModel {
   }
 
  private:
+  static constexpr std::size_t kNoWord = static_cast<std::size_t>(-1);
+
+  void FlushWord(std::size_t wi, std::uint64_t tmask, std::uint64_t fmask) {
+    if (wi == kNoWord) return;
+    if (tmask) true_words_[wi].fetch_or(tmask, std::memory_order_relaxed);
+    if (fmask) {
+      false_words_[wi].fetch_or(fmask, std::memory_order_relaxed);
+    }
+  }
+
   std::size_t num_atoms_;
   std::vector<std::atomic<std::uint64_t>> true_words_;
   std::vector<std::atomic<std::uint64_t>> false_words_;
 };
 
 template <typename GlobalModel>
+bool ComponentSolver::SolveSingleton(std::uint32_t c, GlobalModel& gm,
+                                     Outcome* out) {
+  const AtomId self = graph_.components()[c][0];
+  // Head value = max over rules of the three-valued body value (min over
+  // literals), using the enum order kFalse < kUndefined < kTrue. A body
+  // that is fully true from externals decides the head true regardless of
+  // any self-dependent rule (so the early exit below is sound); any other
+  // self-dependency needs the fixpoint treatment of the general path.
+  TruthValue head = TruthValue::kFalse;
+  std::size_t local_size = 0;
+  for (std::uint32_t ri : comp_rules_[c]) {
+    const GroundRule& r = view_.rules[ri];
+    local_size += 1 + r.pos_len + r.neg_len;
+    TruthValue body = TruthValue::kTrue;
+    for (AtomId q : view_.pos(r)) {
+      if (q == self) return false;
+      if (gm.IsTrue(q)) continue;
+      if (gm.IsFalse(q)) {
+        body = TruthValue::kFalse;
+        break;
+      }
+      body = TruthValue::kUndefined;
+    }
+    if (body == TruthValue::kFalse) continue;
+    for (AtomId q : view_.neg(r)) {
+      if (q == self) return false;
+      if (gm.IsFalse(q)) continue;
+      if (gm.IsTrue(q)) {
+        body = TruthValue::kFalse;
+        break;
+      }
+      body = TruthValue::kUndefined;
+    }
+    if (body > head) head = body;
+    if (head == TruthValue::kTrue) break;
+  }
+  gm.PublishOne(self, head);
+  out->iterations = 1;
+  out->local_size = local_size;
+  return true;
+}
+
+template <typename GlobalModel>
 ComponentSolver::Outcome ComponentSolver::Solve(std::uint32_t c,
                                                 GlobalModel& gm) {
   const std::vector<AtomId>& members = graph_.components()[c];
+  if (members.size() == 1) {
+    Outcome fast;
+    if (SolveSingleton(c, gm, &fast)) return fast;
+  }
   for (std::uint32_t i = 0; i < members.size(); ++i) {
     local_id_[members[i]] = i;
     stamp_[members[i]] = c;

@@ -1,6 +1,7 @@
 #include "core/scc_engine.h"
 
 #include <algorithm>
+#include <atomic>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -12,10 +13,7 @@
 
 namespace afp {
 
-namespace {
-
-/// Buckets rule ids by the component of their head.
-std::vector<std::vector<std::uint32_t>> BucketRulesByComponent(
+std::vector<std::vector<std::uint32_t>> ComponentRuleBuckets(
     const RuleView& view, const AtomDependencyGraph& graph) {
   std::vector<std::vector<std::uint32_t>> comp_rules(graph.num_components());
   for (std::uint32_t ri = 0; ri < view.rules.size(); ++ri) {
@@ -23,6 +21,8 @@ std::vector<std::vector<std::uint32_t>> BucketRulesByComponent(
   }
   return comp_rules;
 }
+
+namespace {
 
 /// The parallel path: ready components dispatched to a fixed worker pool,
 /// each worker solving through its own registry context and publishing
@@ -98,23 +98,87 @@ void RunParallel(EvalContext& ctx, const AtomDependencyGraph& graph,
       PartialModel(std::move(global_true), std::move(global_false));
 }
 
+/// GlobalModel policy for the incremental re-solve's sequential path:
+/// verdicts OVERWRITE the previous model's bits (clearing first), and the
+/// policy records whether the last published component changed any member
+/// — the signal that keeps the change frontier advancing.
+struct DiffSequentialGlobalModel {
+  Bitset* true_atoms;
+  Bitset* false_atoms;
+  bool changed = false;
+
+  bool IsTrue(AtomId a) const { return true_atoms->Test(a); }
+  bool IsFalse(AtomId a) const { return false_atoms->Test(a); }
+
+  TruthValue Old(AtomId a) const {
+    if (true_atoms->Test(a)) return TruthValue::kTrue;
+    if (false_atoms->Test(a)) return TruthValue::kFalse;
+    return TruthValue::kUndefined;
+  }
+
+  void Write(AtomId a, TruthValue v) {
+    true_atoms->Reset(a);
+    false_atoms->Reset(a);
+    if (v == TruthValue::kTrue) {
+      true_atoms->Set(a);
+    } else if (v == TruthValue::kFalse) {
+      false_atoms->Set(a);
+    }
+  }
+
+  void Publish(const std::vector<AtomId>& members,
+               const PartialModel& local) {
+    changed = false;
+    for (std::uint32_t i = 0; i < members.size(); ++i) {
+      const TruthValue now = local.Value(i);
+      if (Old(members[i]) == now) continue;
+      changed = true;
+      Write(members[i], now);
+    }
+  }
+
+  void PublishOne(AtomId a, TruthValue v) {
+    changed = Old(a) != v;
+    if (changed) Write(a, v);
+  }
+};
+
+/// The parallel counterpart: overwrites ride AtomicGlobalModel's
+/// PublishOverwrite and the change bit is recorded per COMPONENT (each
+/// component has exactly one publisher, so the plain byte writes are
+/// race-free; readers see them through the scheduler's completion edge).
+struct DiffAtomicGlobalModel {
+  AtomicGlobalModel* gm;
+  const std::vector<std::uint32_t>* comp_of;
+  std::vector<std::uint8_t>* changed_by_comp;
+
+  bool IsTrue(AtomId a) const { return gm->IsTrue(a); }
+  bool IsFalse(AtomId a) const { return gm->IsFalse(a); }
+
+  void Publish(const std::vector<AtomId>& members,
+               const PartialModel& local) {
+    (*changed_by_comp)[(*comp_of)[members[0]]] =
+        gm->PublishOverwrite(members, local) ? 1 : 0;
+  }
+
+  void PublishOne(AtomId a, TruthValue v) {
+    (*changed_by_comp)[(*comp_of)[a]] = gm->PublishOneOverwrite(a, v) ? 1 : 0;
+  }
+};
+
 }  // namespace
 
-SccWfsResult WellFoundedSccWithContext(EvalContext& ctx,
-                                       const GroundProgram& gp,
-                                       const SccOptions& options) {
-  const RuleView view = gp.View();
-  const std::size_t n = gp.num_atoms();
+SccWfsResult WellFoundedSccOnGraph(
+    EvalContext& ctx, const RuleView& view, const AtomDependencyGraph& graph,
+    const std::vector<std::vector<std::uint32_t>>& comp_rules,
+    const SccOptions& options) {
+  const std::size_t n = view.num_atoms;
   const EvalStats start = ctx.stats();
-  AtomDependencyGraph graph(view);
 
   SccWfsResult result;
   result.num_components = graph.num_components();
   result.locally_stratified = graph.IsLocallyStratified();
   result.component_iterations.reserve(graph.num_components());
-
-  const std::vector<std::vector<std::uint32_t>> comp_rules =
-      BucketRulesByComponent(view, graph);
 
   if (options.num_threads > 1) {
     RunParallel(ctx, graph, view, comp_rules, options, &result);
@@ -144,6 +208,16 @@ SccWfsResult WellFoundedSccWithContext(EvalContext& ctx,
   return result;
 }
 
+SccWfsResult WellFoundedSccWithContext(EvalContext& ctx,
+                                       const GroundProgram& gp,
+                                       const SccOptions& options) {
+  const RuleView view = gp.View();
+  AtomDependencyGraph graph(view);
+  const std::vector<std::vector<std::uint32_t>> comp_rules =
+      ComponentRuleBuckets(view, graph);
+  return WellFoundedSccOnGraph(ctx, view, graph, comp_rules, options);
+}
+
 SccWfsResult WellFoundedScc(const GroundProgram& gp, HornMode mode) {
   EvalContext ctx;
   SccOptions options;
@@ -155,6 +229,159 @@ SccWfsResult WellFoundedScc(const GroundProgram& gp,
                             const SccOptions& options) {
   EvalContext ctx;
   return WellFoundedSccWithContext(ctx, gp, options);
+}
+
+SccUpdateStats SccResolveDownstream(
+    EvalContext& ctx, const RuleView& view, const AtomDependencyGraph& graph,
+    const std::vector<std::vector<std::uint32_t>>& comp_rules,
+    const SccOptions& options, std::span<const AtomId> touched_atoms,
+    PartialModel* model, std::vector<std::uint32_t>* component_iterations) {
+  SccUpdateStats out;
+  const EvalStats start = ctx.stats();
+  const std::size_t nc = graph.num_components();
+  if (nc == 0 || touched_atoms.empty()) return out;
+
+  const std::vector<std::uint32_t>& comp_of = graph.component_of();
+  const std::vector<std::uint32_t>& off = graph.condensation_offsets();
+  const std::vector<std::uint32_t>& succ = graph.condensation_successors();
+
+  // Static downstream closure of the touched components. Every successor
+  // of a closure member is itself a member, so the closure is exactly the
+  // sub-DAG the re-solve may schedule; its ascending id order is a
+  // topological order.
+  std::vector<std::uint8_t> in_closure(nc, 0);
+  std::vector<std::uint8_t> seed(nc, 0);
+  std::vector<std::uint32_t> closure;
+  for (AtomId a : touched_atoms) {
+    const std::uint32_t c = comp_of[a];
+    seed[c] = 1;
+    if (!in_closure[c]) {
+      in_closure[c] = 1;
+      closure.push_back(c);
+    }
+  }
+  for (std::size_t i = 0; i < closure.size(); ++i) {
+    const std::uint32_t c = closure[i];
+    for (std::uint32_t k = off[c]; k < off[c + 1]; ++k) {
+      if (!in_closure[succ[k]]) {
+        in_closure[succ[k]] = 1;
+        closure.push_back(succ[k]);
+      }
+    }
+  }
+  std::sort(closure.begin(), closure.end());
+  out.components_downstream = closure.size();
+
+  if (options.num_threads > 1 && closure.size() > 1) {
+    // Parallel path: the induced sub-DAG through the wavefront scheduler.
+    const std::size_t num_workers =
+        std::min({static_cast<std::size_t>(options.num_threads),
+                  closure.size(), std::size_t{256}});
+
+    std::vector<std::uint32_t> sub_offsets(closure.size() + 1, 0);
+    std::vector<std::uint32_t> sub_targets;
+    std::vector<std::uint32_t> local_of(nc, 0);
+    for (std::uint32_t i = 0; i < closure.size(); ++i) {
+      local_of[closure[i]] = i;
+    }
+    for (std::uint32_t i = 0; i < closure.size(); ++i) {
+      const std::uint32_t c = closure[i];
+      for (std::uint32_t k = off[c]; k < off[c + 1]; ++k) {
+        sub_targets.push_back(local_of[succ[k]]);
+      }
+      sub_offsets[i + 1] = static_cast<std::uint32_t>(sub_targets.size());
+    }
+    // In-degrees recounted from the sub-CSR (predecessors outside the
+    // closure have already published and must not be waited for).
+    DagView dag{closure.size(), &sub_offsets, &sub_targets, nullptr};
+
+    EvalContextRegistry private_registry;
+    EvalContextRegistry& registry =
+        options.registry ? *options.registry : private_registry;
+    registry.EnsureSize(num_workers);
+    std::vector<EvalStats> starts(num_workers);
+    for (std::size_t w = 0; w < num_workers; ++w) {
+      starts[w] = registry.ForWorker(w).stats();
+    }
+    std::vector<std::unique_ptr<ComponentSolver>> solvers;
+    solvers.reserve(num_workers);
+    for (std::size_t w = 0; w < num_workers; ++w) {
+      solvers.push_back(std::make_unique<ComponentSolver>(
+          registry.ForWorker(w), options, view, graph, comp_rules));
+    }
+
+    AtomicGlobalModel agm(view.num_atoms);
+    agm.ImportFrom(model->true_atoms(), model->false_atoms());
+    std::vector<std::uint8_t> changed_by_comp(nc, 0);
+    DiffAtomicGlobalModel gm{&agm, &comp_of, &changed_by_comp};
+    // Change-frontier flags: several predecessors may flag one successor
+    // concurrently, hence atomics; the scheduler's completion edge makes
+    // the flags visible before the successor's task runs.
+    std::vector<std::atomic<std::uint8_t>> need(nc);
+    for (auto& n : need) n.store(0, std::memory_order_relaxed);
+    for (std::uint32_t c = 0; c < nc; ++c) {
+      if (seed[c]) need[c].store(1, std::memory_order_relaxed);
+    }
+    std::vector<std::uint8_t> resolved(closure.size(), 0);
+    std::vector<std::uint32_t> iters(closure.size(), 0);
+
+    SchedulerOptions sched_opts;
+    sched_opts.num_threads = static_cast<int>(num_workers);
+    RunWavefront(dag, sched_opts, [&](std::uint32_t ci,
+                                      std::uint32_t worker) {
+      const std::uint32_t c = closure[ci];
+      if (!need[c].load(std::memory_order_relaxed)) return;
+      ComponentSolver::Outcome o = solvers[worker]->Solve(c, gm);
+      resolved[ci] = 1;
+      iters[ci] = o.iterations;
+      if (changed_by_comp[c]) {
+        for (std::uint32_t k = off[c]; k < off[c + 1]; ++k) {
+          need[succ[k]].store(1, std::memory_order_relaxed);
+        }
+      }
+    });
+
+    solvers.clear();
+    for (std::size_t w = 0; w < num_workers; ++w) {
+      ctx.stats().Accumulate(registry.ForWorker(w).stats().Since(starts[w]));
+    }
+    for (std::uint32_t i = 0; i < closure.size(); ++i) {
+      if (!resolved[i]) continue;
+      ++out.components_resolved;
+      out.model_changed |= changed_by_comp[closure[i]] != 0;
+      if (component_iterations) {
+        (*component_iterations)[closure[i]] = iters[i];
+      }
+    }
+    out.components_skipped = closure.size() - out.components_resolved;
+    agm.ExportTo(&model->true_atoms(), &model->false_atoms());
+    out.eval = ctx.stats().Since(start);
+    return out;
+  }
+
+  // Sequential path: closure components in ascending (topological) id
+  // order, advancing the change frontier inline.
+  DiffSequentialGlobalModel gm{&model->true_atoms(), &model->false_atoms(),
+                               false};
+  std::vector<std::uint8_t> need = std::move(seed);
+  ComponentSolver solver(ctx, options, view, graph, comp_rules);
+  for (std::uint32_t c : closure) {
+    if (!need[c]) {
+      ++out.components_skipped;
+      continue;
+    }
+    ComponentSolver::Outcome o = solver.Solve(c, gm);
+    ++out.components_resolved;
+    if (component_iterations) (*component_iterations)[c] = o.iterations;
+    if (gm.changed) {
+      out.model_changed = true;
+      for (std::uint32_t k = off[c]; k < off[c + 1]; ++k) {
+        need[succ[k]] = 1;
+      }
+    }
+  }
+  out.eval = ctx.stats().Since(start);
+  return out;
 }
 
 }  // namespace afp

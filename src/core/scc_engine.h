@@ -3,8 +3,10 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
+#include "analysis/atom_graph.h"
 #include "core/eval_context.h"
 #include "core/horn_solver.h"
 #include "core/interpretation.h"
@@ -109,6 +111,72 @@ SccWfsResult WellFoundedScc(const GroundProgram& gp,
 SccWfsResult WellFoundedSccWithContext(EvalContext& ctx,
                                        const GroundProgram& gp,
                                        const SccOptions& options = {});
+
+/// Buckets rule ids by the component of their head (ascending rule id per
+/// bucket) — the comp_rules input of the entry points below. Callers that
+/// keep a program and its dependency graph alive across solves (the
+/// Solver facade) compute this once and maintain it across EDB fact
+/// mutations instead of re-bucketing per call.
+std::vector<std::vector<std::uint32_t>> ComponentRuleBuckets(
+    const RuleView& view, const AtomDependencyGraph& graph);
+
+/// The full-control entry point: component-wise solve over a caller-owned
+/// dependency graph and rule bucketing (both must describe `view`
+/// exactly). WellFoundedSccWithContext is this plus graph construction
+/// and bucketing; a long-lived Solver calls this directly so repeated
+/// solves share one cached condensation.
+SccWfsResult WellFoundedSccOnGraph(
+    EvalContext& ctx, const RuleView& view, const AtomDependencyGraph& graph,
+    const std::vector<std::vector<std::uint32_t>>& comp_rules,
+    const SccOptions& options = {});
+
+/// Outcome of an incremental downstream re-solve (SccResolveDownstream).
+struct SccUpdateStats {
+  /// Components in the static downstream closure of the touched atoms
+  /// (the candidates; everything else keeps its verdict untouched).
+  std::size_t components_downstream = 0;
+  /// Local fixpoints actually re-run: a closure component is re-solved
+  /// only if it contains a touched atom or some predecessor's member
+  /// verdicts changed.
+  std::size_t components_resolved = 0;
+  /// Closure components skipped because every input was unchanged.
+  std::size_t components_skipped = 0;
+  /// Whether any atom's verdict changed at all.
+  bool model_changed = false;
+  /// Work counters for the re-solve (same accounting as SccWfsResult).
+  EvalStats eval;
+};
+
+/// Incrementally repairs a previously computed well-founded model after an
+/// EDB fact mutation (GroundProgram::AddFact / RemoveFact), re-running
+/// only components condensation-downstream of `touched_atoms`:
+///
+///   * the static closure of the touched components under the cached
+///     condensation's successor relation is collected (component id order
+///     is topological, so ascending order is a valid schedule);
+///   * a closure component is re-solved — through the same
+///     ComponentSolver machinery as a full solve — only while the change
+///     frontier reaches it: it contains a touched atom, or a predecessor
+///     re-solve changed some member's verdict. Unreached closure
+///     components and all upstream components keep their verdicts;
+///   * options.num_threads > 1 dispatches the closure through the
+///     wavefront scheduler over the induced sub-DAG, with the same
+///     determinism contract as the full parallel engine.
+///
+/// `model` holds the previous well-founded model on entry and the repaired
+/// one on return; the result is pinned bit-identical — model AND
+/// per-component trajectories — to a from-scratch solve of the mutated
+/// program (the Solver differential tests enforce this). The graph and
+/// comp_rules must already describe the MUTATED view (facts change no
+/// dependency arcs, so the graph needs no rebuild; comp_rules must have
+/// been patched for the added/removed fact rules).
+/// `component_iterations`, when non-null, must be sized to
+/// graph.num_components() and is updated for re-solved components.
+SccUpdateStats SccResolveDownstream(
+    EvalContext& ctx, const RuleView& view, const AtomDependencyGraph& graph,
+    const std::vector<std::vector<std::uint32_t>>& comp_rules,
+    const SccOptions& options, std::span<const AtomId> touched_atoms,
+    PartialModel* model, std::vector<std::uint32_t>* component_iterations);
 
 }  // namespace afp
 

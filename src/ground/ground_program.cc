@@ -1,6 +1,7 @@
 #include "ground/ground_program.h"
 
 #include <algorithm>
+#include <cassert>
 
 namespace afp {
 
@@ -22,6 +23,50 @@ bool GroundProgram::AddRule(AtomId head, std::span<const AtomId> pos,
   body_pool_.insert(body_pool_.end(), neg.begin(), neg.end());
   rules_.push_back(r);
   return true;
+}
+
+void GroundProgram::EnsureFactIndex() const {
+  if (fact_index_built_) return;
+  for (std::uint32_t ri = 0; ri < rules_.size(); ++ri) {
+    const GroundRule& r = rules_[ri];
+    if (r.pos_len == 0 && r.neg_len == 0) fact_index_.emplace(r.head, ri);
+  }
+  fact_index_built_ = true;
+}
+
+bool GroundProgram::HasFact(AtomId atom) const {
+  EnsureFactIndex();
+  return fact_index_.count(atom) > 0;
+}
+
+bool GroundProgram::AddFact(AtomId atom) {
+  assert(sealed_ && "EDB mutation requires a sealed program");
+  EnsureFactIndex();
+  if (fact_index_.count(atom) > 0) return false;
+  AddRule(atom, {}, {}, /*dedupe=*/false);
+  fact_index_.emplace(atom, static_cast<std::uint32_t>(rules_.size() - 1));
+  return true;
+}
+
+GroundProgram::FactRemoval GroundProgram::RemoveFact(AtomId atom) {
+  assert(sealed_ && "EDB mutation requires a sealed program");
+  EnsureFactIndex();
+  auto it = fact_index_.find(atom);
+  if (it == fact_index_.end()) return FactRemoval{};
+  FactRemoval out;
+  out.removed = true;
+  out.erased_rule = it->second;
+  out.moved_rule = static_cast<std::uint32_t>(rules_.size() - 1);
+  fact_index_.erase(it);
+  if (out.erased_rule != out.moved_rule) {
+    const GroundRule moved = rules_.back();
+    rules_[out.erased_rule] = moved;
+    if (moved.pos_len == 0 && moved.neg_len == 0) {
+      fact_index_[moved.head] = out.erased_rule;
+    }
+  }
+  rules_.pop_back();
+  return out;
 }
 
 std::string GroundProgram::RuleToString(std::size_t i) const {

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -74,6 +75,35 @@ class GroundProgram {
     sealed_ = true;
   }
 
+  /// --- Post-seal EDB mutation (Solver::AssertFacts / RetractFacts) ---
+  ///
+  /// A fact is a rule with an empty body; adding or removing one changes no
+  /// dependency arcs and interns no atoms, so a cached AtomDependencyGraph
+  /// over this program stays valid across these calls. Only sealed programs
+  /// may be mutated (the dedupe bookkeeping cannot track removals).
+
+  /// True iff the fact rule `atom.` is present.
+  bool HasFact(AtomId atom) const;
+
+  /// Appends the fact rule `atom.` (no-op when already present). Returns
+  /// true if the program changed; the new rule id is num_rules() - 1.
+  bool AddFact(AtomId atom);
+
+  /// How RemoveFact rearranged the rule vector, so callers maintaining
+  /// per-component rule buckets can patch them in O(affected buckets).
+  struct FactRemoval {
+    bool removed = false;
+    /// Id the fact rule occupied; after the call this slot holds the rule
+    /// that previously had id `moved_rule` (== erased_rule when the fact
+    /// was last, in which case nothing moved).
+    std::uint32_t erased_rule = 0;
+    std::uint32_t moved_rule = 0;
+  };
+
+  /// Removes the fact rule `atom.` by swapping the last rule into its slot
+  /// (rule ids are otherwise stable). No-op when the fact is absent.
+  FactRemoval RemoveFact(AtomId atom);
+
   const GroundRule& rule(std::size_t i) const { return rules_[i]; }
   std::span<const AtomId> pos(const GroundRule& r) const {
     return {body_pool_.data() + r.pos_offset, r.pos_len};
@@ -114,12 +144,17 @@ class GroundProgram {
     }
   };
 
+  /// Rebuilds fact_index_ (fact head -> rule id) on first mutation query.
+  void EnsureFactIndex() const;
+
   const Program* source_;
   AtomTable atoms_;
   std::vector<GroundRule> rules_;
   std::vector<AtomId> body_pool_;
   std::unordered_set<RuleKey, RuleKeyHash> seen_rules_;
   bool sealed_ = false;
+  mutable bool fact_index_built_ = false;
+  mutable std::unordered_map<AtomId, std::uint32_t> fact_index_;
 };
 
 }  // namespace afp

@@ -1,0 +1,515 @@
+// The afp::Solver facade: differential equivalence with the direct engine
+// calls it wraps, and the incremental AssertFacts/RetractFacts contract —
+// the repaired model (and, under kScc, the per-component iteration
+// trajectory) must be bit-identical to a from-scratch solve of the
+// mutated ground program, over randomized mutation sequences including
+// retract-then-reassert round-trips, at every thread count.
+
+#include "afp/solver.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/alternating.h"
+#include "core/residual.h"
+#include "core/scc_engine.h"
+#include "ground/grounder.h"
+#include "parser/parser.h"
+#include "stable/backtracking.h"
+#include "wfs/wp_engine.h"
+#include "workload/graphs.h"
+#include "workload/programs.h"
+
+#ifndef AFP_LP_CORPUS_DIR
+#error "AFP_LP_CORPUS_DIR must point at the .lp corpus directory"
+#endif
+
+namespace afp {
+namespace {
+
+std::vector<std::string> CorpusTexts() {
+  std::vector<std::string> texts;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(AFP_LP_CORPUS_DIR)) {
+    if (entry.path().extension() != ".lp") continue;
+    std::ifstream in(entry.path());
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    texts.push_back(ss.str());
+  }
+  return texts;
+}
+
+GroundProgram MustGround(Program& p, GroundMode mode = GroundMode::kSmart) {
+  GroundOptions opts;
+  opts.mode = mode;
+  auto g = Grounder::Ground(p, opts);
+  EXPECT_TRUE(g.ok()) << g.status().ToString();
+  return std::move(g).value();
+}
+
+Solver MustCreate(Program program, const SolverOptions& options = {}) {
+  auto s = Solver::FromProgram(std::move(program), options);
+  EXPECT_TRUE(s.ok()) << s.status().ToString();
+  return std::move(s).value();
+}
+
+/// Deterministic xorshift for the randomized mutation sequences.
+struct Rng {
+  std::uint64_t state;
+  std::uint64_t Next() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  }
+  std::uint64_t Below(std::uint64_t n) { return Next() % n; }
+};
+
+/// The reference model of the engine `e` computes directly, bypassing the
+/// facade.
+PartialModel DirectModel(const GroundProgram& gp, const SolverOptions& o) {
+  switch (o.engine) {
+    case SolverEngine::kAfp: {
+      AfpOptions a;
+      a.horn_mode = o.horn_mode;
+      a.sp_mode = o.sp_mode;
+      return AlternatingFixpoint(gp, a).model;
+    }
+    case SolverEngine::kWp: {
+      WpOptions w;
+      w.gus_mode = o.gus_mode;
+      return WellFoundedViaWp(gp, w).model;
+    }
+    case SolverEngine::kResidual:
+      return WellFoundedResidual(gp).model;
+    case SolverEngine::kScc: {
+      SccOptions s;
+      s.horn_mode = o.horn_mode;
+      s.sp_mode = o.sp_mode;
+      s.gus_mode = o.gus_mode;
+      s.inner = o.inner;
+      s.num_threads = o.num_threads;
+      return WellFoundedScc(gp, s).model;
+    }
+  }
+  return {};
+}
+
+constexpr SolverEngine kAllEngines[] = {SolverEngine::kAfp,
+                                        SolverEngine::kResidual,
+                                        SolverEngine::kScc, SolverEngine::kWp};
+
+TEST(Solver, MatchesDirectEnginesOnCorpus) {
+  for (const std::string& text : CorpusTexts()) {
+    auto parsed = ParseProgram(text);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    Program base = std::move(parsed).value();
+    GroundProgram gp = MustGround(base);
+    for (SolverEngine e : kAllEngines) {
+      SolverOptions o;
+      o.engine = e;
+      auto solver = Solver::FromText(text, o);
+      ASSERT_TRUE(solver.ok()) << solver.status().ToString();
+      EXPECT_EQ(solver->Solve(), DirectModel(gp, o))
+          << "engine " << SolverEngineName(e);
+      EXPECT_EQ(solver->Stats().engine, e);
+      EXPECT_GE(solver->Stats().full_solves, 1u);
+    }
+  }
+}
+
+TEST(Solver, MatchesDirectEnginesAcrossModesOnRandomFamilies) {
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    Program p = workload::RandomPropositional(24, 48, 3, 50, seed);
+    GroundProgram gp = MustGround(p, GroundMode::kFull);
+    for (SolverEngine e : kAllEngines) {
+      for (SpMode sp : {SpMode::kDelta, SpMode::kScratch}) {
+        for (GusMode gus : {GusMode::kDelta, GusMode::kScratch}) {
+          SolverOptions o;
+          o.engine = e;
+          o.sp_mode = sp;
+          o.gus_mode = gus;
+          o.ground.mode = GroundMode::kFull;
+          Solver solver = MustCreate(
+              workload::RandomPropositional(24, 48, 3, 50, seed), o);
+          EXPECT_EQ(solver.Solve(), DirectModel(gp, o))
+              << "seed " << seed << " engine " << SolverEngineName(e);
+        }
+      }
+    }
+    // The kScc inner-engine axis and the parallel path.
+    for (SccInnerEngine inner :
+         {SccInnerEngine::kAfp, SccInnerEngine::kWp}) {
+      for (int threads : {1, 4}) {
+        SolverOptions o;
+        o.engine = SolverEngine::kScc;
+        o.inner = inner;
+        o.num_threads = threads;
+        o.ground.mode = GroundMode::kFull;
+        Solver solver = MustCreate(
+            workload::RandomPropositional(24, 48, 3, 50, seed), o);
+        EXPECT_EQ(solver.Solve(), DirectModel(gp, o))
+            << "seed " << seed << " threads " << threads;
+      }
+    }
+  }
+}
+
+TEST(Solver, QueryBeforeSolveUsesRelevanceAndAgreesWithModel) {
+  for (const std::string& text : CorpusTexts()) {
+    auto unsolved = Solver::FromText(text);
+    auto solved = Solver::FromText(text);
+    ASSERT_TRUE(unsolved.ok() && solved.ok());
+    solved->Solve();
+    ASSERT_FALSE(unsolved->solved());
+    std::vector<std::string> atoms;
+    for (AtomId a = 0; a < solved->ground().num_atoms(); ++a) {
+      atoms.push_back(solved->ground().AtomName(a));
+    }
+    // Single queries (relevance-sliced) and a batch, against the model.
+    auto batch = unsolved->QueryBatch(atoms);
+    ASSERT_EQ(batch.size(), atoms.size());
+    for (std::size_t i = 0; i < atoms.size(); ++i) {
+      auto direct = solved->Query(atoms[i]);
+      ASSERT_TRUE(direct.ok()) << atoms[i];
+      auto sliced = unsolved->Query(atoms[i]);
+      ASSERT_TRUE(sliced.ok()) << atoms[i];
+      EXPECT_EQ(*sliced, *direct) << atoms[i];
+      ASSERT_TRUE(batch[i].ok()) << atoms[i];
+      EXPECT_EQ(*batch[i], *direct) << atoms[i];
+    }
+    EXPECT_FALSE(unsolved->solved()) << "relevance queries must not solve";
+  }
+}
+
+TEST(Solver, StableModelsMatchDirectSearch) {
+  for (const std::string& text : CorpusTexts()) {
+    auto parsed = ParseProgram(text);
+    ASSERT_TRUE(parsed.ok());
+    Program p = std::move(parsed).value();
+    GroundProgram gp = MustGround(p);
+    StableModelSearch direct(gp);
+    auto solver = Solver::FromText(text);
+    ASSERT_TRUE(solver.ok());
+    StableResult r = solver->StableModels();
+    EXPECT_EQ(r.models, direct.Enumerate());
+    EXPECT_GT(r.search.nodes, 0u);
+  }
+}
+
+TEST(Solver, SingletonFastPathDecidesTrivialComponents) {
+  // Facts, a stratified chain over them, and an isolated undefined pair:
+  // every component except {p,q} is a non-self-referential singleton, so
+  // the fast path decides it in one "iteration".
+  SolverOptions o;
+  o.engine = SolverEngine::kScc;
+  o.ground.mode = GroundMode::kFull;
+  auto solver = Solver::FromText(R"(
+    a. b.
+    c :- a, not d.
+    e :- c, b.
+    p :- not q. q :- not p.
+    r :- p.
+  )", o);
+  ASSERT_TRUE(solver.ok()) << solver.status().ToString();
+  const PartialModel& m = solver->Solve();
+  for (const char* atom : {"a", "b", "c", "e"}) {
+    auto v = solver->Query(atom);
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(*v, TruthValue::kTrue) << atom;
+  }
+  EXPECT_EQ(*solver->Query("d"), TruthValue::kFalse);
+  for (const char* atom : {"p", "q", "r"}) {
+    EXPECT_EQ(*solver->Query(atom), TruthValue::kUndefined) << atom;
+  }
+  // Trajectories: singletons decided by the fast path report exactly 1.
+  const auto& iters = solver->component_iterations();
+  ASSERT_EQ(iters.size(), solver->Stats().num_components);
+  std::size_t ones = 0;
+  for (std::uint32_t it : iters) ones += it == 1;
+  EXPECT_GE(ones, solver->Stats().num_components - 1);
+  (void)m;
+}
+
+/// Toggles `atom` (retract when present, assert when absent) on both the
+/// session and the reference ground program, then checks the session's
+/// repaired model — and, when tracking, trajectory — against a
+/// from-scratch solve of the reference.
+void ToggleAndCompare(Solver& solver, GroundProgram& reference,
+                      const SccOptions& ref_opts, AtomId id,
+                      const std::string& label) {
+  const std::string atom = reference.AtomName(id);
+  const bool present = reference.HasFact(id);
+  StatusOr<UpdateStats> up =
+      present ? solver.RetractFact(atom) : solver.AssertFact(atom);
+  ASSERT_TRUE(up.ok()) << label << " " << atom << ": "
+                       << up.status().ToString();
+  EXPECT_EQ(up->facts_changed, 1u) << label << " " << atom;
+  if (present) {
+    ASSERT_TRUE(reference.RemoveFact(id).removed);
+  } else {
+    ASSERT_TRUE(reference.AddFact(id));
+  }
+  SccWfsResult scratch = WellFoundedScc(reference, ref_opts);
+  EXPECT_EQ(solver.model(), scratch.model) << label << " toggling " << atom;
+  if (!solver.component_iterations().empty()) {
+    EXPECT_EQ(solver.component_iterations(), scratch.component_iterations)
+        << label << " toggling " << atom;
+  }
+  // Receipt arithmetic: the downstream closure splits into re-solved and
+  // skipped; everything else was reused.
+  EXPECT_EQ(up->components_resolved + up->components_skipped,
+            up->components_downstream)
+      << label;
+  EXPECT_EQ(up->components_downstream + up->components_reused,
+            scratch.num_components)
+      << label;
+}
+
+TEST(SolverIncremental, RandomMutationSequencesMatchFromScratch) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    Program p = workload::RandomPropositional(20, 40, 3, 50, seed);
+    GroundProgram reference = MustGround(p, GroundMode::kFull);
+    SolverOptions o;
+    o.engine = SolverEngine::kScc;
+    o.ground.mode = GroundMode::kFull;
+    Solver solver = MustCreate(
+        workload::RandomPropositional(20, 40, 3, 50, seed), o);
+    solver.Solve();
+    ASSERT_EQ(solver.model(), WellFoundedScc(reference).model)
+        << "seed " << seed;
+
+    Rng rng{seed * 2654435761u + 17};
+    const std::size_t n = reference.num_atoms();
+    ASSERT_GT(n, 0u);
+    for (int step = 0; step < 12; ++step) {
+      const AtomId id = static_cast<AtomId>(rng.Below(n));
+      ToggleAndCompare(solver, reference, SccOptions{}, id,
+                       "seed " + std::to_string(seed) + " step " +
+                           std::to_string(step));
+      if (HasFatalFailure()) return;
+    }
+  }
+}
+
+TEST(SolverIncremental, WinMoveMutationsMatchFromScratchBothInnerEngines) {
+  for (SccInnerEngine inner : {SccInnerEngine::kAfp, SccInnerEngine::kWp}) {
+    Program p = workload::WinMove(graphs::ErdosRenyi(40, 90, 5));
+    GroundProgram reference = MustGround(p);
+    SolverOptions o;
+    o.engine = SolverEngine::kScc;
+    o.inner = inner;
+    Solver solver =
+        MustCreate(workload::WinMove(graphs::ErdosRenyi(40, 90, 5)), o);
+    solver.Solve();
+
+    SccOptions ref_opts;
+    ref_opts.inner = inner;
+    // Toggle every 5th move fact (the EDB), then some wins atoms (IDB
+    // atoms can be asserted as facts too — "position 7 is winning now").
+    std::vector<AtomId> facts;
+    for (AtomId a = 0; a < reference.num_atoms(); ++a) {
+      if (reference.HasFact(a)) facts.push_back(a);
+    }
+    ASSERT_FALSE(facts.empty());
+    for (std::size_t i = 0; i < facts.size(); i += 5) {
+      ToggleAndCompare(solver, reference, ref_opts, facts[i],
+                       "inner " + std::to_string(static_cast<int>(inner)));
+      if (HasFatalFailure()) return;
+    }
+    for (AtomId a = 0; a < reference.num_atoms(); ++a) {
+      if (!reference.HasFact(a)) {
+        ToggleAndCompare(solver, reference, ref_opts, a, "idb-assert");
+        break;
+      }
+    }
+  }
+}
+
+TEST(SolverIncremental, RetractThenReassertRoundTripsBitIdentical) {
+  Program p = workload::WinMove(graphs::Figure4b());
+  SolverOptions o;
+  o.engine = SolverEngine::kScc;
+  Solver solver = MustCreate(workload::WinMove(graphs::Figure4b()), o);
+  const PartialModel original = solver.Solve();
+  const std::vector<std::uint32_t> original_iters =
+      solver.component_iterations();
+
+  GroundProgram reference = MustGround(p);
+  std::vector<std::string> fact_names;
+  for (AtomId a = 0; a < reference.num_atoms(); ++a) {
+    if (reference.HasFact(a)) fact_names.push_back(reference.AtomName(a));
+  }
+  ASSERT_GE(fact_names.size(), 3u);
+
+  for (const std::string& atom : fact_names) {
+    auto out = solver.RetractFact(atom);
+    ASSERT_TRUE(out.ok()) << out.status().ToString();
+    EXPECT_EQ(out->facts_changed, 1u);
+    auto back = solver.AssertFact(atom);
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_EQ(back->facts_changed, 1u);
+    EXPECT_EQ(solver.model(), original) << "round-trip of " << atom;
+    EXPECT_EQ(solver.component_iterations(), original_iters)
+        << "round-trip of " << atom;
+  }
+
+  // A whole batch retracted and re-asserted in one call each.
+  auto out = solver.RetractFacts(fact_names);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->facts_changed, fact_names.size());
+  auto back = solver.AssertFacts(fact_names);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->facts_changed, fact_names.size());
+  EXPECT_EQ(solver.model(), original);
+  EXPECT_EQ(solver.component_iterations(), original_iters);
+  EXPECT_GE(solver.Stats().incremental_updates, 2u);
+  EXPECT_EQ(solver.Stats().full_solves, 1u)
+      << "updates must repair, not re-solve";
+}
+
+TEST(SolverIncremental, ParallelUpdatesMatchSequential) {
+  Program base = workload::WinMove(
+      graphs::ClusteredScc(/*clusters=*/6, /*cluster_size=*/8,
+                           /*intra_per_cluster=*/14, /*inter_edges=*/8,
+                           /*seed=*/11));
+  GroundProgram reference = MustGround(base);
+  std::vector<std::string> fact_names;
+  for (AtomId a = 0; a < reference.num_atoms(); ++a) {
+    if (reference.HasFact(a)) fact_names.push_back(reference.AtomName(a));
+  }
+
+  // Sequential session as the oracle; parallel sessions must track it
+  // through an identical mutation sequence.
+  SolverOptions seq;
+  seq.engine = SolverEngine::kScc;
+  Solver oracle = MustCreate(workload::WinMove(graphs::ClusteredScc(
+                                 6, 8, 14, 8, 11)),
+                             seq);
+  oracle.Solve();
+  for (int threads : {2, 4}) {
+    SolverOptions par = seq;
+    par.num_threads = threads;
+    Solver solver = MustCreate(
+        workload::WinMove(graphs::ClusteredScc(6, 8, 14, 8, 11)), par);
+    solver.Solve();
+    EXPECT_EQ(solver.model(), oracle.model()) << threads << " threads";
+    for (std::size_t i = 0; i < fact_names.size(); i += 3) {
+      auto a = oracle.RetractFact(fact_names[i]);
+      auto b = solver.RetractFact(fact_names[i]);
+      ASSERT_TRUE(a.ok() && b.ok());
+      EXPECT_EQ(b->components_resolved, a->components_resolved)
+          << threads << " threads, " << fact_names[i];
+      EXPECT_EQ(solver.model(), oracle.model())
+          << threads << " threads after retract " << fact_names[i];
+      EXPECT_EQ(solver.component_iterations(),
+                oracle.component_iterations())
+          << threads << " threads after retract " << fact_names[i];
+      a = oracle.AssertFact(fact_names[i]);
+      b = solver.AssertFact(fact_names[i]);
+      ASSERT_TRUE(a.ok() && b.ok());
+      EXPECT_EQ(solver.model(), oracle.model())
+          << threads << " threads after reassert " << fact_names[i];
+      EXPECT_EQ(solver.component_iterations(),
+                oracle.component_iterations())
+          << threads << " threads after reassert " << fact_names[i];
+    }
+  }
+}
+
+TEST(SolverIncremental, MonolithicEnginesRepairTheirModelsToo) {
+  // Incremental updates always run component-wise, whatever engine
+  // produced the base model — the repaired model must still match a
+  // from-scratch solve of the mutated program.
+  for (SolverEngine e :
+       {SolverEngine::kAfp, SolverEngine::kResidual, SolverEngine::kWp}) {
+    Program p = workload::WinMove(graphs::ErdosRenyi(30, 70, 3));
+    GroundProgram reference = MustGround(p);
+    SolverOptions o;
+    o.engine = e;
+    Solver solver =
+        MustCreate(workload::WinMove(graphs::ErdosRenyi(30, 70, 3)), o);
+    solver.Solve();
+    std::vector<AtomId> facts;
+    for (AtomId a = 0; a < reference.num_atoms(); ++a) {
+      if (reference.HasFact(a)) facts.push_back(a);
+    }
+    for (std::size_t i = 0; i < facts.size(); i += 7) {
+      ToggleAndCompare(solver, reference, SccOptions{}, facts[i],
+                       SolverEngineName(e));
+      if (HasFatalFailure()) return;
+    }
+  }
+}
+
+TEST(SolverIncremental, NoOpMutationsTriggerNoResolve) {
+  SolverOptions o;
+  o.engine = SolverEngine::kScc;
+  auto solver = Solver::FromText("e. p :- e, not q.", o);
+  ASSERT_TRUE(solver.ok());
+  solver->Solve();
+  const std::size_t rules = solver->ground().num_rules();
+
+  // Retracting an absent fact and asserting a present one are no-ops.
+  auto up = solver->RetractFact("p");
+  ASSERT_TRUE(up.ok());
+  EXPECT_EQ(up->facts_changed, 0u);
+  EXPECT_EQ(up->components_resolved, 0u);
+  up = solver->AssertFact("e");
+  ASSERT_TRUE(up.ok());
+  EXPECT_EQ(up->facts_changed, 0u);
+  EXPECT_EQ(solver->ground().num_rules(), rules);
+  EXPECT_EQ(solver->Stats().incremental_updates, 0u);
+}
+
+TEST(SolverIncremental, UnknownAtomFailsAtomically) {
+  SolverOptions o;
+  o.engine = SolverEngine::kScc;
+  auto solver = Solver::FromText("e. p :- e, not q.", o);
+  ASSERT_TRUE(solver.ok());
+  const PartialModel before = solver->Solve();
+  const std::size_t rules = solver->ground().num_rules();
+
+  auto up = solver->AssertFacts({"q", "nowhere(to,be,seen)"});
+  EXPECT_FALSE(up.ok());
+  EXPECT_EQ(up.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(solver->ground().num_rules(), rules)
+      << "a failed batch must not partially apply";
+  EXPECT_EQ(solver->model(), before);
+
+  EXPECT_FALSE(solver->AssertFact("not an atom").ok());
+}
+
+TEST(SolverIncremental, MutationBeforeFirstSolveFoldsIntoIt) {
+  Program p = workload::WinMove(graphs::Figure4a());
+  GroundProgram reference = MustGround(p);
+  std::vector<std::string> fact_names;
+  for (AtomId a = 0; a < reference.num_atoms(); ++a) {
+    if (reference.HasFact(a)) fact_names.push_back(reference.AtomName(a));
+  }
+  ASSERT_FALSE(fact_names.empty());
+
+  SolverOptions o;
+  o.engine = SolverEngine::kScc;
+  Solver solver = MustCreate(workload::WinMove(graphs::Figure4a()), o);
+  auto up = solver.RetractFact(fact_names[0]);  // before any Solve()
+  ASSERT_TRUE(up.ok());
+  EXPECT_EQ(up->facts_changed, 1u);
+  EXPECT_EQ(up->components_resolved, 0u) << "no model to repair yet";
+
+  auto id = ResolveAtom(reference, fact_names[0]);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(reference.RemoveFact(*id).removed);
+  EXPECT_EQ(solver.Solve(), WellFoundedScc(reference).model);
+  EXPECT_EQ(solver.Stats().full_solves, 1u);
+}
+
+}  // namespace
+}  // namespace afp

@@ -5,7 +5,15 @@
 //
 // Options:
 //   --semantics=wfs|stable|fitting|stratified|ifp   (default wfs)
-//   --engine=afp|wp|residual|scc       well-founded engine (default afp)
+//   --engine=afp|wp|residual|scc       well-founded engine (default afp);
+//                                      selects afp::SolverOptions::engine —
+//                                      the whole wfs/stable path runs
+//                                      through one afp::Solver session
+//   --assert=ATOM / --retract=ATOM     EDB fact mutations applied AFTER the
+//                                      initial solve, each repaired by the
+//                                      Solver's incremental re-solve
+//                                      (repeat the flag for several facts;
+//                                      --stats prints the update receipt)
 //   --sp=delta|scratch                 S_P enablement recomputation
 //                                      (default delta; scratch = ablation)
 //   --gus=delta|scratch                T_P / unfounded-set witness
@@ -33,6 +41,7 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "afp/afp.h"
@@ -52,6 +61,8 @@ struct Options {
   bool threads_given = false;
   std::vector<std::string> queries;
   std::vector<std::string> selects;
+  /// EDB mutations in command-line order: (atom, true=assert).
+  std::vector<std::pair<std::string, bool>> mutations;
   bool trace = false;
   bool ground_only = false;
   bool stats = false;
@@ -149,6 +160,16 @@ int main(int argc, char** argv) {
     }
     if (ParseFlag(arg, "select", &value)) {
       SplitCommas(value, &opts.selects);
+      continue;
+    }
+    if (ParseFlag(arg, "assert", &value)) {
+      // No comma-splitting: atom arguments contain commas. Repeat the
+      // flag to mutate several facts; flags apply in command-line order.
+      opts.mutations.emplace_back(value, true);
+      continue;
+    }
+    if (ParseFlag(arg, "retract", &value)) {
+      opts.mutations.emplace_back(value, false);
       continue;
     }
     if (ParseFlag(arg, "max-models", &value)) {
@@ -251,17 +272,33 @@ int main(int argc, char** argv) {
 
   auto parsed = afp::ParseProgram(text);
   if (!parsed.ok()) return Fail(parsed.status());
-  afp::Program program = std::move(parsed).value();
 
-  afp::GroundOptions gopts;
+  // One Solver session serves the whole wfs/stable surface; the remaining
+  // semantics (Fitting, stratified, IFP) read its ground program.
+  afp::SolverOptions sopts;
+  if (opts.engine == "wp") {
+    sopts.engine = afp::SolverEngine::kWp;
+  } else if (opts.engine == "residual") {
+    sopts.engine = afp::SolverEngine::kResidual;
+  } else if (opts.engine == "scc") {
+    sopts.engine = afp::SolverEngine::kScc;
+  } else {
+    sopts.engine = afp::SolverEngine::kAfp;
+  }
+  sopts.sp_mode = sp_mode;
+  sopts.gus_mode = gus_mode;
+  sopts.inner = inner_engine;
+  sopts.num_threads = opts.threads;
+  sopts.record_trace = opts.trace;
   // Fitting/IFP need the rule instances whose positive bodies are
   // underivable (see GroundMode documentation).
   if (opts.semantics == "fitting" || opts.semantics == "ifp") {
-    gopts.mode = afp::GroundMode::kFull;
+    sopts.ground.mode = afp::GroundMode::kFull;
   }
-  auto ground = afp::Grounder::Ground(program, gopts);
-  if (!ground.ok()) return Fail(ground.status());
-  afp::GroundProgram& gp = *ground;
+  auto session = afp::Solver::FromProgram(std::move(parsed).value(), sopts);
+  if (!session.ok()) return Fail(session.status());
+  afp::Solver& solver = *session;
+  const afp::GroundProgram& gp = solver.ground();
 
   if (opts.ground_only) {
     std::cout << gp.ToString();
@@ -272,84 +309,75 @@ int main(int argc, char** argv) {
               << "  rules: " << gp.num_rules()
               << "  size: " << gp.TotalSize() << "\n";
   }
+  if (!opts.mutations.empty() && opts.semantics != "wfs") {
+    std::cerr << "afp: note: --assert/--retract apply only to "
+                 "--semantics=wfs\n";
+  }
 
   if (opts.semantics == "wfs") {
-    afp::PartialModel model;
-    afp::EvalStats eval;
-    if (opts.engine == "wp") {
-      afp::WpOptions wopts;
-      wopts.gus_mode = gus_mode;
-      afp::WpResult r = afp::WellFoundedViaWp(gp, wopts);
-      if (opts.stats) {
-        std::cout << "% W_P iterations: " << r.iterations << "\n";
+    solver.Solve();
+    const afp::SolverStats& st = solver.Stats();
+    if (opts.trace && sopts.engine == afp::SolverEngine::kAfp) {
+      afp::TablePrinter table({"k", "neg I_k", "S_P(I_k)"});
+      for (std::size_t k = 0; k < solver.trace().size(); ++k) {
+        table.AddRow({std::to_string(k),
+                      afp::AtomSetToString(gp, solver.trace()[k].neg_set),
+                      afp::AtomSetToString(gp, solver.trace()[k].sp_result)});
       }
-      eval = r.eval;
-      model = std::move(r.model);
-    } else if (opts.engine == "residual") {
-      afp::EvalContext ctx;
-      afp::ResidualOptions ropts;
-      ropts.sp_mode = sp_mode;
-      afp::ResidualResult r =
-          afp::WellFoundedResidualWithContext(ctx, gp, ropts);
-      if (opts.stats) {
-        std::cout << "% rounds: " << r.rounds
-                  << "  residual work: " << r.total_work << "\n";
-      }
-      eval = r.eval;
-      model = std::move(r.model);
-    } else if (opts.engine == "scc") {
-      afp::EvalContext ctx;
-      afp::SccOptions sopts;
-      sopts.sp_mode = sp_mode;
-      sopts.inner = inner_engine;
-      sopts.gus_mode = gus_mode;
-      sopts.num_threads = opts.threads;
-      afp::SccWfsResult r = afp::WellFoundedSccWithContext(ctx, gp, sopts);
-      if (opts.stats) {
-        std::cout << "% components: " << r.num_components
-                  << "  local size: " << r.total_local_size << "\n";
-        if (r.sched.num_workers > 0) {
-          const afp::SchedulerStats& sc = r.sched;
-          std::cout << "% scheduler: workers " << sc.num_workers
-                    << "  wavefronts " << sc.wavefront_widths.size()
-                    << "  max width " << sc.MaxWavefrontWidth()
-                    << "  max ready " << sc.max_ready
-                    << "  steals " << sc.steals
-                    << "  idle waits " << sc.idle_waits << "\n";
-          std::cout << "% wavefront widths:";
-          for (std::size_t d = 0; d < sc.wavefront_widths.size(); ++d) {
-            if (d >= 16) {
-              std::cout << " ...";
-              break;
-            }
-            std::cout << ' ' << sc.wavefront_widths[d];
-          }
-          std::cout << "\n";
-        }
-      }
-      eval = r.eval;
-      model = std::move(r.model);
-    } else {
-      afp::AfpOptions aopts;
-      aopts.record_trace = opts.trace;
-      aopts.sp_mode = sp_mode;
-      afp::AfpResult r = afp::AlternatingFixpoint(gp, aopts);
-      if (opts.trace) {
-        afp::TablePrinter table({"k", "neg I_k", "S_P(I_k)"});
-        for (std::size_t k = 0; k < r.trace.size(); ++k) {
-          table.AddRow({std::to_string(k),
-                        afp::AtomSetToString(gp, r.trace[k].neg_set),
-                        afp::AtomSetToString(gp, r.trace[k].sp_result)});
-        }
-        table.Print(std::cout);
-      }
-      if (opts.stats) {
-        std::cout << "% A_P rounds: " << r.outer_iterations << "\n";
-      }
-      eval = r.eval;
-      model = std::move(r.model);
+      table.Print(std::cout);
     }
     if (opts.stats) {
+      switch (sopts.engine) {
+        case afp::SolverEngine::kAfp:
+          std::cout << "% A_P rounds: " << st.iterations << "\n";
+          break;
+        case afp::SolverEngine::kWp:
+          std::cout << "% W_P iterations: " << st.iterations << "\n";
+          break;
+        case afp::SolverEngine::kResidual:
+          std::cout << "% rounds: " << st.iterations << "\n";
+          break;
+        case afp::SolverEngine::kScc:
+          std::cout << "% components: " << st.num_components
+                    << "  local size: " << st.total_local_size << "\n";
+          if (st.sched.num_workers > 0) {
+            const afp::SchedulerStats& sc = st.sched;
+            std::cout << "% scheduler: workers " << sc.num_workers
+                      << "  wavefronts " << sc.wavefront_widths.size()
+                      << "  max width " << sc.MaxWavefrontWidth()
+                      << "  max ready " << sc.max_ready
+                      << "  steals " << sc.steals
+                      << "  idle waits " << sc.idle_waits << "\n";
+            std::cout << "% wavefront widths:";
+            for (std::size_t d = 0; d < sc.wavefront_widths.size(); ++d) {
+              if (d >= 16) {
+                std::cout << " ...";
+                break;
+              }
+              std::cout << ' ' << sc.wavefront_widths[d];
+            }
+            std::cout << "\n";
+          }
+          break;
+      }
+    }
+    // EDB mutations in command-line order, each repaired by the
+    // incremental downstream re-solve.
+    for (const auto& [atom, add] : opts.mutations) {
+      auto up = add ? solver.AssertFact(atom) : solver.RetractFact(atom);
+      if (!up.ok()) return Fail(up.status());
+      if (opts.stats) {
+        std::cout << "% " << (add ? "assert" : "retract") << " " << atom
+                  << ": facts " << up->facts_changed << "  downstream "
+                  << up->components_downstream << "  re-solved "
+                  << up->components_resolved << "  skipped "
+                  << up->components_skipped << "  reused "
+                  << up->components_reused
+                  << (up->model_changed ? "  (model changed)" : "") << "\n";
+      }
+    }
+    if (opts.stats) {
+      const afp::EvalStats& eval = solver.Stats().eval;
       std::cout << "% S_P calls: " << eval.sp_calls
                 << "  rules rescanned: " << eval.rules_rescanned
                 << "  delta atoms: " << eval.delta_atoms
@@ -359,26 +387,21 @@ int main(int argc, char** argv) {
                 << "  GUS rules rescanned: " << eval.gus_rules_rescanned
                 << "\n";
     }
-    PrintModel(gp, model, opts);
+    PrintModel(gp, solver.model(), opts);
     return 0;
   }
   if (opts.semantics == "stable") {
-    afp::StableSearchOptions sopts;
-    sopts.max_models = opts.max_models;
-    sopts.sp_mode = sp_mode;
-    afp::StableModelSearch search(gp, sopts);
-    auto models = search.Enumerate();
-    std::cout << "% " << models.size() << " stable model(s)\n";
-    for (std::size_t i = 0; i < models.size(); ++i) {
+    afp::StableResult r = solver.StableModels(opts.max_models);
+    std::cout << "% " << r.models.size() << " stable model(s)\n";
+    for (std::size_t i = 0; i < r.models.size(); ++i) {
       std::cout << "model " << (i + 1) << ": "
-                << afp::AtomSetToString(gp, models[i]) << "\n";
+                << afp::AtomSetToString(gp, r.models[i]) << "\n";
     }
     if (opts.stats) {
-      const afp::EvalStats& eval = search.eval_stats();
-      std::cout << "% search nodes: " << search.stats().nodes
-                << "  S_P calls: " << eval.sp_calls
-                << "  rules rescanned: " << eval.rules_rescanned
-                << "  peak scratch bytes: " << eval.peak_scratch_bytes
+      std::cout << "% search nodes: " << r.search.nodes
+                << "  S_P calls: " << r.eval.sp_calls
+                << "  rules rescanned: " << r.eval.rules_rescanned
+                << "  peak scratch bytes: " << r.eval.peak_scratch_bytes
                 << "\n";
     }
     return 0;

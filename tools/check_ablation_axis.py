@@ -18,7 +18,14 @@ regresses:
   * the thread-scaling axis must exist for the flagship THREAD_FLAGSHIP
     workload with 1- and 4-thread rows, every speedup must stay >= 1.0
     (more workers never slower than one), and the 4-thread run must be at
-    least MIN_THREAD_SPEEDUP (2x) faster than the 1-thread run.
+    least MIN_THREAD_SPEEDUP (2x) faster than the 1-thread run;
+  * the incremental-update axis (a Solver session's single-fact
+    AssertFacts/RetractFacts repair vs a full re-solve of the mutated
+    program) must beat the full re-solve on every recorded workload
+    (ratio > 1x) and by at least MIN_INCREMENTAL_RATIO (5x) on the
+    flagship INCREMENTAL_FLAGSHIP row. These ratios are wall-clock but
+    single-threaded with two-orders-of-magnitude margins, so they are
+    safe on noisy or small CI machines.
 
 The rescan gates are counters, not wall-clock: deterministic for a fixed
 workload, so safe on noisy CI machines. The thread gates are necessarily
@@ -45,6 +52,10 @@ FLAGSHIPS = {("gus", "WinMove/1024"), ("gus", "WfNodes/256")}
 THREAD_FLAGSHIP = "WinMove/4096"
 GATED_THREAD = "4"
 MIN_THREAD_SPEEDUP = 2.0
+# The incremental-update flagship: a single-fact update on win-move/4096
+# must re-solve at least 5x faster than the from-scratch baseline.
+INCREMENTAL_FLAGSHIP = "WinMove/4096"
+MIN_INCREMENTAL_RATIO = 5.0
 
 
 def check_thread_row(row, failures, lines):
@@ -92,14 +103,37 @@ def main() -> int:
     failures = []
     seen_flagships = set()
     seen_thread_workloads = set()
+    seen_incremental_workloads = set()
     ratios = []
     thread_lines = []
+    incremental_lines = []
     for row in rows:
         axis = row.get("axis", "sp")
         workload = row.get("workload", "?")
         if axis == "threads":
             seen_thread_workloads.add(workload)
             check_thread_row(row, failures, thread_lines)
+            continue
+        if axis == "incremental":
+            seen_incremental_workloads.add(workload)
+            label = f"incremental:{workload}"
+            ratio = row.get("wall_ratio_full_over_incremental")
+            resolved = row.get("incremental", {}).get("components_resolved")
+            if ratio is None:
+                failures.append(f"{label}: no wall ratio recorded")
+                continue
+            incremental_lines.append(
+                f"  {label}: full/incremental wall ratio {ratio}x"
+                f" (components re-solved per round trip: {resolved})")
+            if ratio <= MIN_RATIO:
+                failures.append(
+                    f"{label}: incremental no faster than full re-solve "
+                    f"(ratio {ratio} <= {MIN_RATIO})")
+            if (workload == INCREMENTAL_FLAGSHIP
+                    and ratio < MIN_INCREMENTAL_RATIO):
+                failures.append(
+                    f"{label}: flagship ratio {ratio} < "
+                    f"{MIN_INCREMENTAL_RATIO}")
             continue
         ratio = row.get("rescan_ratio_scratch_over_delta")
         label = f"{axis}:{workload}"
@@ -123,17 +157,23 @@ def main() -> int:
     if THREAD_FLAGSHIP not in seen_thread_workloads:
         failures.append(
             f"threads:{THREAD_FLAGSHIP}: thread-scaling row missing")
+    if INCREMENTAL_FLAGSHIP not in seen_incremental_workloads:
+        failures.append(
+            f"incremental:{INCREMENTAL_FLAGSHIP}: incremental row missing")
 
     for label, ratio in sorted(ratios):
         print(f"  {label}: scratch/delta rescan ratio {ratio}")
     for line in thread_lines:
+        print(line)
+    for line in incremental_lines:
         print(line)
     if failures:
         for f_ in failures:
             print(f"FAIL {f_}", file=sys.stderr)
         return 1
     print(f"check_ablation_axis: {len(ratios)} rescan rows + "
-          f"{len(seen_thread_workloads)} thread rows OK")
+          f"{len(seen_thread_workloads)} thread rows + "
+          f"{len(seen_incremental_workloads)} incremental rows OK")
     return 0
 
 

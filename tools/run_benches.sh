@@ -152,6 +152,37 @@ for workload in sorted(thread_rows):
         }
     axis_rows.append(entry)
 
+# Incremental-update axis: BM_Incremental<Workload>/<size> (a Solver
+# session absorbing a single-fact retract+reassert round trip) paired
+# with BM_FullUpdate<Workload>/<size> (the identical mutation re-solved
+# from scratch, warm context and cached graph). The wall ratio is the
+# headline; components_resolved / components_downstream record how far
+# the change frontier actually ran.
+incr_rows = {}
+for b in report.get("benchmarks", []):
+    name = b.get("name", "")
+    for prefix, side in (("BM_Incremental", "incremental"),
+                         ("BM_FullUpdate", "full")):
+        if not name.startswith(prefix):
+            continue
+        cell = {"real_time_ns": b.get("real_time")}
+        for c in ("components", "components_resolved",
+                  "components_downstream"):
+            if c in b:
+                cell[c] = b[c]
+        incr_rows.setdefault(name[len(prefix):], {})[side] = cell
+        break
+
+for workload in sorted(incr_rows):
+    per = incr_rows[workload]
+    entry = {"axis": "incremental", "workload": workload}
+    entry.update(per)
+    inc = per.get("incremental", {}).get("real_time_ns")
+    full = per.get("full", {}).get("real_time_ns")
+    if inc and full:
+        entry["wall_ratio_full_over_incremental"] = round(full / inc, 2)
+    axis_rows.append(entry)
+
 with open(dst, "w") as f:
     json.dump({"bench": "ablation_axis", "git_rev": git_rev,
                "timestamp": timestamp, "rows": axis_rows}, f, indent=1)
