@@ -17,6 +17,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <memory>
 #include <thread>
 
@@ -568,6 +569,87 @@ void BM_FullUpdateClusteredWinMove(benchmark::State& state) {
                 MakeIncrementalClustered(static_cast<int>(state.range(0))));
 }
 BENCHMARK(BM_FullUpdateClusteredWinMove)->Arg(4096);
+
+// (7) the scratch axis: SccResolveDownstream's per-update bookkeeping
+// with a Solver-style persistent SccUpdateScratch (epoch stamps, nothing
+// cleared per update) vs the old call-local allocate-and-zero floor. The
+// workload is built so the floor is ALL the work: win-move over a chain
+// has ~2n singleton components, and toggling the chain-head move fact
+// re-solves a downstream closure of exactly two of them — so the
+// persistent/fresh ratio is the O(num_components) memset cost itself.
+void RunScratchUpdate(benchmark::State& state, bool persistent) {
+  const int n = static_cast<int>(state.range(0));
+  afp::Program program = afp::workload::WinMove(afp::graphs::Chain(n));
+  auto ground = afp::Grounder::Ground(program);
+  if (!ground.ok()) {
+    state.SkipWithError("grounding failed");
+    return;
+  }
+  afp::GroundProgram gp = std::move(ground).value();
+  afp::AtomDependencyGraph graph(gp.View());
+  auto buckets = afp::ComponentRuleBuckets(gp.View(), graph);
+  afp::EvalContext ctx;
+  afp::SccOptions opts;
+  afp::SccWfsResult base =
+      afp::WellFoundedSccOnGraph(ctx, gp.View(), graph, buckets, opts);
+  afp::PartialModel model = std::move(base.model);
+  const afp::AtomId victim = SmallClosureFactAtom(gp);
+  if (victim == afp::kInvalidAtom) {
+    state.SkipWithError("workload has no EDB fact to mutate");
+    return;
+  }
+  const auto& comp_of = graph.component_of();
+  // Solver::UpdateFactsById's sorted-bucket surgery, inlined: the bench
+  // drives SccResolveDownstream directly so the fresh baseline can pass
+  // a null scratch (the facade now always passes its persistent one).
+  const auto toggle = [&](bool add) {
+    if (add) {
+      gp.AddFact(victim);
+      buckets[comp_of[victim]].push_back(
+          static_cast<std::uint32_t>(gp.num_rules() - 1));
+      return;
+    }
+    afp::GroundProgram::FactRemoval rem = gp.RemoveFact(victim);
+    auto& bucket = buckets[comp_of[victim]];
+    bucket.erase(
+        std::lower_bound(bucket.begin(), bucket.end(), rem.erased_rule));
+    if (rem.moved_rule != rem.erased_rule) {
+      const afp::AtomId moved_head = gp.rule(rem.erased_rule).head;
+      auto& mb = buckets[comp_of[moved_head]];
+      auto old_it = std::lower_bound(mb.begin(), mb.end(), rem.moved_rule);
+      auto new_it = std::lower_bound(mb.begin(), old_it, rem.erased_rule);
+      std::rotate(new_it, old_it, old_it + 1);
+      *new_it = rem.erased_rule;
+    }
+  };
+  afp::SccUpdateScratch scratch;
+  afp::SccUpdateScratch* sp = persistent ? &scratch : nullptr;
+  const afp::AtomId touched[] = {victim};
+  std::size_t downstream = 0;
+  for (auto _ : state) {
+    toggle(/*add=*/false);
+    afp::SccUpdateStats out = afp::SccResolveDownstream(
+        ctx, gp.View(), graph, buckets, opts, touched, &model, nullptr, sp);
+    toggle(/*add=*/true);
+    afp::SccUpdateStats back = afp::SccResolveDownstream(
+        ctx, gp.View(), graph, buckets, opts, touched, &model, nullptr, sp);
+    benchmark::DoNotOptimize(model);
+    downstream = out.components_downstream + back.components_downstream;
+  }
+  state.counters["components"] =
+      static_cast<double>(graph.num_components());
+  state.counters["components_downstream"] = static_cast<double>(downstream);
+}
+
+void BM_UpdateScratchPersistentChainWinMove(benchmark::State& state) {
+  RunScratchUpdate(state, /*persistent=*/true);
+}
+BENCHMARK(BM_UpdateScratchPersistentChainWinMove)->Arg(4096)->Arg(32768);
+
+void BM_UpdateScratchFreshChainWinMove(benchmark::State& state) {
+  RunScratchUpdate(state, /*persistent=*/false);
+}
+BENCHMARK(BM_UpdateScratchFreshChainWinMove)->Arg(4096)->Arg(32768);
 
 // Point-query ablation: full solve + lookup vs relevance-sliced solve.
 void BM_PointQueryFullSolve(benchmark::State& state) {

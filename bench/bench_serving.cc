@@ -1,0 +1,222 @@
+// Serving-layer bench: read throughput and tail latency of
+// afp::ServingSolver under concurrent readers, with and without a live
+// writer stream. Unlike the Google-Benchmark binaries this one is
+// self-timed (the unit of interest is a reader's snapshot-grab + batch
+// lookup, measured across threads) and prints a native JSON report on
+// stdout; tools/run_benches.sh stores it as BENCH_serving.json and
+// tools/check_serving.py gates CI on it.
+//
+// Two phases per reader count R in {1, 2, 4, 8}:
+//   * read_only — R readers spin QueryBatchIds against the snapshot;
+//     no writer traffic. Baseline cost of the lock-free read path.
+//   * mixed — same readers while one producer thread toggles EDB facts
+//     as fast as backpressure admits; the background writer coalesces,
+//     repairs, and publishes continuously. The acceptance criterion is
+//     that read p99 stays within 3x of the read-only p99 (readers never
+//     wait on repairs) and that 4 readers deliver >= 2x the 1-reader
+//     throughput — both gated only on machines with enough cores
+//     (hardware_concurrency is recorded in the report for that).
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "serving/serving_solver.h"
+#include "workload/graphs.h"
+#include "workload/programs.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr int kReaderCounts[] = {1, 2, 4, 8};
+constexpr auto kPhaseDuration = std::chrono::milliseconds(300);
+constexpr std::size_t kBatchSize = 256;
+
+struct PhaseRow {
+  int readers = 0;
+  bool mixed = false;
+  std::uint64_t batches = 0;
+  std::uint64_t reads = 0;
+  double seconds = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  // Writer-side deltas over the phase (zero for read_only).
+  std::uint64_t updates_applied = 0;
+  std::uint64_t updates_coalesced = 0;
+  std::uint64_t repair_passes = 0;
+  std::uint64_t snapshots_published = 0;
+};
+
+double PercentileUs(std::vector<std::uint64_t>& ns, double q) {
+  if (ns.empty()) return 0.0;
+  std::size_t idx = static_cast<std::size_t>(q * static_cast<double>(ns.size() - 1));
+  std::nth_element(ns.begin(), ns.begin() + static_cast<std::ptrdiff_t>(idx),
+                   ns.end());
+  return static_cast<double>(ns[idx]) / 1e3;
+}
+
+// EDB fact atoms of the grounded base — the producer's toggle targets.
+std::vector<afp::AtomId> FactAtoms(const afp::GroundProgram& gp,
+                                   std::size_t limit) {
+  std::vector<afp::AtomId> out;
+  for (afp::AtomId a = 0; a < gp.num_atoms() && out.size() < limit; ++a) {
+    if (gp.HasFact(a)) out.push_back(a);
+  }
+  return out;
+}
+
+PhaseRow RunPhase(afp::ServingSolver& srv, int readers, bool mixed,
+                  const std::vector<afp::AtomId>& query_ids,
+                  const std::vector<afp::AtomId>& victims) {
+  PhaseRow row;
+  row.readers = readers;
+  row.mixed = mixed;
+  const afp::ServingStats before = srv.Stats();
+
+  std::atomic<bool> stop{false};
+  std::vector<std::vector<std::uint64_t>> latencies_ns(
+      static_cast<std::size_t>(readers));
+  std::vector<std::uint64_t> reads(static_cast<std::size_t>(readers), 0);
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(readers) + 1);
+  for (int t = 0; t < readers; ++t) {
+    threads.emplace_back([&, t] {
+      auto& lat = latencies_ns[static_cast<std::size_t>(t)];
+      lat.reserve(1 << 14);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto t0 = Clock::now();
+        std::vector<afp::TruthValue> values = srv.QueryBatchIds(query_ids);
+        const auto t1 = Clock::now();
+        lat.push_back(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                .count()));
+        reads[static_cast<std::size_t>(t)] += values.size();
+      }
+    });
+  }
+  if (mixed) {
+    threads.emplace_back([&] {
+      // Toggle each victim off and back on, round-robin, as fast as the
+      // queue bound admits; net-zero on the model between phases.
+      while (!stop.load(std::memory_order_relaxed)) {
+        for (afp::AtomId v : victims) {
+          const afp::AtomId one[] = {v};
+          srv.RetractFactsById(one);
+          srv.AssertFactsById(one);
+        }
+      }
+    });
+  }
+
+  const auto start = Clock::now();
+  std::this_thread::sleep_for(kPhaseDuration);
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& th : threads) th.join();
+  if (mixed) srv.Flush();  // settle before the next phase measures
+  const auto end = Clock::now();
+  row.seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(end - start)
+          .count();
+
+  std::vector<std::uint64_t> all;
+  for (auto& lat : latencies_ns) {
+    row.batches += lat.size();
+    all.insert(all.end(), lat.begin(), lat.end());
+  }
+  for (std::uint64_t r : reads) row.reads += r;
+  row.p50_us = PercentileUs(all, 0.50);
+  row.p99_us = PercentileUs(all, 0.99);
+
+  const afp::ServingStats after = srv.Stats();
+  row.updates_applied = after.updates_applied - before.updates_applied;
+  row.updates_coalesced = after.updates_coalesced - before.updates_coalesced;
+  row.repair_passes = after.repair_passes - before.repair_passes;
+  row.snapshots_published =
+      after.snapshots_published - before.snapshots_published;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  // Win-move over a dense random digraph: a few thousand atoms, enough
+  // recursion for nontrivial repairs, point queries stay O(1).
+  afp::Program program =
+      afp::workload::WinMove(afp::graphs::ErdosRenyi(512, 2048, 17));
+  auto solver = afp::Solver::FromProgram(std::move(program));
+  if (!solver.ok()) {
+    std::fprintf(stderr, "bench_serving: %s\n",
+                 std::string(solver.status().message()).c_str());
+    return 1;
+  }
+  auto srv = afp::ServingSolver::Wrap(std::move(solver).value());
+
+  const afp::GroundProgram& gp = srv->solver().ground();
+  const std::size_t universe = gp.num_atoms();
+  std::vector<afp::AtomId> query_ids;
+  const std::size_t stride = std::max<std::size_t>(1, universe / kBatchSize);
+  for (std::size_t a = 0; a < universe && query_ids.size() < kBatchSize;
+       a += stride) {
+    query_ids.push_back(static_cast<afp::AtomId>(a));
+  }
+  const std::vector<afp::AtomId> victims = FactAtoms(gp, 4);
+  if (victims.empty()) {
+    std::fprintf(stderr, "bench_serving: workload has no EDB facts\n");
+    return 1;
+  }
+
+  std::vector<PhaseRow> rows;
+  for (int readers : kReaderCounts) {
+    rows.push_back(RunPhase(*srv, readers, /*mixed=*/false, query_ids, victims));
+    rows.push_back(RunPhase(*srv, readers, /*mixed=*/true, query_ids, victims));
+  }
+
+  const afp::ServingStats total = srv->Stats();
+  std::printf("{\n");
+  std::printf("  \"bench\": \"bench_serving\",\n");
+  std::printf("  \"hardware_concurrency\": %u,\n",
+              std::thread::hardware_concurrency());
+  std::printf("  \"universe_atoms\": %zu,\n", universe);
+  std::printf("  \"batch_size\": %zu,\n", query_ids.size());
+  std::printf("  \"rows\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const PhaseRow& r = rows[i];
+    std::printf(
+        "    {\"readers\": %d, \"mode\": \"%s\", \"seconds\": %.3f, "
+        "\"batches\": %llu, \"reads\": %llu, \"reads_per_sec\": %.0f, "
+        "\"batch_p50_us\": %.2f, \"batch_p99_us\": %.2f, "
+        "\"updates_applied\": %llu, \"updates_coalesced\": %llu, "
+        "\"repair_passes\": %llu, \"snapshots_published\": %llu}%s\n",
+        r.readers, r.mixed ? "mixed" : "read_only", r.seconds,
+        static_cast<unsigned long long>(r.batches),
+        static_cast<unsigned long long>(r.reads),
+        static_cast<double>(r.reads) / r.seconds, r.p50_us, r.p99_us,
+        static_cast<unsigned long long>(r.updates_applied),
+        static_cast<unsigned long long>(r.updates_coalesced),
+        static_cast<unsigned long long>(r.repair_passes),
+        static_cast<unsigned long long>(r.snapshots_published),
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::printf("  ],\n");
+  std::printf(
+      "  \"totals\": {\"updates_enqueued\": %llu, \"updates_applied\": %llu, "
+      "\"updates_coalesced\": %llu, \"repair_passes\": %llu, "
+      "\"snapshots_published\": %llu, \"enqueue_blocks\": %llu, "
+      "\"max_batch\": %llu, \"facts_changed\": %llu}\n",
+      static_cast<unsigned long long>(total.updates_enqueued),
+      static_cast<unsigned long long>(total.updates_applied),
+      static_cast<unsigned long long>(total.updates_coalesced),
+      static_cast<unsigned long long>(total.repair_passes),
+      static_cast<unsigned long long>(total.snapshots_published),
+      static_cast<unsigned long long>(total.enqueue_blocks),
+      static_cast<unsigned long long>(total.max_batch),
+      static_cast<unsigned long long>(total.facts_changed));
+  std::printf("}\n");
+  return 0;
+}

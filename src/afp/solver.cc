@@ -220,55 +220,81 @@ StatusOr<UpdateStats> Solver::RetractFact(const std::string& atom) {
   return MutateFacts({atom}, /*add=*/false);
 }
 
-StatusOr<UpdateStats> Solver::MutateFacts(
-    const std::vector<std::string>& atoms, bool add) {
-  // Resolve everything first so a bad atom fails the call atomically,
-  // before any mutation is applied.
+namespace {
+
+/// Resolves a fact batch, failing the whole call on any unknown atom so
+/// the caller mutates nothing (atomic failure).
+StatusOr<std::vector<AtomId>> ResolveFactBatch(
+    const GroundProgram& ground, const std::vector<std::string>& atoms,
+    const char* verb) {
   std::vector<AtomId> ids;
   ids.reserve(atoms.size());
   for (const std::string& text : atoms) {
-    AFP_ASSIGN_OR_RETURN(AtomId id, ResolveAtom(ground_, text));
+    AFP_ASSIGN_OR_RETURN(AtomId id, ResolveAtom(ground, text));
     if (id == kInvalidAtom) {
       return Status::NotFound(
-          std::string("cannot ") + (add ? "assert" : "retract") + " '" +
-          text +
+          std::string("cannot ") + verb + " '" + text +
           "': atom is outside the grounded base (the universe is fixed at "
           "construction — ground with GroundMode::kFull or mention the "
           "atom in the initial program)");
     }
     ids.push_back(id);
   }
+  return ids;
+}
 
+}  // namespace
+
+StatusOr<UpdateStats> Solver::MutateFacts(
+    const std::vector<std::string>& atoms, bool add) {
+  AFP_ASSIGN_OR_RETURN(
+      std::vector<AtomId> ids,
+      ResolveFactBatch(ground_, atoms, add ? "assert" : "retract"));
+  if (add) return UpdateFactsById(ids, {});
+  return UpdateFactsById({}, ids);
+}
+
+StatusOr<UpdateStats> Solver::UpdateFacts(
+    const std::vector<std::string>& asserts,
+    const std::vector<std::string>& retracts) {
+  AFP_ASSIGN_OR_RETURN(std::vector<AtomId> assert_ids,
+                       ResolveFactBatch(ground_, asserts, "assert"));
+  AFP_ASSIGN_OR_RETURN(std::vector<AtomId> retract_ids,
+                       ResolveFactBatch(ground_, retracts, "retract"));
+  return UpdateFactsById(assert_ids, retract_ids);
+}
+
+UpdateStats Solver::UpdateFactsById(std::span<const AtomId> asserts,
+                                    std::span<const AtomId> retracts) {
   EnsureGraph();
   const std::vector<std::uint32_t>& comp_of = graph_->component_of();
   UpdateStats up;
   std::vector<AtomId> touched;
-  for (AtomId id : ids) {
-    if (add) {
-      if (!ground_.AddFact(id)) continue;
-      comp_rules_[comp_of[id]].push_back(
-          static_cast<std::uint32_t>(ground_.num_rules() - 1));
-      touched.push_back(id);
-    } else {
-      GroundProgram::FactRemoval rem = ground_.RemoveFact(id);
-      if (!rem.removed) continue;
-      // Buckets are kept sorted (matching a fresh bucketing), so both
-      // patches are binary searches: erase the fact rule's id, and slide
-      // the moved (previously last) rule's id down to its new slot.
-      std::vector<std::uint32_t>& bucket = comp_rules_[comp_of[id]];
-      bucket.erase(
-          std::lower_bound(bucket.begin(), bucket.end(), rem.erased_rule));
-      if (rem.moved_rule != rem.erased_rule) {
-        const AtomId moved_head = ground_.rule(rem.erased_rule).head;
-        std::vector<std::uint32_t>& mb = comp_rules_[comp_of[moved_head]];
-        auto old_it = std::lower_bound(mb.begin(), mb.end(), rem.moved_rule);
-        auto new_it =
-            std::lower_bound(mb.begin(), old_it, rem.erased_rule);
-        std::rotate(new_it, old_it, old_it + 1);
-        *new_it = rem.erased_rule;
-      }
-      touched.push_back(id);
+  // Retracts first so an atom appearing in both lists ends up asserted.
+  for (AtomId id : retracts) {
+    GroundProgram::FactRemoval rem = ground_.RemoveFact(id);
+    if (!rem.removed) continue;
+    // Buckets are kept sorted (matching a fresh bucketing), so both
+    // patches are binary searches: erase the fact rule's id, and slide
+    // the moved (previously last) rule's id down to its new slot.
+    std::vector<std::uint32_t>& bucket = comp_rules_[comp_of[id]];
+    bucket.erase(
+        std::lower_bound(bucket.begin(), bucket.end(), rem.erased_rule));
+    if (rem.moved_rule != rem.erased_rule) {
+      const AtomId moved_head = ground_.rule(rem.erased_rule).head;
+      std::vector<std::uint32_t>& mb = comp_rules_[comp_of[moved_head]];
+      auto old_it = std::lower_bound(mb.begin(), mb.end(), rem.moved_rule);
+      auto new_it = std::lower_bound(mb.begin(), old_it, rem.erased_rule);
+      std::rotate(new_it, old_it, old_it + 1);
+      *new_it = rem.erased_rule;
     }
+    touched.push_back(id);
+  }
+  for (AtomId id : asserts) {
+    if (!ground_.AddFact(id)) continue;
+    comp_rules_[comp_of[id]].push_back(
+        static_cast<std::uint32_t>(ground_.num_rules() - 1));
+    touched.push_back(id);
   }
   up.facts_changed = touched.size();
   stats_.num_rules = ground_.num_rules();
@@ -284,7 +310,7 @@ StatusOr<UpdateStats> Solver::MutateFacts(
       component_iterations_.empty() ? nullptr : &component_iterations_;
   SccUpdateStats r = SccResolveDownstream(
       *ctx_, ground_.View(), *graph_, comp_rules_, SccOptionsFromSession(),
-      touched, &model_, iters);
+      touched, &model_, iters, &update_scratch_);
   up.components_downstream = r.components_downstream;
   up.components_resolved = r.components_resolved;
   up.components_skipped = r.components_skipped;
@@ -294,6 +320,42 @@ StatusOr<UpdateStats> Solver::MutateFacts(
   stats_.eval = r.eval;
   ++stats_.incremental_updates;
   return up;
+}
+
+PartialModel Solver::SnapshotModel() {
+  PartialModel copy = Solve();
+  // Warm the mutable count cache on this (the writer's) thread; readers
+  // of the copy then see const methods that are physically const.
+  copy.num_true();
+  return copy;
+}
+
+Status Solver::AdoptModel(PartialModel model) {
+  if (model.true_atoms().universe_size() != ground_.num_atoms() ||
+      model.false_atoms().universe_size() != ground_.num_atoms()) {
+    return Status::InvalidArgument(
+        "adopted model's universe size does not match the ground program");
+  }
+  if (!model.IsConsistent()) {
+    return Status::InvalidArgument(
+        "adopted model is inconsistent (true and false sets intersect)");
+  }
+  if (!Satisfies(ground_, model)) {
+    return Status::FailedPrecondition(
+        "adopted model does not satisfy the ground program's rules (was "
+        "the state saved from a different program?)");
+  }
+  model_ = std::move(model);
+  model_.num_true();  // warm the count cache (see SnapshotModel)
+  solved_ = true;
+  trace_.clear();
+  component_iterations_.clear();
+  return Status::Ok();
+}
+
+bool Solver::ValidateRuleBuckets() {
+  EnsureGraph();
+  return comp_rules_ == ComponentRuleBuckets(ground_.View(), *graph_);
 }
 
 }  // namespace afp

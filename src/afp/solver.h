@@ -24,6 +24,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -221,6 +222,57 @@ class Solver {
   StatusOr<UpdateStats> AssertFact(const std::string& atom);
   StatusOr<UpdateStats> RetractFact(const std::string& atom);
 
+  /// Applies one coalesced update batch — retracts first, then asserts —
+  /// and repairs the model with ONE incremental re-solve over the union
+  /// change frontier. Equivalent to RetractFacts(retracts) followed by
+  /// AssertFacts(asserts), except the repair runs once over the union of
+  /// touched atoms instead of once per call (the serving writer's drain
+  /// entry point; an atom appearing in both lists ends up asserted).
+  /// Resolution is atomic like AssertFacts: any unknown atom fails the
+  /// whole call before any mutation.
+  StatusOr<UpdateStats> UpdateFacts(const std::vector<std::string>& asserts,
+                                    const std::vector<std::string>& retracts);
+
+  /// As UpdateFacts over pre-resolved atom ids (every id must come from
+  /// ResolveAtom against this session's ground program — no validation,
+  /// no parsing). ServingSolver resolves texts on the caller thread and
+  /// hands ids to its writer thread through this entry.
+  UpdateStats UpdateFactsById(std::span<const AtomId> asserts,
+                              std::span<const AtomId> retracts);
+
+  /// --- Snapshot export / warm restart (the serving layer) -----------
+
+  /// Deep copy of the current model (solves on demand) with the
+  /// true/false counts pre-warmed, so readers of the returned copy never
+  /// touch PartialModel's mutable count cache concurrently.
+  PartialModel SnapshotModel();
+
+  /// Installs `model` as the session's current model without solving —
+  /// the warm-restart path under ServingSolver::RestoreState. Fails
+  /// InvalidArgument when the universe size mismatches the ground program
+  /// or the true/false sets intersect, FailedPrecondition when the model
+  /// does not satisfy the program's rules (Definition 3.5 — a necessary
+  /// condition for being the well-founded model; restoring state saved
+  /// from a different program typically fails here). On success the
+  /// session behaves as after Solve(); the trace and per-component
+  /// trajectories are cleared (unknown for an adopted model).
+  Status AdoptModel(PartialModel model);
+
+  /// Drops the cached model: queries fall back to the relevance path and
+  /// the next Solve() is full. Warm restart uses this to sync the EDB
+  /// fact set (UpdateFactsById applies without an interim repair on an
+  /// unsolved session) before adopting a saved model.
+  void InvalidateModel() {
+    solved_ = false;
+    trace_.clear();
+    component_iterations_.clear();
+  }
+
+  /// Testing hook: rebuilds the component rule buckets from scratch and
+  /// checks the incrementally patched ones match exactly (the AddFact /
+  /// RemoveFact bucket surgery in UpdateFactsById).
+  bool ValidateRuleBuckets();
+
   /// --- Introspection ------------------------------------------------
 
   const SolverStats& Stats() const { return stats_; }
@@ -265,6 +317,10 @@ class Solver {
   std::unique_ptr<EvalContextRegistry> registry_;
   std::unique_ptr<AtomDependencyGraph> graph_;
   std::vector<std::vector<std::uint32_t>> comp_rules_;
+  /// Persistent per-update scratch for SccResolveDownstream: keeps every
+  /// incremental repair O(downstream closure) instead of paying an
+  /// O(num_components) zero-fill floor per update (see SccUpdateScratch).
+  SccUpdateScratch update_scratch_;
   bool solved_ = false;
   PartialModel model_;
   std::vector<std::uint32_t> component_iterations_;

@@ -231,11 +231,33 @@ SccWfsResult WellFoundedScc(const GroundProgram& gp,
   return WellFoundedSccWithContext(ctx, gp, options);
 }
 
+void SccUpdateScratch::Ensure(std::size_t nc) {
+  if (in_closure_.size() != nc) {
+    // One O(num_components) fill when the condensation (re)sizes; every
+    // later update resets nothing — epoch comparison does the clearing.
+    in_closure_.assign(nc, 0);
+    std::vector<std::atomic<std::uint64_t>> fresh(nc);
+    for (auto& n : fresh) n.store(0, std::memory_order_relaxed);
+    need_ = std::move(fresh);
+    local_of_.resize(nc);
+    changed_by_comp_.assign(nc, 0);
+    epoch_ = 0;
+  }
+  ++epoch_;
+  closure_.clear();
+  seeds_.clear();
+  sub_offsets_.clear();
+  sub_targets_.clear();
+  iters_.clear();
+  resolved_.clear();
+}
+
 SccUpdateStats SccResolveDownstream(
     EvalContext& ctx, const RuleView& view, const AtomDependencyGraph& graph,
     const std::vector<std::vector<std::uint32_t>>& comp_rules,
     const SccOptions& options, std::span<const AtomId> touched_atoms,
-    PartialModel* model, std::vector<std::uint32_t>* component_iterations) {
+    PartialModel* model, std::vector<std::uint32_t>* component_iterations,
+    SccUpdateScratch* scratch) {
   SccUpdateStats out;
   const EvalStats start = ctx.stats();
   const std::size_t nc = graph.num_components();
@@ -245,26 +267,32 @@ SccUpdateStats SccResolveDownstream(
   const std::vector<std::uint32_t>& off = graph.condensation_offsets();
   const std::vector<std::uint32_t>& succ = graph.condensation_successors();
 
+  // All per-update bookkeeping lives in the caller's persistent scratch
+  // (epoch-stamped, so nothing O(num_components) is cleared per update);
+  // a caller without one pays the old allocate-and-zero floor here.
+  SccUpdateScratch local_scratch;
+  SccUpdateScratch& s = scratch ? *scratch : local_scratch;
+  s.Ensure(nc);
+  const std::uint64_t epoch = s.epoch_;
+  std::vector<std::uint32_t>& closure = s.closure_;
+
   // Static downstream closure of the touched components. Every successor
   // of a closure member is itself a member, so the closure is exactly the
   // sub-DAG the re-solve may schedule; its ascending id order is a
   // topological order.
-  std::vector<std::uint8_t> in_closure(nc, 0);
-  std::vector<std::uint8_t> seed(nc, 0);
-  std::vector<std::uint32_t> closure;
   for (AtomId a : touched_atoms) {
     const std::uint32_t c = comp_of[a];
-    seed[c] = 1;
-    if (!in_closure[c]) {
-      in_closure[c] = 1;
+    if (s.in_closure_[c] != epoch) {
+      s.in_closure_[c] = epoch;
       closure.push_back(c);
+      s.seeds_.push_back(c);
     }
   }
   for (std::size_t i = 0; i < closure.size(); ++i) {
     const std::uint32_t c = closure[i];
     for (std::uint32_t k = off[c]; k < off[c + 1]; ++k) {
-      if (!in_closure[succ[k]]) {
-        in_closure[succ[k]] = 1;
+      if (s.in_closure_[succ[k]] != epoch) {
+        s.in_closure_[succ[k]] = epoch;
         closure.push_back(succ[k]);
       }
     }
@@ -272,28 +300,40 @@ SccUpdateStats SccResolveDownstream(
   std::sort(closure.begin(), closure.end());
   out.components_downstream = closure.size();
 
+  // Change-frontier stamps: need_[c] == epoch means the frontier reaches
+  // c. Seeded by the touched components; advanced when a predecessor's
+  // re-solve changes a verdict. Relaxed atomics — in the parallel path
+  // several predecessors may flag one successor concurrently, and the
+  // scheduler's completion edge orders the flag before the successor's
+  // task; the sequential path runs the same stores single-threaded.
+  for (std::uint32_t c : s.seeds_) {
+    s.need_[c].store(epoch, std::memory_order_relaxed);
+  }
+
   if (options.num_threads > 1 && closure.size() > 1) {
     // Parallel path: the induced sub-DAG through the wavefront scheduler.
     const std::size_t num_workers =
         std::min({static_cast<std::size_t>(options.num_threads),
                   closure.size(), std::size_t{256}});
 
-    std::vector<std::uint32_t> sub_offsets(closure.size() + 1, 0);
-    std::vector<std::uint32_t> sub_targets;
-    std::vector<std::uint32_t> local_of(nc, 0);
+    // local_of_ is read only for closure members (every successor of a
+    // member is a member), so stale entries from prior updates are never
+    // observed and the array is never cleared.
     for (std::uint32_t i = 0; i < closure.size(); ++i) {
-      local_of[closure[i]] = i;
+      s.local_of_[closure[i]] = i;
     }
+    s.sub_offsets_.assign(1, 0);
     for (std::uint32_t i = 0; i < closure.size(); ++i) {
       const std::uint32_t c = closure[i];
       for (std::uint32_t k = off[c]; k < off[c + 1]; ++k) {
-        sub_targets.push_back(local_of[succ[k]]);
+        s.sub_targets_.push_back(s.local_of_[succ[k]]);
       }
-      sub_offsets[i + 1] = static_cast<std::uint32_t>(sub_targets.size());
+      s.sub_offsets_.push_back(
+          static_cast<std::uint32_t>(s.sub_targets_.size()));
     }
     // In-degrees recounted from the sub-CSR (predecessors outside the
     // closure have already published and must not be waited for).
-    DagView dag{closure.size(), &sub_offsets, &sub_targets, nullptr};
+    DagView dag{closure.size(), &s.sub_offsets_, &s.sub_targets_, nullptr};
 
     EvalContextRegistry private_registry;
     EvalContextRegistry& registry =
@@ -312,31 +352,22 @@ SccUpdateStats SccResolveDownstream(
 
     AtomicGlobalModel agm(view.num_atoms);
     agm.ImportFrom(model->true_atoms(), model->false_atoms());
-    std::vector<std::uint8_t> changed_by_comp(nc, 0);
-    DiffAtomicGlobalModel gm{&agm, &comp_of, &changed_by_comp};
-    // Change-frontier flags: several predecessors may flag one successor
-    // concurrently, hence atomics; the scheduler's completion edge makes
-    // the flags visible before the successor's task runs.
-    std::vector<std::atomic<std::uint8_t>> need(nc);
-    for (auto& n : need) n.store(0, std::memory_order_relaxed);
-    for (std::uint32_t c = 0; c < nc; ++c) {
-      if (seed[c]) need[c].store(1, std::memory_order_relaxed);
-    }
-    std::vector<std::uint8_t> resolved(closure.size(), 0);
-    std::vector<std::uint32_t> iters(closure.size(), 0);
+    DiffAtomicGlobalModel gm{&agm, &comp_of, &s.changed_by_comp_};
+    s.resolved_.assign(closure.size(), 0);
+    s.iters_.assign(closure.size(), 0);
 
     SchedulerOptions sched_opts;
     sched_opts.num_threads = static_cast<int>(num_workers);
     RunWavefront(dag, sched_opts, [&](std::uint32_t ci,
                                       std::uint32_t worker) {
       const std::uint32_t c = closure[ci];
-      if (!need[c].load(std::memory_order_relaxed)) return;
+      if (s.need_[c].load(std::memory_order_relaxed) != epoch) return;
       ComponentSolver::Outcome o = solvers[worker]->Solve(c, gm);
-      resolved[ci] = 1;
-      iters[ci] = o.iterations;
-      if (changed_by_comp[c]) {
+      s.resolved_[ci] = 1;
+      s.iters_[ci] = o.iterations;
+      if (s.changed_by_comp_[c]) {
         for (std::uint32_t k = off[c]; k < off[c + 1]; ++k) {
-          need[succ[k]].store(1, std::memory_order_relaxed);
+          s.need_[succ[k]].store(epoch, std::memory_order_relaxed);
         }
       }
     });
@@ -346,11 +377,11 @@ SccUpdateStats SccResolveDownstream(
       ctx.stats().Accumulate(registry.ForWorker(w).stats().Since(starts[w]));
     }
     for (std::uint32_t i = 0; i < closure.size(); ++i) {
-      if (!resolved[i]) continue;
+      if (!s.resolved_[i]) continue;
       ++out.components_resolved;
-      out.model_changed |= changed_by_comp[closure[i]] != 0;
+      out.model_changed |= s.changed_by_comp_[closure[i]] != 0;
       if (component_iterations) {
-        (*component_iterations)[closure[i]] = iters[i];
+        (*component_iterations)[closure[i]] = s.iters_[i];
       }
     }
     out.components_skipped = closure.size() - out.components_resolved;
@@ -363,10 +394,9 @@ SccUpdateStats SccResolveDownstream(
   // order, advancing the change frontier inline.
   DiffSequentialGlobalModel gm{&model->true_atoms(), &model->false_atoms(),
                                false};
-  std::vector<std::uint8_t> need = std::move(seed);
   ComponentSolver solver(ctx, options, view, graph, comp_rules);
   for (std::uint32_t c : closure) {
-    if (!need[c]) {
+    if (s.need_[c].load(std::memory_order_relaxed) != epoch) {
       ++out.components_skipped;
       continue;
     }
@@ -376,7 +406,7 @@ SccUpdateStats SccResolveDownstream(
     if (gm.changed) {
       out.model_changed = true;
       for (std::uint32_t k = off[c]; k < off[c + 1]; ++k) {
-        need[succ[k]] = 1;
+        s.need_[succ[k]].store(epoch, std::memory_order_relaxed);
       }
     }
   }

@@ -1,6 +1,7 @@
 #ifndef AFP_CORE_SCC_ENGINE_H_
 #define AFP_CORE_SCC_ENGINE_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <span>
@@ -147,6 +148,60 @@ struct SccUpdateStats {
   EvalStats eval;
 };
 
+/// Caller-owned persistent scratch for SccResolveDownstream. Without it,
+/// every update would allocate and zero-fill five O(num_components)
+/// working arrays (closure membership, change-frontier flags, sub-DAG
+/// remap, per-component change bits) — a memset floor that dominates
+/// small updates once the condensation reaches ~100k components. The
+/// scratch keeps those arrays alive across updates and replaces the
+/// clears with a per-update epoch: an entry is "set for this update" iff
+/// its stamp equals the current epoch, so per-update cost is
+/// O(downstream closure), independent of num_components after the first
+/// use. One scratch serves one (graph, session) at a time; a Solver owns
+/// one for its cached condensation. Passing null to SccResolveDownstream
+/// falls back to a call-local scratch (the old per-update floor — kept as
+/// the ablation baseline measured by bench_ablation's scratch axis).
+class SccUpdateScratch {
+ public:
+  SccUpdateScratch() = default;
+  SccUpdateScratch(SccUpdateScratch&&) = default;
+  SccUpdateScratch& operator=(SccUpdateScratch&&) = default;
+  SccUpdateScratch(const SccUpdateScratch&) = delete;
+  SccUpdateScratch& operator=(const SccUpdateScratch&) = delete;
+
+ private:
+  friend SccUpdateStats SccResolveDownstream(
+      EvalContext& ctx, const RuleView& view,
+      const AtomDependencyGraph& graph,
+      const std::vector<std::vector<std::uint32_t>>& comp_rules,
+      const SccOptions& options, std::span<const AtomId> touched_atoms,
+      PartialModel* model, std::vector<std::uint32_t>* component_iterations,
+      SccUpdateScratch* scratch);
+
+  /// (Re)sizes the stamp arrays to `nc` components; zero-fills only when
+  /// the component count changed (epoch 0 never matches a live epoch).
+  void Ensure(std::size_t nc);
+
+  std::uint64_t epoch_ = 0;
+  /// stamp == epoch_ → component is in this update's downstream closure.
+  std::vector<std::uint64_t> in_closure_;
+  /// stamp == epoch_ → the change frontier reaches this component (seeded
+  /// by the touched components, advanced by changed predecessors).
+  /// Atomic because several parallel predecessors may flag one successor;
+  /// the sequential path uses the same array with relaxed ops.
+  std::vector<std::atomic<std::uint64_t>> need_;
+  /// Closure-local index of a component; read only for closure members,
+  /// so it needs no clearing at all.
+  std::vector<std::uint32_t> local_of_;
+  /// Whether the last publish of this component changed a verdict;
+  /// written by Publish before every read, so stale bytes are harmless.
+  std::vector<std::uint8_t> changed_by_comp_;
+  /// O(closure)-sized per-update vectors, pooled for capacity reuse.
+  std::vector<std::uint32_t> closure_, seeds_, sub_offsets_, sub_targets_,
+      iters_;
+  std::vector<std::uint8_t> resolved_;
+};
+
 /// Incrementally repairs a previously computed well-founded model after an
 /// EDB fact mutation (GroundProgram::AddFact / RemoveFact), re-running
 /// only components condensation-downstream of `touched_atoms`:
@@ -172,11 +227,17 @@ struct SccUpdateStats {
 /// been patched for the added/removed fact rules).
 /// `component_iterations`, when non-null, must be sized to
 /// graph.num_components() and is updated for re-solved components.
+/// `scratch`, when non-null, must be dedicated to this graph/session and
+/// makes the per-update bookkeeping O(downstream closure) instead of
+/// O(num_components) (see SccUpdateScratch); null allocates call-local
+/// scratch with the old per-update floor. Results are bit-identical
+/// either way.
 SccUpdateStats SccResolveDownstream(
     EvalContext& ctx, const RuleView& view, const AtomDependencyGraph& graph,
     const std::vector<std::vector<std::uint32_t>>& comp_rules,
     const SccOptions& options, std::span<const AtomId> touched_atoms,
-    PartialModel* model, std::vector<std::uint32_t>* component_iterations);
+    PartialModel* model, std::vector<std::uint32_t>* component_iterations,
+    SccUpdateScratch* scratch = nullptr);
 
 }  // namespace afp
 

@@ -22,6 +22,15 @@ bool GroundProgram::AddRule(AtomId head, std::span<const AtomId> pos,
   r.neg_len = static_cast<std::uint32_t>(neg.size());
   body_pool_.insert(body_pool_.end(), neg.begin(), neg.end());
   rules_.push_back(r);
+  // A lazily built fact index must track every fact rule appended after it
+  // exists, whichever entry point appends it — AddRule with an empty body
+  // IS AddFact's mutation, and leaving the index stale here made HasFact
+  // lie after a post-seal AddRule. emplace keeps the first rule id when a
+  // duplicate fact is force-appended, matching EnsureFactIndex's scan.
+  if (fact_index_built_ && pos.empty() && neg.empty()) {
+    fact_index_.emplace(r.head,
+                        static_cast<std::uint32_t>(rules_.size() - 1));
+  }
   return true;
 }
 
@@ -43,8 +52,7 @@ bool GroundProgram::AddFact(AtomId atom) {
   assert(sealed_ && "EDB mutation requires a sealed program");
   EnsureFactIndex();
   if (fact_index_.count(atom) > 0) return false;
-  AddRule(atom, {}, {}, /*dedupe=*/false);
-  fact_index_.emplace(atom, static_cast<std::uint32_t>(rules_.size() - 1));
+  AddRule(atom, {}, {}, /*dedupe=*/false);  // maintains the built index
   return true;
 }
 

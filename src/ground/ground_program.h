@@ -63,6 +63,10 @@ class GroundProgram {
   /// Appends a ground rule. When `dedupe` is true, structurally identical
   /// rules are silently skipped. Returns true if the rule was added.
   /// After SealRules(), duplicate suppression is no longer available.
+  /// Post-seal, an empty-body AddRule is an EDB fact append and keeps the
+  /// lazily built fact index (HasFact/RemoveFact) current, exactly as
+  /// AddFact does — but without AddFact's already-present short-circuit,
+  /// so prefer AddFact for fact mutation.
   bool AddRule(AtomId head, std::span<const AtomId> pos,
                std::span<const AtomId> neg, bool dedupe = true);
 

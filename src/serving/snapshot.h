@@ -1,0 +1,40 @@
+#ifndef AFP_SERVING_SNAPSHOT_H_
+#define AFP_SERVING_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "afp/solver.h"
+#include "core/interpretation.h"
+
+namespace afp::serving {
+
+/// An immutable, version-stamped view of the well-founded model — the unit
+/// of publication between the serving writer and its readers. A reader
+/// grabs the current snapshot once (one atomic shared_ptr load), then runs
+/// any number of lookups against it; the model it sees is complete and
+/// internally consistent at that version no matter how many repairs the
+/// writer publishes meanwhile. A snapshot is destroyed when its last
+/// reader drops it (shared_ptr refcount), so repairs never wait for — or
+/// invalidate — in-flight reads.
+struct ModelSnapshot {
+  /// Monotonically increasing publication stamp; 0 is the initial full
+  /// solve, each completed repair pass publishes version + 1.
+  std::uint64_t version = 0;
+  /// The well-founded model at this version. The publisher pre-warms the
+  /// num_true/num_false count cache, so every method readers touch is
+  /// physically const (see the PartialModel thread-safety note).
+  PartialModel model;
+  /// Receipt of the repair pass that produced this snapshot (default for
+  /// version 0 and restored snapshots).
+  UpdateStats last_update;
+  /// Cumulative EDB mutations (queue ops) folded into this snapshot.
+  std::uint64_t updates_applied = 0;
+};
+
+/// How readers hold a snapshot. const: a snapshot is frozen at publication.
+using SnapshotPtr = std::shared_ptr<const ModelSnapshot>;
+
+}  // namespace afp::serving
+
+#endif  // AFP_SERVING_SNAPSHOT_H_

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/interpretation.h"
 #include "workload/graphs.h"
 #include "workload/programs.h"
 
@@ -166,6 +167,30 @@ TEST(Grounder, TotalSizeAccounting) {
   GroundProgram gp = MustGround(p, opts);
   // 2 rules + body atoms (q, r) = 4.
   EXPECT_EQ(gp.TotalSize(), 4u);
+}
+
+TEST(Grounder, PostSealAddRuleMaintainsFactIndex) {
+  // Regression: AddRule is public, and calling it on a sealed program with
+  // an empty body is an EDB fact append by another name. The lazily built
+  // fact index used to be maintained only by AddFact, so this sequence
+  // made HasFact report a fact the rule vector plainly contained.
+  auto parsed = ParseProgram("p :- q. q.");
+  ASSERT_TRUE(parsed.ok());
+  Program p = std::move(parsed).value();
+  GroundProgram gp = MustGround(p);
+  const AtomId q = *ResolveAtom(gp, "q");
+  const AtomId pa = *ResolveAtom(gp, "p");
+  ASSERT_TRUE(gp.HasFact(q));    // builds the index
+  ASSERT_FALSE(gp.HasFact(pa));  // p is derived, not a fact — yet
+  ASSERT_TRUE(gp.AddRule(pa, {}, {}));
+  EXPECT_TRUE(gp.HasFact(pa)) << "post-seal AddRule left fact_index_ stale";
+  // The appended fact is fully wired in: RemoveFact finds and erases it.
+  GroundProgram::FactRemoval rem = gp.RemoveFact(pa);
+  EXPECT_TRUE(rem.removed);
+  EXPECT_FALSE(gp.HasFact(pa));
+  // Non-fact post-seal rules leave the index alone.
+  ASSERT_TRUE(gp.AddRule(pa, std::vector<AtomId>{q}, {}));
+  EXPECT_FALSE(gp.HasFact(pa));
 }
 
 }  // namespace

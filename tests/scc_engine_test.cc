@@ -4,6 +4,8 @@
 
 #include "core/scc_engine.h"
 
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
 #include "analysis/atom_graph.h"
@@ -294,6 +296,89 @@ TEST(SccEngineParallel, RegistryStaysWarmAcrossRuns) {
   EXPECT_EQ(registry.size(), 4u);
   // The registry did real work and its counters aggregated it.
   EXPECT_GT(registry.AggregateStats().sp_calls, 0u);
+}
+
+/// Mirrors Solver::UpdateFactsById's sorted-bucket surgery so the direct
+/// SccResolveDownstream tests below can toggle EDB facts.
+void ToggleFactAndPatchBuckets(
+    GroundProgram& gp, const AtomDependencyGraph& graph,
+    std::vector<std::vector<std::uint32_t>>& buckets, AtomId id) {
+  const auto& comp_of = graph.component_of();
+  if (!gp.HasFact(id)) {
+    ASSERT_TRUE(gp.AddFact(id));
+    buckets[comp_of[id]].push_back(
+        static_cast<std::uint32_t>(gp.num_rules() - 1));
+    return;
+  }
+  GroundProgram::FactRemoval rem = gp.RemoveFact(id);
+  ASSERT_TRUE(rem.removed);
+  std::vector<std::uint32_t>& bucket = buckets[comp_of[id]];
+  bucket.erase(
+      std::lower_bound(bucket.begin(), bucket.end(), rem.erased_rule));
+  if (rem.moved_rule != rem.erased_rule) {
+    const AtomId moved_head = gp.rule(rem.erased_rule).head;
+    std::vector<std::uint32_t>& mb = buckets[comp_of[moved_head]];
+    auto old_it = std::lower_bound(mb.begin(), mb.end(), rem.moved_rule);
+    auto new_it = std::lower_bound(mb.begin(), old_it, rem.erased_rule);
+    std::rotate(new_it, old_it, old_it + 1);
+    *new_it = rem.erased_rule;
+  }
+}
+
+/// One scratch object shared across a long toggle sequence must leave the
+/// repaired model — and trajectory — bit-identical to (a) the same repair
+/// with call-local scratch and (b) a from-scratch solve, on both the
+/// sequential and the parallel path. This pins the epoch-stamp rewrite of
+/// SccResolveDownstream's per-update bookkeeping.
+TEST(SccEngine, UpdateScratchSharedAcrossUpdatesBitIdentical) {
+  struct Rng {
+    std::uint64_t state;
+    std::uint64_t Next() {
+      state ^= state << 13;
+      state ^= state >> 7;
+      state ^= state << 17;
+      return state;
+    }
+    std::size_t Below(std::size_t n) { return Next() % n; }
+  };
+  for (int threads : {1, 3}) {
+    Program p = workload::RandomPropositional(30, 60, 3, 50, 7);
+    GroundProgram gp = MustGround(p, GroundMode::kFull);
+    AtomDependencyGraph graph(gp.View());
+    auto buckets = ComponentRuleBuckets(gp.View(), graph);
+    EvalContext ctx;
+    SccOptions opts;
+    opts.num_threads = threads;
+    SccWfsResult base =
+        WellFoundedSccOnGraph(ctx, gp.View(), graph, buckets, opts);
+    PartialModel with_scratch = base.model;
+    PartialModel call_local = base.model;
+    std::vector<std::uint32_t> iters_shared = base.component_iterations;
+    std::vector<std::uint32_t> iters_local = base.component_iterations;
+    SccUpdateScratch scratch;
+    Rng rng{0x9e3779b97f4a7c15ull + static_cast<std::uint64_t>(threads)};
+    for (int step = 0; step < 24; ++step) {
+      const AtomId id = static_cast<AtomId>(rng.Below(gp.num_atoms()));
+      ToggleFactAndPatchBuckets(gp, graph, buckets, id);
+      if (HasFatalFailure()) return;
+      const AtomId touched[] = {id};
+      SccResolveDownstream(ctx, gp.View(), graph, buckets, opts, touched,
+                           &with_scratch, &iters_shared, &scratch);
+      SccResolveDownstream(ctx, gp.View(), graph, buckets, opts, touched,
+                           &call_local, &iters_local, nullptr);
+      EXPECT_EQ(with_scratch, call_local)
+          << "threads " << threads << " step " << step;
+      EXPECT_EQ(iters_shared, iters_local)
+          << "threads " << threads << " step " << step;
+      SccWfsResult fresh =
+          WellFoundedSccOnGraph(ctx, gp.View(), graph, buckets, opts);
+      EXPECT_EQ(with_scratch, fresh.model)
+          << "threads " << threads << " step " << step;
+      EXPECT_EQ(iters_shared, fresh.component_iterations)
+          << "threads " << threads << " step " << step;
+      if (HasFatalFailure()) return;
+    }
+  }
 }
 
 TEST(SccEngineParallel, SchedulerStatsExposeWideAntichain) {

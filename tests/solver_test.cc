@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
@@ -509,6 +510,135 @@ TEST(SolverIncremental, MutationBeforeFirstSolveFoldsIntoIt) {
   ASSERT_TRUE(reference.RemoveFact(*id).removed);
   EXPECT_EQ(solver.Solve(), WellFoundedScc(reference).model);
   EXPECT_EQ(solver.Stats().full_solves, 1u);
+}
+
+TEST(SolverIncremental, SameBucketSwapRemoveTakesRotatePath) {
+  // Retracting "a." here swap-moves the LAST rule ("b :- a.") into the
+  // erased slot — and both rules live in the SAME component bucket (the
+  // {a,b} positive cycle), so the patch must rotate the moved id down
+  // within one vector rather than erase from one bucket and insert into
+  // another. This is the std::rotate arm of UpdateFactsById.
+  constexpr const char* kText = "a. a :- b. b :- a. c :- not a.";
+  auto ref_program = ParseProgram(kText);
+  auto solver_program = ParseProgram(kText);
+  ASSERT_TRUE(ref_program.ok() && solver_program.ok());
+  GroundProgram reference = MustGround(*ref_program, GroundMode::kFull);
+  SolverOptions o;
+  o.engine = SolverEngine::kScc;
+  o.ground.mode = GroundMode::kFull;
+  Solver solver = MustCreate(std::move(solver_program).value(), o);
+  solver.Solve();
+  ASSERT_TRUE(solver.ValidateRuleBuckets());
+  for (int round = 0; round < 3; ++round) {
+    auto out = solver.RetractFact("a");
+    ASSERT_TRUE(out.ok()) << out.status().ToString();
+    EXPECT_TRUE(solver.ValidateRuleBuckets()) << "round " << round;
+    ASSERT_TRUE(reference.RemoveFact(*ResolveAtom(reference, "a")).removed);
+    EXPECT_EQ(solver.model(), WellFoundedScc(reference).model)
+        << "round " << round;
+    auto back = solver.AssertFact("a");
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_TRUE(solver.ValidateRuleBuckets()) << "round " << round;
+    ASSERT_TRUE(reference.AddFact(*ResolveAtom(reference, "a")));
+    EXPECT_EQ(solver.model(), WellFoundedScc(reference).model)
+        << "round " << round;
+  }
+}
+
+TEST(SolverIncremental, InterleavedBatchesKeepBucketsAndMatchFromScratch) {
+  // Fuzz the bucket surgery: random coalesced batches (UpdateFacts with
+  // both lists populated) against a freshly rebuilt ComponentRuleBuckets
+  // after every step, plus the usual from-scratch model differential.
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    Program p = workload::RandomPropositional(16, 40, 3, 60, seed);
+    GroundProgram reference = MustGround(p, GroundMode::kFull);
+    SolverOptions o;
+    o.engine = SolverEngine::kScc;
+    o.ground.mode = GroundMode::kFull;
+    Solver solver =
+        MustCreate(workload::RandomPropositional(16, 40, 3, 60, seed), o);
+    solver.Solve();
+    Rng rng{seed * 2654435761u + 101};
+    const std::size_t n = reference.num_atoms();
+    ASSERT_GT(n, 0u);
+    for (int step = 0; step < 15; ++step) {
+      std::vector<AtomId> picked;
+      const std::size_t k = 1 + rng.Below(4);
+      while (picked.size() < k) {
+        const AtomId id = static_cast<AtomId>(rng.Below(n));
+        if (std::find(picked.begin(), picked.end(), id) == picked.end()) {
+          picked.push_back(id);
+        }
+      }
+      std::vector<std::string> asserts, retracts;
+      for (AtomId id : picked) {
+        if (reference.HasFact(id)) {
+          retracts.push_back(reference.AtomName(id));
+          ASSERT_TRUE(reference.RemoveFact(id).removed);
+        } else {
+          asserts.push_back(reference.AtomName(id));
+          ASSERT_TRUE(reference.AddFact(id));
+        }
+      }
+      auto up = solver.UpdateFacts(asserts, retracts);
+      ASSERT_TRUE(up.ok()) << "seed " << seed << " step " << step << ": "
+                           << up.status().ToString();
+      EXPECT_EQ(up->facts_changed, picked.size())
+          << "seed " << seed << " step " << step;
+      ASSERT_TRUE(solver.ValidateRuleBuckets())
+          << "seed " << seed << " step " << step;
+      SccWfsResult fresh = WellFoundedScc(reference);
+      EXPECT_EQ(solver.model(), fresh.model)
+          << "seed " << seed << " step " << step;
+      EXPECT_EQ(solver.component_iterations(), fresh.component_iterations)
+          << "seed " << seed << " step " << step;
+      if (HasFatalFailure()) return;
+    }
+  }
+}
+
+TEST(SolverIncremental, UpdateFactsCoalescesRetractThenAssert) {
+  SolverOptions o;
+  o.engine = SolverEngine::kScc;
+  auto solver = Solver::FromText("p :- e, not q. q :- f. e. f.", o);
+  ASSERT_TRUE(solver.ok()) << solver.status().ToString();
+  solver->Solve();
+  EXPECT_EQ(*solver->Query("p"), TruthValue::kFalse);
+  // One batch, one repair: retract f, assert nothing new for e.
+  auto up = solver->UpdateFacts(/*asserts=*/{}, /*retracts=*/{"f"});
+  ASSERT_TRUE(up.ok());
+  EXPECT_EQ(up->facts_changed, 1u);
+  EXPECT_EQ(*solver->Query("p"), TruthValue::kTrue);
+  EXPECT_EQ(*solver->Query("q"), TruthValue::kFalse);
+  // An atom in both lists ends up asserted (retracts apply first).
+  up = solver->UpdateFacts(/*asserts=*/{"f"}, /*retracts=*/{"f"});
+  ASSERT_TRUE(up.ok());
+  EXPECT_EQ(*solver->Query("q"), TruthValue::kTrue);
+  EXPECT_TRUE(solver->ValidateRuleBuckets());
+}
+
+TEST(Solver, AdoptModelValidatesAndRestoresQueryPath) {
+  SolverOptions o;
+  o.engine = SolverEngine::kScc;
+  auto a = Solver::FromText("p :- not q. q :- e. e.", o);
+  auto b = Solver::FromText("p :- not q. q :- e. e.", o);
+  ASSERT_TRUE(a.ok() && b.ok());
+  PartialModel snap = a->SnapshotModel();
+  ASSERT_TRUE(b->AdoptModel(snap).ok());
+  EXPECT_TRUE(b->solved());
+  EXPECT_EQ(b->model(), a->model());
+  EXPECT_EQ(*b->Query("q"), TruthValue::kTrue);
+  // Adopted sessions keep repairing incrementally.
+  ASSERT_TRUE(b->RetractFact("e").ok());
+  EXPECT_EQ(*b->Query("p"), TruthValue::kTrue);
+  // Universe mismatch and non-models are rejected.
+  auto c = Solver::FromText("x :- not y. y.", o);
+  ASSERT_TRUE(c.ok());
+  EXPECT_FALSE(c->AdoptModel(snap).ok());
+  PartialModel junk = PartialModel::AllUndefined(a->ground().num_atoms());
+  junk.true_atoms().Set(0);
+  junk.false_atoms().Set(0);
+  EXPECT_FALSE(a->AdoptModel(junk).ok());
 }
 
 }  // namespace

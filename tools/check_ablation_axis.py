@@ -25,7 +25,13 @@ regresses:
     (ratio > 1x) and by at least MIN_INCREMENTAL_RATIO (5x) on the
     flagship INCREMENTAL_FLAGSHIP row. These ratios are wall-clock but
     single-threaded with two-orders-of-magnitude margins, so they are
-    safe on noisy or small CI machines.
+    safe on noisy or small CI machines;
+  * the scratch axis (SccResolveDownstream with a persistent
+    epoch-stamped SccUpdateScratch vs the old per-update
+    allocate-and-zero-O(num_components) floor) must keep the persistent
+    side faster on every row (ratio > 1x) and by MIN_SCRATCH_RATIO (2x)
+    on the many-component SCRATCH_FLAGSHIP chain — the receipt that
+    per-update allocation no longer scales with the component count.
 
 The rescan gates are counters, not wall-clock: deterministic for a fixed
 workload, so safe on noisy CI machines. The thread gates are necessarily
@@ -56,6 +62,13 @@ MIN_THREAD_SPEEDUP = 2.0
 # must re-solve at least 5x faster than the from-scratch baseline.
 INCREMENTAL_FLAGSHIP = "WinMove/4096"
 MIN_INCREMENTAL_RATIO = 5.0
+# The scratch-floor flagship: with ~65k singleton components and a
+# two-component downstream closure, the persistent epoch-stamped
+# SccUpdateScratch must beat the call-local allocate-and-zero baseline by
+# at least 2x (measured ~5x even in debug builds; single-threaded
+# wall-clock with a wide margin, like the incremental gate).
+SCRATCH_FLAGSHIP = "ChainWinMove/32768"
+MIN_SCRATCH_RATIO = 2.0
 
 
 def check_thread_row(row, failures, lines):
@@ -104,9 +117,11 @@ def main() -> int:
     seen_flagships = set()
     seen_thread_workloads = set()
     seen_incremental_workloads = set()
+    seen_scratch_workloads = set()
     ratios = []
     thread_lines = []
     incremental_lines = []
+    scratch_lines = []
     for row in rows:
         axis = row.get("axis", "sp")
         workload = row.get("workload", "?")
@@ -135,6 +150,24 @@ def main() -> int:
                     f"{label}: flagship ratio {ratio} < "
                     f"{MIN_INCREMENTAL_RATIO}")
             continue
+        if axis == "scratch":
+            seen_scratch_workloads.add(workload)
+            label = f"scratch:{workload}"
+            ratio = row.get("wall_ratio_fresh_over_persistent")
+            if ratio is None:
+                failures.append(f"{label}: no wall ratio recorded")
+                continue
+            scratch_lines.append(
+                f"  {label}: fresh/persistent wall ratio {ratio}x "
+                f"(components: {row.get('persistent', {}).get('components')})")
+            if ratio <= MIN_RATIO:
+                failures.append(
+                    f"{label}: persistent scratch no faster than per-update "
+                    f"zero-fill (ratio {ratio} <= {MIN_RATIO})")
+            if workload == SCRATCH_FLAGSHIP and ratio < MIN_SCRATCH_RATIO:
+                failures.append(
+                    f"{label}: flagship ratio {ratio} < {MIN_SCRATCH_RATIO}")
+            continue
         ratio = row.get("rescan_ratio_scratch_over_delta")
         label = f"{axis}:{workload}"
         if ratio is None:
@@ -160,6 +193,8 @@ def main() -> int:
     if INCREMENTAL_FLAGSHIP not in seen_incremental_workloads:
         failures.append(
             f"incremental:{INCREMENTAL_FLAGSHIP}: incremental row missing")
+    if SCRATCH_FLAGSHIP not in seen_scratch_workloads:
+        failures.append(f"scratch:{SCRATCH_FLAGSHIP}: scratch row missing")
 
     for label, ratio in sorted(ratios):
         print(f"  {label}: scratch/delta rescan ratio {ratio}")
@@ -167,13 +202,16 @@ def main() -> int:
         print(line)
     for line in incremental_lines:
         print(line)
+    for line in scratch_lines:
+        print(line)
     if failures:
         for f_ in failures:
             print(f"FAIL {f_}", file=sys.stderr)
         return 1
     print(f"check_ablation_axis: {len(ratios)} rescan rows + "
           f"{len(seen_thread_workloads)} thread rows + "
-          f"{len(seen_incremental_workloads)} incremental rows OK")
+          f"{len(seen_incremental_workloads)} incremental rows + "
+          f"{len(seen_scratch_workloads)} scratch rows OK")
     return 0
 
 

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Regression gate over BENCH_serving.json (see docs/BENCHMARKS.md).
+
+The serving layer exists so that readers never wait on repairs: queries
+run against an immutable published snapshot while the single writer
+coalesces queued updates and repairs off the read path. This check fails
+CI if the recorded bench report stops showing that:
+
+Structural gates (any machine):
+  * a read_only and a mixed row must exist for every reader count in
+    READER_COUNTS, each with nonzero reads and sane latency percentiles
+    (p99 >= p50 > 0);
+  * every mixed row must have applied updates through at least one
+    repair pass and published at least one snapshot — a mixed row with
+    no writer traffic is measuring nothing;
+  * coalescing must be visible: across all mixed rows, updates_applied
+    must exceed repair_passes (the writer drains bursts, not one repair
+    per enqueued op).
+
+Wall-clock gates (only when the RECORDING machine reported
+hardware_concurrency >= GATED_READERS; a 1-core container runs the
+serving layer correctly but cannot exhibit reader scaling — the rows are
+still required to exist there):
+  * read_only throughput at GATED_READERS readers must be at least
+    MIN_READ_SCALING x the 1-reader throughput;
+  * mixed-traffic batch p99 must stay within MAX_P99_RATIO x of the
+    same reader count's read_only p99 (readers do not stall behind the
+    writer's repairs).
+
+Usage: check_serving.py [path/to/BENCH_serving.json]
+Exit status: 0 when every gate passes, 1 otherwise.
+"""
+
+import json
+import sys
+
+READER_COUNTS = (1, 2, 4, 8)
+GATED_READERS = 4
+MIN_READ_SCALING = 2.0
+MAX_P99_RATIO = 3.0
+
+
+def main() -> int:
+    path = sys.argv[1] if len(sys.argv) > 1 else "bench-results/BENCH_serving.json"
+    with open(path) as f:
+        report = json.load(f)
+    rows = {(r.get("readers"), r.get("mode")): r for r in report.get("rows", [])}
+    hc = report.get("hardware_concurrency")
+    failures = []
+
+    for readers in READER_COUNTS:
+        for mode in ("read_only", "mixed"):
+            label = f"{mode}:{readers}r"
+            row = rows.get((readers, mode))
+            if row is None:
+                failures.append(f"{label}: row missing")
+                continue
+            if not row.get("reads"):
+                failures.append(f"{label}: no reads recorded")
+            p50, p99 = row.get("batch_p50_us", 0), row.get("batch_p99_us", 0)
+            if not (p99 >= p50 > 0):
+                failures.append(f"{label}: bad percentiles p50={p50} p99={p99}")
+            print(f"  {label}: {row.get('reads_per_sec', 0):.3g} reads/s, "
+                  f"p50 {p50}us, p99 {p99}us")
+            if mode == "mixed":
+                if not row.get("updates_applied") or not row.get("repair_passes"):
+                    failures.append(f"{label}: no writer traffic recorded")
+                if not row.get("snapshots_published"):
+                    failures.append(f"{label}: no snapshots published")
+
+    mixed_applied = sum(r.get("updates_applied", 0) for (_, m), r in rows.items()
+                       if m == "mixed")
+    mixed_repairs = sum(r.get("repair_passes", 0) for (_, m), r in rows.items()
+                       if m == "mixed")
+    if mixed_repairs and mixed_applied <= mixed_repairs:
+        failures.append(
+            f"coalescing invisible: {mixed_applied} updates applied in "
+            f"{mixed_repairs} repair passes")
+
+    enforce_wallclock = hc is not None and hc >= GATED_READERS
+    if not enforce_wallclock:
+        print(f"  wall-clock gates SKIPPED (recorded with "
+              f"hardware_concurrency {hc} < {GATED_READERS})")
+    else:
+        one = rows.get((1, "read_only"), {}).get("reads_per_sec")
+        many = rows.get((GATED_READERS, "read_only"), {}).get("reads_per_sec")
+        if one and many:
+            scaling = many / one
+            print(f"  read scaling 1->{GATED_READERS} readers: {scaling:.2f}x")
+            if scaling < MIN_READ_SCALING:
+                failures.append(
+                    f"read_only:{GATED_READERS}r throughput only {scaling:.2f}x "
+                    f"the 1-reader run (< {MIN_READ_SCALING}x)")
+        for readers in READER_COUNTS:
+            ro = rows.get((readers, "read_only"), {}).get("batch_p99_us")
+            mx = rows.get((readers, "mixed"), {}).get("batch_p99_us")
+            if ro and mx and mx > MAX_P99_RATIO * ro:
+                failures.append(
+                    f"mixed:{readers}r p99 {mx}us > {MAX_P99_RATIO}x "
+                    f"read_only p99 {ro}us")
+
+    if failures:
+        for f_ in failures:
+            print(f"FAIL {f_}", file=sys.stderr)
+        return 1
+    print(f"check_serving: {len(rows)} rows OK "
+          f"(wall-clock gates {'enforced' if enforce_wallclock else 'skipped'})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
