@@ -51,9 +51,28 @@ Solver::Solver(std::unique_ptr<Program> program, GroundProgram ground,
 }
 
 void Solver::EnsureGraph() {
-  if (graph_) return;
-  graph_ = std::make_unique<AtomDependencyGraph>(ground_.View());
-  comp_rules_ = ComponentRuleBuckets(ground_.View(), *graph_);
+  if (!graph_) {
+    graph_ = std::make_unique<AtomDependencyGraph>(ground_.View());
+    comp_rules_ = ComponentRuleBuckets(ground_.View(), *graph_);
+  }
+  EnsureKernels();
+}
+
+void Solver::EnsureKernels() {
+  if (options_.compile == CompileMode::kOff ||
+      options_.horn_mode != HornMode::kCounting) {
+    return;
+  }
+  // The cache borrows ground_ and comp_rules_, which are value members: a
+  // moved session leaves an existing cache pointing at the old object, so
+  // detect the relocation and rebuild (it is a cache — heat re-warms).
+  if (kernels_ && &kernels_->ground() == &ground_) return;
+  kernels_ = std::make_unique<KernelCache>(
+      ground_, *graph_, comp_rules_, options_.compile_hot_threshold,
+      ground_.mutation_epoch());
+  if (options_.compile == CompileMode::kAlways) {
+    kernels_->CompileAllEligible();
+  }
 }
 
 SccOptions Solver::SccOptionsFromSession() {
@@ -64,6 +83,7 @@ SccOptions Solver::SccOptionsFromSession() {
   o.gus_mode = options_.gus_mode;
   o.num_threads = options_.num_threads;
   o.registry = registry_.get();
+  o.kernels = kernels_.get();
   return o;
 }
 
@@ -112,9 +132,24 @@ const PartialModel& Solver::Solve() {
     }
     case SolverEngine::kScc: {
       EnsureGraph();
+      if (kernels_) {
+        // Drop everything on an unexplained program mutation, then bring
+        // the cache to run-ready state: kAlways recompiles what the drop
+        // (or a precise invalidation) left uncompiled, kHot compiles the
+        // components whose heat crossed the threshold since last run.
+        kernels_->SyncEpoch(ground_.mutation_epoch());
+        if (options_.compile == CompileMode::kAlways) {
+          kernels_->CompileAllEligible();
+        } else {
+          kernels_->CompilePending();
+        }
+      }
       SccWfsResult r = WellFoundedSccOnGraph(*ctx_, view, *graph_,
                                              comp_rules_,
                                              SccOptionsFromSession());
+      if (kernels_) {
+        r.eval.kernel_compile_ns += kernels_->TakeCompileNs();
+      }
       model_ = std::move(r.model);
       component_iterations_ = std::move(r.component_iterations);
       stats_.iterations = 0;
@@ -267,6 +302,10 @@ StatusOr<UpdateStats> Solver::UpdateFacts(
 UpdateStats Solver::UpdateFactsById(std::span<const AtomId> asserts,
                                     std::span<const AtomId> retracts) {
   EnsureGraph();
+  // Any mutation epoch this session did not itself produce means someone
+  // appended rules behind the cache's back — drop it all before touching
+  // the program further.
+  if (kernels_) kernels_->SyncEpoch(ground_.mutation_epoch());
   const std::vector<std::uint32_t>& comp_of = graph_->component_of();
   UpdateStats up;
   std::vector<AtomId> touched;
@@ -274,6 +313,10 @@ UpdateStats Solver::UpdateFactsById(std::span<const AtomId> asserts,
   for (AtomId id : retracts) {
     GroundProgram::FactRemoval rem = ground_.RemoveFact(id);
     if (!rem.removed) continue;
+    // The touched component's compiled bucket snapshots a rule set that
+    // just changed. The moved rule's component needs nothing: buckets
+    // snapshot rule content, not ids, and its content is untouched.
+    if (kernels_) kernels_->InvalidateComponent(comp_of[id]);
     // Buckets are kept sorted (matching a fresh bucketing), so both
     // patches are binary searches: erase the fact rule's id, and slide
     // the moved (previously last) rule's id down to its new slot.
@@ -294,7 +337,23 @@ UpdateStats Solver::UpdateFactsById(std::span<const AtomId> asserts,
     if (!ground_.AddFact(id)) continue;
     comp_rules_[comp_of[id]].push_back(
         static_cast<std::uint32_t>(ground_.num_rules() - 1));
+    if (kernels_) kernels_->InvalidateComponent(comp_of[id]);
     touched.push_back(id);
+  }
+  if (kernels_) {
+    // Every epoch bump above is now explained (touched components were
+    // invalidated precisely), and the cache is brought run-ready BEFORE
+    // the repair so the downstream re-solve itself runs on kernels — the
+    // serving path's steady state.
+    kernels_->AcknowledgeEpoch(ground_.mutation_epoch());
+    if (options_.compile == CompileMode::kAlways) {
+      // Only the precisely-invalidated components need recompiling: a
+      // repair touches a handful, and rescanning every component here
+      // would put an O(num_components) floor under each update.
+      kernels_->CompileInvalidated();
+    } else {
+      kernels_->CompilePending();
+    }
   }
   up.facts_changed = touched.size();
   stats_.num_rules = ground_.num_rules();
@@ -311,6 +370,9 @@ UpdateStats Solver::UpdateFactsById(std::span<const AtomId> asserts,
   SccUpdateStats r = SccResolveDownstream(
       *ctx_, ground_.View(), *graph_, comp_rules_, SccOptionsFromSession(),
       touched, &model_, iters, &update_scratch_);
+  if (kernels_) {
+    r.eval.kernel_compile_ns += kernels_->TakeCompileNs();
+  }
   up.components_downstream = r.components_downstream;
   up.components_resolved = r.components_resolved;
   up.components_skipped = r.components_skipped;
@@ -355,6 +417,10 @@ Status Solver::AdoptModel(PartialModel model) {
 
 bool Solver::ValidateRuleBuckets() {
   EnsureGraph();
+  // The validation hook doubles as a kernel-cache sync point: a caller
+  // poking the ground program directly (tests, tools) can re-validate and
+  // thereby guarantee no stale kernel survives the poke.
+  if (kernels_) kernels_->SyncEpoch(ground_.mutation_epoch());
   return comp_rules_ == ComponentRuleBuckets(ground_.View(), *graph_);
 }
 

@@ -37,6 +37,7 @@
 #include "core/horn_solver.h"
 #include "core/interpretation.h"
 #include "core/query.h"
+#include "core/rule_kernel.h"
 #include "core/scc_engine.h"
 #include "exec/scheduler.h"
 #include "ground/ground_program.h"
@@ -75,6 +76,18 @@ struct SolverOptions {
   /// Worker threads for kScc solves, incremental re-solves, and query
   /// batches. Results are identical at every thread count.
   int num_threads = 1;
+  /// Compiled-kernel staging for component-wise evaluation (kScc solves
+  /// and every incremental update, which always runs component-wise):
+  /// kOff interprets everything, kHot (default) compiles a component once
+  /// its accumulated interpreted work crosses compile_hot_threshold,
+  /// kAlways compiles every eligible component up front. Models and
+  /// per-component trajectories are bit-identical in all three modes
+  /// (pinned by the differential tests); only HornMode::kCounting
+  /// sessions compile (kNaive keeps its fully interpreted baseline).
+  CompileMode compile = CompileMode::kHot;
+  /// Heat units (inner iterations + 1 per interpreted general-path solve
+  /// of a component) before CompileMode::kHot compiles that component.
+  std::uint32_t compile_hot_threshold = 32;
   /// Grounding controls (instantiation mode, semi-naive, simplification).
   GroundOptions ground;
   /// Record the Table-I style trace on kAfp solves (costly; debugging).
@@ -304,6 +317,10 @@ class Solver {
   /// kScc engine and every incremental update share.
   void EnsureGraph();
 
+  /// Creates (or, after a session move, recreates) the compiled-kernel
+  /// cache when the session's options call for one. EnsureGraph tail.
+  void EnsureKernels();
+
   /// Applies one batch of fact mutations and repairs the model.
   StatusOr<UpdateStats> MutateFacts(const std::vector<std::string>& atoms,
                                     bool add);
@@ -317,6 +334,14 @@ class Solver {
   std::unique_ptr<EvalContextRegistry> registry_;
   std::unique_ptr<AtomDependencyGraph> graph_;
   std::vector<std::vector<std::uint32_t>> comp_rules_;
+  /// Session cache of compiled rule kernels, alongside the condensation
+  /// it is indexed by (null when options_.compile == kOff or horn_mode
+  /// != kCounting). Invalidation: UpdateFactsById invalidates exactly
+  /// the touched components and acknowledges the program's mutation
+  /// epoch; any OTHER post-seal mutation (a bare GroundProgram::AddRule)
+  /// is caught by the epoch check at every entry point and drops the
+  /// whole cache rather than ever serving a stale kernel.
+  std::unique_ptr<KernelCache> kernels_;
   /// Persistent per-update scratch for SccResolveDownstream: keeps every
   /// incremental repair O(downstream closure) instead of paying an
   /// O(num_components) zero-fill floor per update (see SccUpdateScratch).

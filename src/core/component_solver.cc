@@ -31,6 +31,7 @@ ComponentSolver::~ComponentSolver() {
   odd_.reset();
   tp_.reset();
   gus_.reset();
+  kernel_.reset();
   ctx_.ReleaseRules(std::move(local_));
   ctx_.ReleaseU32(std::move(local_id_));
   ctx_.ReleaseU32(std::move(stamp_));

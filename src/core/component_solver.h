@@ -11,6 +11,7 @@
 #include "core/eval_context.h"
 #include "core/horn_solver.h"
 #include "core/interpretation.h"
+#include "core/rule_kernel.h"
 #include "core/scc_engine.h"
 #include "ground/ground_program.h"
 #include "ground/owned_rules.h"
@@ -103,6 +104,10 @@ class ComponentSolver {
   std::optional<SpEvaluator> even_, odd_;
   std::optional<TpEvaluator> tp_;
   std::optional<GusEvaluator> gus_;
+  /// Packed-kernel executor for components SccOptions::kernels has
+  /// compiled (constructed on first compiled component, reused across the
+  /// rest — the kernel-side analogue of the evaluator pairs above).
+  std::optional<KernelEvaluator> kernel_;
 };
 
 /// GlobalModel policy over two plain bitsets — the sequential engine's
@@ -373,6 +378,21 @@ ComponentSolver::Outcome ComponentSolver::Solve(std::uint32_t c,
     Outcome fast;
     if (SolveSingleton(c, gm, &fast)) return fast;
   }
+  // Compiled components skip the whole interpreted pipeline below (remap,
+  // lowering, HornSolver CSR build, evaluator Rebind) — the bucket was
+  // lowered once at compile time and only its external literals are bound
+  // against the global model here. Bit-identical by contract
+  // (core/rule_kernel.h); pinned by the differential tests.
+  if (options_.kernels != nullptr) {
+    if (const CompiledBucket* bucket = options_.kernels->Get(c)) {
+      if (!kernel_) kernel_.emplace(ctx_, options_.inner);
+      const KernelOutcome k = kernel_->Solve(*bucket, gm);
+      Outcome out;
+      out.iterations = k.iterations;
+      out.local_size = k.local_size;
+      return out;
+    }
+  }
   for (std::uint32_t i = 0; i < members.size(); ++i) {
     local_id_[members[i]] = i;
     stamp_[members[i]] = c;
@@ -466,6 +486,11 @@ ComponentSolver::Outcome ComponentSolver::Solve(std::uint32_t c,
                         local_model.false_atoms().CapacityBytes());
   ctx_.ReleaseBitset(std::move(local_model.true_atoms()));
   ctx_.ReleaseBitset(std::move(local_model.false_atoms()));
+  // Feed the staging profiler: this component went through the full
+  // interpreted pipeline; enough of these and the session compiles it.
+  if (options_.kernels != nullptr) {
+    options_.kernels->NoteInterpretedSolve(c, out.iterations);
+  }
   return out;
 }
 

@@ -90,6 +90,17 @@ struct EvalStats {
   /// once per polarity across a monotone W_P run, so the delta total is
   /// bounded by program size while scratch pays rounds × rules).
   std::size_t gus_rules_rescanned = 0;
+  /// Component solves served by a compiled rule kernel (KernelEvaluator
+  /// over a CompiledBucket, core/rule_kernel.h) instead of the interpreted
+  /// per-component lowering. Zero on uncompiled runs.
+  std::size_t kernel_components = 0;
+  /// Inner fixpoint rounds (A_P applications or W_P rounds) run inside
+  /// compiled kernels — the kernel-side counterpart of sp_calls/gus_calls.
+  std::size_t kernel_rounds = 0;
+  /// Nanoseconds spent lowering rule buckets into compiled kernels.
+  /// Charged by the Solver session on the caller thread at compile time
+  /// (compilation never runs inside an engine's measured window).
+  std::size_t kernel_compile_ns = 0;
   /// High-water mark of scratch bytes owned by the context — pooled plus
   /// checked-out, observed at every acquire/release. Slightly approximate:
   /// growth of a buffer while checked out is seen only once it returns,
@@ -106,6 +117,9 @@ struct EvalStats {
     d.delta_atoms = delta_atoms - start.delta_atoms;
     d.gus_calls = gus_calls - start.gus_calls;
     d.gus_rules_rescanned = gus_rules_rescanned - start.gus_rules_rescanned;
+    d.kernel_components = kernel_components - start.kernel_components;
+    d.kernel_rounds = kernel_rounds - start.kernel_rounds;
+    d.kernel_compile_ns = kernel_compile_ns - start.kernel_compile_ns;
     d.peak_scratch_bytes = peak_scratch_bytes;
     return d;
   }
@@ -122,6 +136,9 @@ struct EvalStats {
     delta_atoms += o.delta_atoms;
     gus_calls += o.gus_calls;
     gus_rules_rescanned += o.gus_rules_rescanned;
+    kernel_components += o.kernel_components;
+    kernel_rounds += o.kernel_rounds;
+    kernel_compile_ns += o.kernel_compile_ns;
     peak_scratch_bytes = peak_scratch_bytes > o.peak_scratch_bytes
                              ? peak_scratch_bytes
                              : o.peak_scratch_bytes;

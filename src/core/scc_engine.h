@@ -16,6 +16,8 @@
 
 namespace afp {
 
+class KernelCache;  // core/rule_kernel.h
+
 /// Which engine solves each component's local subprogram. By Theorem 7.8
 /// both compute the same local (well-founded) model; the axis exists so the
 /// delta-driven machinery of either engine family can be exercised — and
@@ -50,6 +52,15 @@ struct SccOptions {
   /// same way passing one EvalContext does for sequential engines. Must
   /// not be used concurrently by two runs.
   EvalContextRegistry* registry = nullptr;
+  /// Optional compiled-kernel cache (core/rule_kernel.h). Null keeps every
+  /// component interpreted. When set, ComponentSolver serves components
+  /// with a compiled bucket through the packed KernelEvaluator and reports
+  /// interpreted general-path solves back as heat; the cache's buckets are
+  /// read-only during a run (all compilation happens on the owning
+  /// session's thread between runs), so workers share the pointer freely.
+  /// Results are bit-identical with and without a cache (models AND
+  /// per-component trajectories; pinned by the differential tests).
+  KernelCache* kernels = nullptr;
 };
 
 /// Result of the component-wise well-founded computation.

@@ -31,6 +31,7 @@ bool GroundProgram::AddRule(AtomId head, std::span<const AtomId> pos,
     fact_index_.emplace(r.head,
                         static_cast<std::uint32_t>(rules_.size() - 1));
   }
+  if (sealed_) ++mutation_epoch_;
   return true;
 }
 
@@ -74,6 +75,7 @@ GroundProgram::FactRemoval GroundProgram::RemoveFact(AtomId atom) {
     }
   }
   rules_.pop_back();
+  ++mutation_epoch_;
   return out;
 }
 

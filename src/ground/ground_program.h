@@ -108,6 +108,15 @@ class GroundProgram {
   /// (rule ids are otherwise stable). No-op when the fact is absent.
   FactRemoval RemoveFact(AtomId atom);
 
+  /// Monotone counter bumped by every post-seal mutation of the rule set
+  /// (AddRule, AddFact, RemoveFact). Caches derived from the rule set —
+  /// compiled rule kernels in particular (core/rule_kernel.h) — record the
+  /// epoch they were built against and treat any unexplained change as a
+  /// signal to invalidate: a rule appended through AddRule directly, with
+  /// no cache-aware caller patching things up, must never be evaluated
+  /// against a stale compiled bucket.
+  std::uint64_t mutation_epoch() const { return mutation_epoch_; }
+
   const GroundRule& rule(std::size_t i) const { return rules_[i]; }
   std::span<const AtomId> pos(const GroundRule& r) const {
     return {body_pool_.data() + r.pos_offset, r.pos_len};
@@ -157,6 +166,7 @@ class GroundProgram {
   std::vector<AtomId> body_pool_;
   std::unordered_set<RuleKey, RuleKeyHash> seen_rules_;
   bool sealed_ = false;
+  std::uint64_t mutation_epoch_ = 0;
   mutable bool fact_index_built_ = false;
   mutable std::unordered_map<AtomId, std::uint32_t> fact_index_;
 };

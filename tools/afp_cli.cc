@@ -21,6 +21,16 @@
 //                                      (default delta; scratch = ablation)
 //   --inner=afp|wp                     per-component engine for --engine=scc
 //                                      (default afp)
+//   --compile=off|hot|always           compiled rule kernels for
+//                                      component-wise evaluation
+//                                      (--engine=scc solves and every
+//                                      incremental repair): off interprets
+//                                      everything, hot (default) compiles
+//                                      components whose interpreted work
+//                                      crosses the heat threshold, always
+//                                      compiles every eligible component
+//                                      up front; models are identical in
+//                                      all three modes
 //   --threads=N                        worker threads for --engine=scc: the
 //                                      wavefront scheduler dispatches ready
 //                                      components of the condensation DAG
@@ -57,6 +67,8 @@ struct Options {
   bool gus_given = false;
   std::string inner = "afp";
   bool inner_given = false;
+  std::string compile = "hot";
+  bool compile_given = false;
   int threads = 1;
   bool threads_given = false;
   std::vector<std::string> queries;
@@ -144,6 +156,10 @@ int main(int argc, char** argv) {
       opts.inner_given = true;
       continue;
     }
+    if (ParseFlag(arg, "compile", &opts.compile)) {
+      opts.compile_given = true;
+      continue;
+    }
     if (ParseFlag(arg, "threads", &value)) {
       try {
         opts.threads = std::stoi(value);
@@ -210,6 +226,11 @@ int main(int argc, char** argv) {
     std::cerr << "afp: unknown --inner engine '" << opts.inner << "'\n";
     return 1;
   }
+  if (opts.compile != "off" && opts.compile != "hot" &&
+      opts.compile != "always") {
+    std::cerr << "afp: unknown --compile mode '" << opts.compile << "'\n";
+    return 1;
+  }
   const afp::SpMode sp_mode =
       opts.sp == "scratch" ? afp::SpMode::kScratch : afp::SpMode::kDelta;
   const afp::GusMode gus_mode =
@@ -217,6 +238,10 @@ int main(int argc, char** argv) {
   const afp::SccInnerEngine inner_engine = opts.inner == "wp"
                                                ? afp::SccInnerEngine::kWp
                                                : afp::SccInnerEngine::kAfp;
+  const afp::CompileMode compile_mode =
+      opts.compile == "off"      ? afp::CompileMode::kOff
+      : opts.compile == "always" ? afp::CompileMode::kAlways
+                                 : afp::CompileMode::kHot;
   // The S_P mode axis only exists where S_P is iterated: the wfs engines
   // afp/residual/scc and the stable search. Warn instead of silently
   // ignoring it elsewhere (e.g. an --engine=wp ablation would otherwise
@@ -242,6 +267,17 @@ int main(int argc, char** argv) {
   if (opts.inner_given && !(opts.semantics == "wfs" && opts.engine == "scc")) {
     std::cerr << "afp: note: --inner has no effect for --semantics="
               << opts.semantics << " --engine=" << opts.engine << "\n";
+  }
+  // Kernels serve component-wise evaluation: scc solves and the
+  // incremental repairs behind --assert/--retract (which run
+  // component-wise under every engine).
+  const bool compile_applies =
+      opts.semantics == "wfs" &&
+      (opts.engine == "scc" || !opts.mutations.empty());
+  if (opts.compile_given && !compile_applies) {
+    std::cerr << "afp: note: --compile has no effect for --semantics="
+              << opts.semantics << " --engine=" << opts.engine
+              << " without --assert/--retract\n";
   }
   if (opts.threads < 1) {
     std::cerr << "afp: --threads must be >= 1\n";
@@ -289,6 +325,7 @@ int main(int argc, char** argv) {
   sopts.gus_mode = gus_mode;
   sopts.inner = inner_engine;
   sopts.num_threads = opts.threads;
+  sopts.compile = compile_mode;
   sopts.record_trace = opts.trace;
   // Fitting/IFP need the rule instances whose positive bodies are
   // underivable (see GroundMode documentation).
@@ -385,6 +422,10 @@ int main(int argc, char** argv) {
                 << "\n";
       std::cout << "% GUS calls: " << eval.gus_calls
                 << "  GUS rules rescanned: " << eval.gus_rules_rescanned
+                << "\n";
+      std::cout << "% kernel components: " << eval.kernel_components
+                << "  kernel rounds: " << eval.kernel_rounds
+                << "  kernel compile ns: " << eval.kernel_compile_ns
                 << "\n";
     }
     PrintModel(gp, solver.model(), opts);

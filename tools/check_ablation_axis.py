@@ -31,7 +31,15 @@ regresses:
     allocate-and-zero-O(num_components) floor) must keep the persistent
     side faster on every row (ratio > 1x) and by MIN_SCRATCH_RATIO (2x)
     on the many-component SCRATCH_FLAGSHIP chain — the receipt that
-    per-update allocation no longer scales with the component count.
+    per-update allocation no longer scales with the component count;
+  * the compiled-kernel axis (packed CSR rule kernels,
+    SolverOptions::compile = kAlways, vs the interpreted per-solve
+    lowering) must beat interpretation on every row where kernels
+    actually served components (ratio > 1x, kernel_components > 0) and
+    by MIN_COMPILE_RATIO (1.5x) on the clustered-repair
+    COMPILE_FLAGSHIP; the COMPILE_ZERO_ENGAGEMENT chain row must exist
+    and report kernel_components == 0 — fast-path singleton workloads
+    are never routed through (or taxed by) the kernel machinery.
 
 The rescan gates are counters, not wall-clock: deterministic for a fixed
 workload, so safe on noisy CI machines. The thread gates are necessarily
@@ -69,6 +77,17 @@ MIN_INCREMENTAL_RATIO = 5.0
 # wall-clock with a wide margin, like the incremental gate).
 SCRATCH_FLAGSHIP = "ChainWinMove/32768"
 MIN_SCRATCH_RATIO = 2.0
+# The compiled-kernel axis: on every row where the compiled side actually
+# served components (kernel_components > 0), the packed kernels must beat
+# the interpreted lowering (ratio > 1x), and by MIN_COMPILE_RATIO (1.5x)
+# on the clustered-repair flagship. Rows with kernel_components == 0 are
+# the zero-engagement receipt (fast-path singleton workloads kernels must
+# never tax) — exempt from the speedup gate, but COMPILE_ZERO_ENGAGEMENT
+# must exist AND report zero, so kernels silently creeping into (or
+# vanishing from) either regime fails CI.
+COMPILE_FLAGSHIP = "WinMove/4096"
+MIN_COMPILE_RATIO = 1.5
+COMPILE_ZERO_ENGAGEMENT = "WfNodes/256"
 
 
 def check_thread_row(row, failures, lines):
@@ -118,10 +137,12 @@ def main() -> int:
     seen_thread_workloads = set()
     seen_incremental_workloads = set()
     seen_scratch_workloads = set()
+    seen_compile_workloads = set()
     ratios = []
     thread_lines = []
     incremental_lines = []
     scratch_lines = []
+    compile_lines = []
     for row in rows:
         axis = row.get("axis", "sp")
         workload = row.get("workload", "?")
@@ -168,6 +189,37 @@ def main() -> int:
                 failures.append(
                     f"{label}: flagship ratio {ratio} < {MIN_SCRATCH_RATIO}")
             continue
+        if axis == "compile":
+            seen_compile_workloads.add(workload)
+            label = f"compile:{workload}"
+            ratio = row.get("wall_ratio_interpreted_over_compiled")
+            engaged = row.get("compiled", {}).get("kernel_components")
+            if ratio is None:
+                failures.append(f"{label}: no wall ratio recorded")
+                continue
+            compile_lines.append(
+                f"  {label}: interpreted/compiled wall ratio {ratio}x"
+                f" (kernel components served: {engaged})")
+            if workload == COMPILE_ZERO_ENGAGEMENT:
+                if engaged != 0:
+                    failures.append(
+                        f"{label}: zero-engagement receipt broken — "
+                        f"fast-path singletons reported kernel_components "
+                        f"{engaged} != 0")
+                continue
+            if not engaged:
+                failures.append(
+                    f"{label}: compiled side served no components "
+                    f"(kernel_components {engaged}) — staging broke")
+                continue
+            if ratio <= MIN_RATIO:
+                failures.append(
+                    f"{label}: kernels no faster than interpreted "
+                    f"(ratio {ratio} <= {MIN_RATIO})")
+            if workload == COMPILE_FLAGSHIP and ratio < MIN_COMPILE_RATIO:
+                failures.append(
+                    f"{label}: flagship ratio {ratio} < {MIN_COMPILE_RATIO}")
+            continue
         ratio = row.get("rescan_ratio_scratch_over_delta")
         label = f"{axis}:{workload}"
         if ratio is None:
@@ -195,6 +247,11 @@ def main() -> int:
             f"incremental:{INCREMENTAL_FLAGSHIP}: incremental row missing")
     if SCRATCH_FLAGSHIP not in seen_scratch_workloads:
         failures.append(f"scratch:{SCRATCH_FLAGSHIP}: scratch row missing")
+    if COMPILE_FLAGSHIP not in seen_compile_workloads:
+        failures.append(f"compile:{COMPILE_FLAGSHIP}: compile row missing")
+    if COMPILE_ZERO_ENGAGEMENT not in seen_compile_workloads:
+        failures.append(
+            f"compile:{COMPILE_ZERO_ENGAGEMENT}: zero-engagement row missing")
 
     for label, ratio in sorted(ratios):
         print(f"  {label}: scratch/delta rescan ratio {ratio}")
@@ -204,6 +261,8 @@ def main() -> int:
         print(line)
     for line in scratch_lines:
         print(line)
+    for line in compile_lines:
+        print(line)
     if failures:
         for f_ in failures:
             print(f"FAIL {f_}", file=sys.stderr)
@@ -211,7 +270,8 @@ def main() -> int:
     print(f"check_ablation_axis: {len(ratios)} rescan rows + "
           f"{len(seen_thread_workloads)} thread rows + "
           f"{len(seen_incremental_workloads)} incremental rows + "
-          f"{len(seen_scratch_workloads)} scratch rows OK")
+          f"{len(seen_scratch_workloads)} scratch rows + "
+          f"{len(seen_compile_workloads)} compile rows OK")
     return 0
 
 
