@@ -313,6 +313,14 @@ UpdateStats Solver::UpdateFactsById(std::span<const AtomId> asserts,
   for (AtomId id : retracts) {
     GroundProgram::FactRemoval rem = ground_.RemoveFact(id);
     if (!rem.removed) continue;
+    // Keep the delta grounder's provenance index aligned with the rule-id
+    // motion, and remember the head forever: it supported instances that
+    // survive the retract, so a later (re-)initialization of the grounder
+    // must treat it as derived.
+    if (delta_grounder_) {
+      delta_grounder_->NoteFactRemoved(rem.erased_rule, rem.moved_rule);
+    }
+    retracted_ever_.push_back(id);
     // The touched component's compiled bucket snapshots a rule set that
     // just changed. The moved rule's component needs nothing: buckets
     // snapshot rule content, not ids, and its content is untouched.
@@ -335,6 +343,14 @@ UpdateStats Solver::UpdateFactsById(std::span<const AtomId> asserts,
   }
   for (AtomId id : asserts) {
     if (!ground_.AddFact(id)) continue;
+    // Queue the head for the delta grounder's derived set — folded in at
+    // the next rule op (the deferred-extension contract: asserts never
+    // extend the grounding mid-update; see docs/API.md). Before the
+    // grounder exists, Init derives the head from the fact rule itself.
+    if (delta_grounder_) {
+      delta_grounder_->NoteFactAppended();
+      pending_asserted_.push_back(id);
+    }
     comp_rules_[comp_of[id]].push_back(
         static_cast<std::uint32_t>(ground_.num_rules() - 1));
     if (kernels_) kernels_->InvalidateComponent(comp_of[id]);
@@ -382,6 +398,319 @@ UpdateStats Solver::UpdateFactsById(std::span<const AtomId> asserts,
   stats_.eval = r.eval;
   ++stats_.incremental_updates;
   return up;
+}
+
+namespace {
+
+Status RuleOpsRequireUnsimplified(const SolverOptions& options) {
+  if (!options.ground.simplify) return Status::Ok();
+  return Status::FailedPrecondition(
+      "rule mutations require GroundOptions::simplify = false (simplified "
+      "grounding erases the body structure instance provenance is keyed "
+      "on); construct the session with options.ground.simplify = false");
+}
+
+}  // namespace
+
+Status Solver::PrepareRuleMutation(IncrementalGrounder::MutationDelta* delta) {
+  AFP_RETURN_IF_ERROR(RuleOpsRequireUnsimplified(options_));
+  // The graph must describe the PRE-mutation program: the delta splice
+  // below patches it in place, and the append fast path needs the old
+  // adjacency intact to judge feasibility.
+  EnsureGraph();
+  if (kernels_) kernels_->SyncEpoch(ground_.mutation_epoch());
+  if (!delta_grounder_) {
+    delta_grounder_ = std::make_unique<IncrementalGrounder>(
+        *program_, ground_, options_.ground);
+    AFP_RETURN_IF_ERROR(delta_grounder_->Init(retracted_ever_, delta));
+  }
+  if (!pending_asserted_.empty()) {
+    std::vector<AtomId> queued = std::move(pending_asserted_);
+    pending_asserted_.clear();
+    AFP_RETURN_IF_ERROR(delta_grounder_->SyncNewlyDerived(queued, delta));
+  }
+  return Status::Ok();
+}
+
+Status Solver::PoisonRuleMutation(Status st) {
+  delta_grounder_.reset();
+  pending_asserted_.clear();  // a future Init derives them from gp facts
+  graph_ = std::make_unique<AtomDependencyGraph>(ground_.View());
+  comp_rules_ = ComponentRuleBuckets(ground_.View(), *graph_);
+  kernels_.reset();
+  EnsureKernels();
+  InvalidateModel();
+  solved_ = false;
+  return st;
+}
+
+StatusOr<RuleUpdateStats> Solver::AddRule(std::string_view rule_text) {
+  AFP_RETURN_IF_ERROR(RuleOpsRequireUnsimplified(options_));
+  const std::size_t atoms_before = ground_.num_atoms();
+  const bool had_grounder = delta_grounder_ != nullptr;
+  // Parse first: a parse error must leave the session untouched, and the
+  // fact check must run before the delta grounder ever sees the appended
+  // rules (ParseRulesInto rolls the program back on error itself).
+  AFP_ASSIGN_OR_RETURN(std::size_t first,
+                       Parser::ParseRulesInto(*program_, rule_text));
+  const std::size_t num_added = program_->rules().size() - first;
+  if (num_added == 0) {
+    return Status::InvalidArgument("AddRule: no rule in input");
+  }
+  for (std::size_t ri = first; ri < program_->rules().size(); ++ri) {
+    if (program_->rules()[ri].IsFact(program_->terms())) {
+      const std::string text = program_->RuleToString(program_->rules()[ri]);
+      program_->TruncateRules(first);
+      return Status::InvalidArgument("AddRule: '" + text +
+                                     "' is a fact — facts are EDB state, "
+                                     "use AssertFacts");
+    }
+  }
+  IncrementalGrounder::MutationDelta delta;
+  Status st = PrepareRuleMutation(&delta);
+  // A freshly initialized grounder already instantiated every live rule —
+  // including the ones just parsed; only a pre-existing one needs the
+  // explicit delta instantiation.
+  if (st.ok() && had_grounder) {
+    st = delta_grounder_->AddSourceRules(first, &delta);
+  }
+  if (!st.ok()) return PoisonRuleMutation(std::move(st));
+  return FinishRuleMutation(delta, atoms_before, num_added);
+}
+
+StatusOr<RuleUpdateStats> Solver::RemoveRule(std::string_view rule_text) {
+  AFP_RETURN_IF_ERROR(RuleOpsRequireUnsimplified(options_));
+  const std::size_t atoms_before = ground_.num_atoms();
+  IncrementalGrounder::MutationDelta delta;
+  {
+    Status st = PrepareRuleMutation(&delta);
+    if (!st.ok()) return PoisonRuleMutation(std::move(st));
+  }
+  // Parse the pattern into the live program — structural matching
+  // compares hash-consed term ids, so the pattern must share the
+  // session's interner — then find each live counterpart and drop the
+  // parsed copies again (they are invisible to the grounder: it only
+  // scans rules it has registered).
+  auto first_or = Parser::ParseRulesInto(*program_, rule_text);
+  if (!first_or.ok()) {
+    // Prepare may have spliced deferred-assert instances; patch them in
+    // so the session stays consistent, then report the parse error.
+    FinishRuleMutation(delta, atoms_before, 0);
+    return first_or.status();
+  }
+  const std::size_t first = *first_or;
+  std::vector<std::size_t> targets;
+  Status find_st = Status::Ok();
+  if (first == program_->rules().size()) {
+    find_st = Status::InvalidArgument("RemoveRule: no rule in input");
+  }
+  for (std::size_t ri = first;
+       find_st.ok() && ri < program_->rules().size(); ++ri) {
+    const Rule& r = program_->rules()[ri];
+    if (r.IsFact(program_->terms())) {
+      find_st = Status::InvalidArgument(
+          "RemoveRule: '" + program_->RuleToString(r) +
+          "' is a fact — facts are EDB state, use RetractFacts");
+      break;
+    }
+    std::optional<std::size_t> live = delta_grounder_->FindLiveRule(r);
+    if (!live.has_value() ||
+        std::find(targets.begin(), targets.end(), *live) != targets.end()) {
+      find_st = Status::NotFound("RemoveRule: no live rule matches '" +
+                                 program_->RuleToString(r) + "'");
+      break;
+    }
+    targets.push_back(*live);
+  }
+  program_->TruncateRules(first);
+  if (!find_st.ok()) {
+    FinishRuleMutation(delta, atoms_before, 0);
+    return find_st;
+  }
+  for (std::size_t t : targets) {
+    Status st = delta_grounder_->RemoveSourceRule(t, &delta);
+    if (!st.ok()) return PoisonRuleMutation(std::move(st));
+  }
+  return FinishRuleMutation(delta, atoms_before, targets.size());
+}
+
+RuleUpdateStats Solver::FinishRuleMutation(
+    const IncrementalGrounder::MutationDelta& delta,
+    std::size_t atoms_before, std::size_t source_rules_changed) {
+  RuleUpdateStats out;
+  out.source_rules_changed = source_rules_changed;
+  out.ground_rules_added = delta.added_rules.size();
+  out.ground_rules_removed = delta.removals.size();
+  out.atoms_added = ground_.num_atoms() - atoms_before;
+  out.rules_reground = delta.rules_reground;
+  stats_.num_atoms = ground_.num_atoms();
+  stats_.num_rules = ground_.num_rules();
+  stats_.ground_size = ground_.TotalSize();
+
+  if (delta.added_rules.empty() && delta.removals.empty()) {
+    if (kernels_) kernels_->AcknowledgeEpoch(ground_.mutation_epoch());
+    return out;
+  }
+
+  // --- Patch (or rebuild) the cached analysis --------------------------
+  //
+  // Fast paths: a pure append splices new trailing components into the
+  // cached numbering (TryAppendDelta), a pure removal needs no graph work
+  // at all as long as no removed edge was intra-component (dropping
+  // cross-component edges cannot merge or reorder, and the stale
+  // condensation edges only over-approximate downstream closures). A
+  // MIXED delta rebuilds: later swap-removes re-aim the recorded added
+  // rule ids, so the splice could read the wrong rule bodies.
+  std::vector<std::uint32_t> dirty;
+  std::uint32_t first_new_comp =
+      static_cast<std::uint32_t>(graph_->num_components());
+  bool fast = delta.added_rules.empty() || delta.removals.empty();
+  if (fast && !delta.removals.empty()) {
+    const std::vector<std::uint32_t>& comp_of = graph_->component_of();
+    for (const auto& rem : delta.removals) {
+      const std::uint32_t hc = comp_of[rem.head];
+      for (AtomId b : rem.pos) {
+        if (comp_of[b] == hc) fast = false;
+      }
+      for (AtomId b : rem.neg) {
+        if (comp_of[b] == hc) fast = false;
+      }
+      if (!fast) break;
+    }
+  } else if (fast) {
+    AtomDependencyGraph::DeltaAppendResult res = graph_->TryAppendDelta(
+        ground_.View(), delta.added_rules, atoms_before);
+    fast = res.applied;
+    if (fast) first_new_comp = res.first_new_component;
+  }
+
+  if (fast) {
+    const std::vector<std::uint32_t>& comp_of = graph_->component_of();
+    const std::size_t nc = graph_->num_components();
+    comp_rules_.resize(nc);
+    // Additions: appended gp ids ascend, so push_back keeps each bucket
+    // sorted (matching a fresh bucketing).
+    for (std::size_t i = 0; i < delta.added_rules.size(); ++i) {
+      const std::uint32_t c = comp_of[delta.added_heads[i]];
+      comp_rules_[c].push_back(delta.added_rules[i]);
+      dirty.push_back(c);
+    }
+    // Removals, replayed in application order: erase the removed id from
+    // its head's bucket, slide the swapped-in rule's id down to its new
+    // slot (same surgery as UpdateFactsById).
+    for (const auto& rem : delta.removals) {
+      const std::uint32_t c = comp_of[rem.head];
+      std::vector<std::uint32_t>& bucket = comp_rules_[c];
+      bucket.erase(
+          std::lower_bound(bucket.begin(), bucket.end(), rem.erased_rule));
+      if (rem.moved_rule != rem.erased_rule) {
+        std::vector<std::uint32_t>& mb = comp_rules_[comp_of[rem.moved_head]];
+        auto old_it = std::lower_bound(mb.begin(), mb.end(), rem.moved_rule);
+        auto new_it = std::lower_bound(mb.begin(), old_it, rem.erased_rule);
+        std::rotate(new_it, old_it, old_it + 1);
+        *new_it = rem.erased_rule;
+      }
+      dirty.push_back(c);
+    }
+    for (std::uint32_t c = first_new_comp; c < nc; ++c) dirty.push_back(c);
+    out.components_added = nc - first_new_comp;
+    std::sort(dirty.begin(), dirty.end());
+    dirty.erase(std::unique(dirty.begin(), dirty.end()), dirty.end());
+    if (kernels_) {
+      kernels_->GrowToComponents();
+      for (std::uint32_t c : dirty) {
+        kernels_->InvalidateComponent(c);
+        kernels_->RecomputeEligibility(c);
+      }
+      out.kernels_invalidated = dirty.size();
+      kernels_->AcknowledgeEpoch(ground_.mutation_epoch());
+      out.kernels_recompiled = options_.compile == CompileMode::kAlways
+                                   ? kernels_->CompileInvalidated()
+                                   : kernels_->CompilePending();
+    }
+  } else {
+    out.graph_rebuilt = true;
+    const std::size_t old_nc = graph_->num_components();
+    std::unique_ptr<AtomDependencyGraph> old_graph = std::move(graph_);
+    std::vector<std::uint32_t> old_iters = std::move(component_iterations_);
+    component_iterations_.clear();
+    graph_ = std::make_unique<AtomDependencyGraph>(ground_.View());
+    comp_rules_ = ComponentRuleBuckets(ground_.View(), *graph_);
+    if (kernels_) {
+      kernels_.reset();
+      kernels_ = std::make_unique<KernelCache>(
+          ground_, *graph_, comp_rules_, options_.compile_hot_threshold,
+          ground_.mutation_epoch());
+      out.kernels_invalidated = old_nc;
+      if (options_.compile == CompileMode::kAlways) {
+        out.kernels_recompiled = kernels_->CompileAllEligible();
+      }
+    }
+    const std::vector<std::uint32_t>& comp_of = graph_->component_of();
+    const std::size_t nc = graph_->num_components();
+    out.components_added = nc > old_nc ? nc - old_nc : 0;
+    // Trajectories survive the renumbering only for components whose
+    // membership is exactly an old component's; everything else re-seeds.
+    if (!old_iters.empty() && solved_) {
+      component_iterations_.assign(nc, 0);
+      const std::vector<std::uint32_t>& old_comp = old_graph->component_of();
+      for (std::uint32_t c = 0; c < nc; ++c) {
+        const std::vector<AtomId>& m = graph_->components()[c];
+        bool same = m[0] < old_comp.size();
+        if (same) {
+          const std::uint32_t oc = old_comp[m[0]];
+          same = old_graph->components()[oc].size() == m.size();
+          for (std::size_t i = 0; same && i < m.size(); ++i) {
+            same = m[i] < old_comp.size() && old_comp[m[i]] == oc;
+          }
+          if (same) component_iterations_[c] = old_iters[oc];
+        }
+        if (!same) dirty.push_back(c);
+      }
+    }
+    // Semantic seeds: every component holding a touched head, and every
+    // component of a new atom (new atoms start undefined and must be
+    // decided even when no rule derives them).
+    for (AtomId h : delta.added_heads) dirty.push_back(comp_of[h]);
+    for (const auto& rem : delta.removals) dirty.push_back(comp_of[rem.head]);
+    for (AtomId a = static_cast<AtomId>(atoms_before);
+         a < ground_.num_atoms(); ++a) {
+      dirty.push_back(comp_of[a]);
+    }
+    std::sort(dirty.begin(), dirty.end());
+    dirty.erase(std::unique(dirty.begin(), dirty.end()), dirty.end());
+  }
+
+  // --- Repair the model ------------------------------------------------
+  if (!solved_ || dirty.empty()) return out;
+  model_.true_atoms().GrowTo(ground_.num_atoms());
+  model_.false_atoms().GrowTo(ground_.num_atoms());
+  if (!component_iterations_.empty()) {
+    component_iterations_.resize(graph_->num_components(), 0);
+  }
+  trace_.clear();
+  std::vector<AtomId> touched;
+  touched.reserve(dirty.size());
+  for (std::uint32_t c : dirty) {
+    touched.push_back(graph_->components()[c][0]);
+  }
+  std::vector<std::uint32_t>* iters =
+      component_iterations_.empty() ? nullptr : &component_iterations_;
+  SccUpdateStats r = SccResolveDownstream(
+      *ctx_, ground_.View(), *graph_, comp_rules_, SccOptionsFromSession(),
+      touched, &model_, iters, &update_scratch_);
+  if (kernels_) {
+    r.eval.kernel_compile_ns += kernels_->TakeCompileNs();
+  }
+  out.components_downstream = r.components_downstream;
+  out.components_resolved = r.components_resolved;
+  out.components_skipped = r.components_skipped;
+  out.components_reused = graph_->num_components() - r.components_downstream;
+  out.model_changed = r.model_changed;
+  out.eval = r.eval;
+  stats_.eval = r.eval;
+  ++stats_.incremental_updates;
+  return out;
 }
 
 PartialModel Solver::SnapshotModel() {

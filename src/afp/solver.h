@@ -42,6 +42,7 @@
 #include "exec/scheduler.h"
 #include "ground/ground_program.h"
 #include "ground/grounder.h"
+#include "ground/incremental_grounder.h"
 #include "stable/backtracking.h"
 #include "util/status.h"
 
@@ -134,6 +135,43 @@ struct UpdateStats {
   /// side-stream of every touched atom).
   std::size_t components_reused = 0;
   /// Whether any atom's truth value changed.
+  bool model_changed = false;
+  EvalStats eval;
+};
+
+/// What one AddRule / RemoveRule call did: the delta-maintenance receipt.
+/// `rules_reground` plus the kernel counters are the O(touched) evidence —
+/// a periphery edit re-runs a handful of source-rule instantiation joins
+/// and recompiles only the components whose rule buckets changed,
+/// independent of program size (pinned by the rule-mutation tests). The
+/// FIRST rule op of a session additionally pays a one-time O(program)
+/// initialization (the delta grounder reconstructs instance provenance
+/// from the sealed ground program), so receipts should be read from the
+/// second op onward.
+struct RuleUpdateStats {
+  /// Source (non-ground) rules added or removed by this call.
+  std::size_t source_rules_changed = 0;
+  /// Ground instances spliced in / out of the sealed program.
+  std::size_t ground_rules_added = 0;
+  std::size_t ground_rules_removed = 0;
+  /// Universe growth (atom ids are append-only; removal never shrinks).
+  std::size_t atoms_added = 0;
+  /// Source-rule instantiation joins the delta grounder ran.
+  std::size_t rules_reground = 0;
+  /// False: the cached SCC condensation was patched in place (the append
+  /// or removal fast path). True: the delta would have merged, split or
+  /// reordered existing components and the analysis was rebuilt wholesale
+  /// (verdicts are still repaired incrementally from the delta's heads).
+  bool graph_rebuilt = false;
+  std::size_t components_added = 0;
+  /// Compiled-kernel cache maintenance (0 when compilation is off).
+  std::size_t kernels_invalidated = 0;
+  std::size_t kernels_recompiled = 0;
+  /// Incremental repair receipt (same semantics as UpdateStats).
+  std::size_t components_downstream = 0;
+  std::size_t components_resolved = 0;
+  std::size_t components_skipped = 0;
+  std::size_t components_reused = 0;
   bool model_changed = false;
   EvalStats eval;
 };
@@ -253,6 +291,36 @@ class Solver {
   UpdateStats UpdateFactsById(std::span<const AtomId> asserts,
                               std::span<const AtomId> retracts);
 
+  /// --- Incremental rule updates (rule-level view maintenance) -------
+  ///
+  /// AddRule parses `rule_text` (one or more non-fact rules) into the live
+  /// program and splices their ground instances into the session: only the
+  /// new rules are instantiated — against the session's derived-atom set,
+  /// cascading semi-naively where new heads feed other rules — and the
+  /// universe grows by exactly the atoms those instances mention. The
+  /// cached dependency condensation, rule buckets and compiled-kernel
+  /// cache are patched in place when the delta appends cleanly (new atoms
+  /// form their own trailing components); otherwise the analysis is
+  /// rebuilt. Either way the model is repaired by the same
+  /// downstream-only re-solve as fact updates, seeded by the touched
+  /// components, and is bit-identical — model and per-component
+  /// trajectories — to a from-scratch solve of the mutated program.
+  ///
+  /// RemoveRule removes the live rule structurally equal (up to variable
+  /// renaming; body literal order significant) to `rule_text`, removing
+  /// each ground instance whose last emitting source rule it was.
+  /// Previously derived head atoms stay in the universe as (typically
+  /// false) dead atoms, exactly like RetractFacts leaves its atom behind.
+  ///
+  /// Both require the session to have been grounded with
+  /// GroundOptions::simplify = false (simplified grounding erases the
+  /// body structure that instance provenance is keyed on) and fail
+  /// FailedPrecondition otherwise, mutating nothing. Fact texts are
+  /// rejected (InvalidArgument): facts are EDB state, use
+  /// AssertFacts/RetractFacts.
+  StatusOr<RuleUpdateStats> AddRule(std::string_view rule_text);
+  StatusOr<RuleUpdateStats> RemoveRule(std::string_view rule_text);
+
   /// --- Snapshot export / warm restart (the serving layer) -----------
 
   /// Deep copy of the current model (solves on demand) with the
@@ -283,8 +351,15 @@ class Solver {
 
   /// Testing hook: rebuilds the component rule buckets from scratch and
   /// checks the incrementally patched ones match exactly (the AddFact /
-  /// RemoveFact bucket surgery in UpdateFactsById).
+  /// RemoveFact bucket surgery in UpdateFactsById, and the rule-mutation
+  /// splice in FinishRuleMutation).
   bool ValidateRuleBuckets();
+
+  /// Testing hook: the session's cached dependency analysis (null until a
+  /// kScc solve or the first incremental update builds it). The mutation
+  /// differential tests map per-atom trajectories through its
+  /// component_of() to compare against a from-scratch analysis.
+  const AtomDependencyGraph* DependencyGraph() const { return graph_.get(); }
 
   /// --- Introspection ------------------------------------------------
 
@@ -325,6 +400,24 @@ class Solver {
   StatusOr<UpdateStats> MutateFacts(const std::vector<std::string>& atoms,
                                     bool add);
 
+  /// Rule-op front half: checks the simplify=false precondition, creates
+  /// and initializes the delta grounder on first use (folding
+  /// retracted-fact heads into its derived set), and folds queued
+  /// asserted-fact heads in (the deferred-extension contract).
+  Status PrepareRuleMutation(IncrementalGrounder::MutationDelta* delta);
+
+  /// Rule-op back half: patches graph/buckets/kernels from the delta
+  /// (fast path or rebuild), repairs the model, fills the receipt.
+  RuleUpdateStats FinishRuleMutation(
+      const IncrementalGrounder::MutationDelta& delta,
+      std::size_t atoms_before, std::size_t source_rules_changed);
+
+  /// Recovery from a grounder error that may have left a partial splice
+  /// (resource limits mid-cascade): drops the delta grounder, rebuilds
+  /// the analysis over whatever the ground program now holds, and
+  /// invalidates the model so the next Solve() is full. Returns `st`.
+  Status PoisonRuleMutation(Status st);
+
   SccOptions SccOptionsFromSession();
 
   SolverOptions options_;
@@ -346,6 +439,18 @@ class Solver {
   /// incremental repair O(downstream closure) instead of paying an
   /// O(num_components) zero-fill floor per update (see SccUpdateScratch).
   SccUpdateScratch update_scratch_;
+  /// Delta re-grounder for AddRule/RemoveRule, created on the first rule
+  /// op (null until then; fact-only sessions never pay for it).
+  std::unique_ptr<IncrementalGrounder> delta_grounder_;
+  /// Heads of every fact ever retracted this session: they supported
+  /// instances that may still be in the program, so the delta grounder's
+  /// (re-)initialization must count them as derived — a later re-assert
+  /// must not re-instantiate rules that already exist. Never cleared
+  /// (init can happen more than once after an error recovery).
+  std::vector<AtomId> retracted_ever_;
+  /// Heads of facts asserted since the delta grounder initialized, not
+  /// yet folded into its derived set (consumed by the next rule op).
+  std::vector<AtomId> pending_asserted_;
   bool solved_ = false;
   PartialModel model_;
   std::vector<std::uint32_t> component_iterations_;

@@ -2,6 +2,7 @@
 #define AFP_ANALYSIS_ATOM_GRAPH_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "ground/ground_program.h"
@@ -65,6 +66,53 @@ class AtomDependencyGraph {
     EnsureCondensation();
     return cond_in_degrees_;
   }
+
+  /// --- Incremental maintenance (Solver::AddRule / RemoveRule) ---
+
+  /// Outcome of TryAppendDelta.
+  struct DeltaAppendResult {
+    /// False: the mutation was not id-order compatible and the graph is
+    /// UNCHANGED — the caller must rebuild from scratch.
+    bool applied = false;
+    /// New component ids are [first_new_component, num_components()).
+    std::uint32_t first_new_component = 0;
+  };
+
+  /// Splices the analysis for a grown universe and `added_rules` (gp rule
+  /// ids into `view`, whose atoms >= `old_num_atoms` are the new ones)
+  /// into the cached SCC numbering, recomputing only what the delta
+  /// touches:
+  ///
+  ///   * new atoms are grouped into SCCs by a Tarjan run over the
+  ///     new-atom subgraph only and appended in reverse topological
+  ///     order, preserving the id-order-is-schedule invariant (every new
+  ///     component may depend only on old or earlier-new components);
+  ///   * membership of every old component is untouched — the fast path
+  ///     applies only when each added dependency h -> a with an old head
+  ///     satisfies comp(a) <= comp(h) (no merge, no reordering) and no
+  ///     old head depends on a new atom;
+  ///   * the cached condensation CSR gains the delta's cross-component
+  ///     edges by a linear merge (semantic work is O(delta); the merge
+  ///     itself is an O(existing edges) index copy, the same housekeeping
+  ///     class as the comp-of remap);
+  ///   * local stratification can only degrade (a new negative intra-
+  ///     component arc), never silently recover.
+  ///
+  /// Returns applied=false — graph untouched — when the delta would merge
+  /// or reorder old components; the caller rebuilds wholesale.
+  ///
+  /// Rule REMOVAL never needs this: dropping edges cannot merge
+  /// components, so as long as no removed edge was intra-component
+  /// (caller-checked via component_of()), membership and numbering stay
+  /// valid; stale condensation edges only over-approximate downstream
+  /// closures, which is conservative for both scheduling and repair.
+  ///
+  /// After the first successful splice the atom-level adjacency CSR is
+  /// STALE (it is construction-only state); all further maintenance runs
+  /// off component_of() plus the delta's own edges.
+  DeltaAppendResult TryAppendDelta(const RuleView& view,
+                                   std::span<const std::uint32_t> added_rules,
+                                   std::size_t old_num_atoms);
 
  private:
   void ComputeSccs(const RuleView& view);

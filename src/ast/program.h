@@ -80,6 +80,16 @@ class Program {
   /// Appends a ground fact pred(constant_names...).
   void AddFact(std::string_view pred, std::vector<std::string_view> consts);
 
+  /// Drops every rule with index >= n — the rollback half of a failed
+  /// speculative append (Parser::ParseRulesInto parses into the live
+  /// program, validates, and truncates on error). Interned symbols and
+  /// terms are monotone and stay; arities recorded by the dropped rules
+  /// stay too (first-occurrence-wins, same as if the text had parsed in a
+  /// scratch program sharing this interner).
+  void TruncateRules(std::size_t n) {
+    if (n < rules_.size()) rules_.resize(n);
+  }
+
   // --- accessors ---
 
   const std::vector<Rule>& rules() const { return rules_; }

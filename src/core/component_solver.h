@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "analysis/atom_graph.h"
@@ -118,8 +119,7 @@ struct SequentialGlobalModel {
 
   bool IsTrue(AtomId a) const { return true_atoms->Test(a); }
   bool IsFalse(AtomId a) const { return false_atoms->Test(a); }
-  void Publish(const std::vector<AtomId>& members,
-               const PartialModel& local) {
+  void Publish(std::span<const AtomId> members, const PartialModel& local) {
     for (std::uint32_t i = 0; i < members.size(); ++i) {
       switch (local.Value(i)) {
         case TruthValue::kTrue:
@@ -179,8 +179,7 @@ class AtomicGlobalModel {
   /// decided atom — component members are id-contiguous runs in practice
   /// (Tarjan numbers them together), so large components collapse to a
   /// handful of atomic ops.
-  void Publish(const std::vector<AtomId>& members,
-               const PartialModel& local) {
+  void Publish(std::span<const AtomId> members, const PartialModel& local) {
     std::size_t wi = kNoWord;
     std::uint64_t tmask = 0, fmask = 0;
     for (std::uint32_t i = 0; i < members.size(); ++i) {
@@ -236,7 +235,7 @@ class AtomicGlobalModel {
   /// downstream dirtiness. Only this component's worker may touch these
   /// bits (the ownership contract above), so the transient between clear
   /// and set is invisible to other workers.
-  bool PublishOverwrite(const std::vector<AtomId>& members,
+  bool PublishOverwrite(std::span<const AtomId> members,
                         const PartialModel& local) {
     bool changed = false;
     std::size_t wi = kNoWord;

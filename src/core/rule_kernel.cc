@@ -103,6 +103,46 @@ void KernelCache::InvalidateAll() {
   pending_.clear();
 }
 
+void KernelCache::GrowToComponents() {
+  const std::size_t old_nc = buckets_.size();
+  const std::size_t nc = graph_.num_components();
+  if (nc > old_nc) {
+    buckets_.resize(nc, nullptr);
+    // atomics are not movable, so heat_ cannot resize in place: rebuild
+    // and carry the counts over (racing worker increments are impossible
+    // here — growth happens on the session thread between solves).
+    std::vector<std::atomic<std::uint32_t>> grown(nc);
+    for (std::size_t c = 0; c < old_nc; ++c) {
+      grown[c].store(heat_[c].load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    }
+    heat_ = std::move(grown);
+    if (eligibility_valid_) {
+      eligible_.resize(nc, 0);
+      for (std::size_t c = old_nc; c < nc; ++c) {
+        if (ComputeEligible(static_cast<std::uint32_t>(c))) {
+          eligible_[c] = 1;
+          ++num_eligible_;
+        }
+      }
+    }
+  }
+  local_id_.resize(graph_.num_atoms(), 0);
+  stamp_.resize(graph_.num_atoms(), 0);
+}
+
+void KernelCache::RecomputeEligibility(std::uint32_t c) {
+  if (!eligibility_valid_) return;
+  const std::uint8_t now = ComputeEligible(c) ? 1 : 0;
+  if (eligible_[c] == now) return;
+  eligible_[c] = now;
+  if (now) {
+    ++num_eligible_;
+  } else {
+    --num_eligible_;
+  }
+}
+
 bool KernelCache::SyncEpoch(std::uint64_t epoch) {
   if (epoch == expected_epoch_) return false;
   InvalidateAll();
@@ -178,7 +218,7 @@ const CompiledBucket* KernelCache::Compile(std::uint32_t c) {
   CompiledBucket* b = arena_.AllocateArray<CompiledBucket>(1);
   b->num_rules = n;
   b->num_members = m;
-  b->members = &members;
+  b->members = members.data();
   std::uint32_t* head = arena_.AllocateArray<std::uint32_t>(n);
   std::uint32_t* ipo = arena_.AllocateArray<std::uint32_t>(n + 1);
   std::uint32_t* ip = arena_.AllocateArray<std::uint32_t>(int_pos_total);

@@ -5,6 +5,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <mutex>
+#include <span>
 #include <vector>
 
 #include "analysis/atom_graph.h"
@@ -66,10 +67,15 @@ enum class CompileMode {
 struct CompiledBucket {
   std::uint32_t num_rules = 0;
   std::uint32_t num_members = 0;
-  /// The component's member atoms (points at the dependency graph's
-  /// members vector — stable for the graph's lifetime); local id i is
-  /// (*members)[i], the same remap the interpreted lowering uses.
-  const std::vector<AtomId>* members = nullptr;
+  /// The component's member atoms (borrows the dependency graph's member
+  /// storage); local id i is members[i], the same remap the interpreted
+  /// lowering uses. A raw element pointer, not a pointer to the vector:
+  /// rule-level universe growth appends NEW component vectors to the
+  /// graph's outer members() vector, which may relocate the inner vector
+  /// OBJECTS — but moving a vector steals its buffer, so the element
+  /// storage (and this pointer) stays valid as long as the component's own
+  /// membership is untouched, which is exactly the invalidation contract.
+  const AtomId* members = nullptr;
   /// Local head id per rule.
   const std::uint32_t* head = nullptr;
   /// Internal body literals as local ids, CSR by rule (multiplicity
@@ -175,6 +181,24 @@ class KernelCache {
   /// Records `epoch` as explained (call after cache-aware mutations have
   /// invalidated their touched components).
   void AcknowledgeEpoch(std::uint64_t epoch) { expected_epoch_ = epoch; }
+
+  /// Grows the cache to the graph's CURRENT component and atom counts
+  /// after a rule-level delta was spliced (AtomDependencyGraph::
+  /// TryAppendDelta): new components start uncompiled and cold, with
+  /// freshly computed eligibility; existing buckets, heat, and queues are
+  /// untouched (old components' membership is unchanged on that path, so
+  /// their bucket pointers stay valid). The caller then invalidates each
+  /// old component whose rule bucket changed — via InvalidateComponent +
+  /// RecomputeEligibility — and AcknowledgeEpoch()s. Session thread only.
+  void GrowToComponents();
+
+  /// Recomputes component c's eligibility bit in place. Rule-level
+  /// mutations CAN flip eligibility (a singleton gains or loses its
+  /// self-dependent rule; a bucket becomes empty), unlike the fact
+  /// mutations the bitmap was originally frozen for. No-op while the
+  /// bitmap is invalid (the next EnsureEligibility rescan re-derives
+  /// everything anyway).
+  void RecomputeEligibility(std::uint32_t c);
 
   /// Nanoseconds spent compiling since the last take (drained into
   /// EvalStats::kernel_compile_ns by the Solver after each run).
@@ -290,7 +314,7 @@ class KernelEvaluator {
     PartialModel local;
     out.iterations = inner_ == SccInnerEngine::kWp ? RunWp(b, &local)
                                                    : RunAfp(b, &local);
-    gm.Publish(*b.members, local);
+    gm.Publish(std::span<const AtomId>(b.members, b.num_members), local);
     ++ctx_.stats().kernel_components;
     ctx_.stats().kernel_rounds += out.iterations;
     ctx_.ReleaseBitset(std::move(local.true_atoms()));

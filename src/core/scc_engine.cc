@@ -126,8 +126,7 @@ struct DiffSequentialGlobalModel {
     }
   }
 
-  void Publish(const std::vector<AtomId>& members,
-               const PartialModel& local) {
+  void Publish(std::span<const AtomId> members, const PartialModel& local) {
     changed = false;
     for (std::uint32_t i = 0; i < members.size(); ++i) {
       const TruthValue now = local.Value(i);
@@ -155,8 +154,7 @@ struct DiffAtomicGlobalModel {
   bool IsTrue(AtomId a) const { return gm->IsTrue(a); }
   bool IsFalse(AtomId a) const { return gm->IsFalse(a); }
 
-  void Publish(const std::vector<AtomId>& members,
-               const PartialModel& local) {
+  void Publish(std::span<const AtomId> members, const PartialModel& local) {
     (*changed_by_comp)[(*comp_of)[members[0]]] =
         gm->PublishOverwrite(members, local) ? 1 : 0;
   }

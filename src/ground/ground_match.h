@@ -1,0 +1,94 @@
+#ifndef AFP_GROUND_GROUND_MATCH_H_
+#define AFP_GROUND_GROUND_MATCH_H_
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "ast/term.h"
+#include "ground/atom_table.h"
+
+namespace afp {
+
+/// The unification-lite core shared by the batch grounder (ground/grounder.cc)
+/// and the session delta-grounder (ground/incremental_grounder.cc): one-way
+/// matching of a rule-body pattern (terms with variables) against an interned
+/// ground atom, accumulating variable bindings. Ground instantiation is plain
+/// matching, never full unification — candidate atoms carry no variables.
+
+/// Variable bindings accumulated during a body join.
+using GroundBinding = std::unordered_map<SymbolId, TermId>;
+
+/// Matches `pattern` (possibly containing variables) against ground term
+/// `ground`, extending `binding`. Newly bound variables are appended to
+/// `trail` so the caller can undo the extension on backtrack.
+inline bool GroundMatchTerm(const TermTable& tt, TermId pattern, TermId ground,
+                            GroundBinding& binding,
+                            std::vector<SymbolId>& trail) {
+  switch (tt.kind(pattern)) {
+    case TermKind::kVariable: {
+      SymbolId v = tt.symbol(pattern);
+      auto [it, inserted] = binding.emplace(v, ground);
+      if (inserted) {
+        trail.push_back(v);
+        return true;
+      }
+      return it->second == ground;
+    }
+    case TermKind::kConstant:
+      return pattern == ground;
+    case TermKind::kCompound: {
+      if (tt.kind(ground) != TermKind::kCompound ||
+          tt.symbol(ground) != tt.symbol(pattern) ||
+          tt.args(ground).size() != tt.args(pattern).size()) {
+        return false;
+      }
+      auto pa = tt.args(pattern);
+      auto ga = tt.args(ground);
+      for (std::size_t i = 0; i < pa.size(); ++i) {
+        if (!GroundMatchTerm(tt, pa[i], ga[i], binding, trail)) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Matches an atom pattern (predicate already known to agree) against the
+/// interned candidate `cand`, argument by argument.
+inline bool GroundMatchAtom(const TermTable& tt, const AtomTable& atoms,
+                            const std::vector<TermId>& pattern_args,
+                            AtomId cand, GroundBinding& binding,
+                            std::vector<SymbolId>& trail) {
+  auto cand_args = atoms.args(cand);
+  if (cand_args.size() != pattern_args.size()) return false;
+  for (std::size_t i = 0; i < cand_args.size(); ++i) {
+    if (!GroundMatchTerm(tt, pattern_args[i], cand_args[i], binding, trail)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Structural signature of a ground rule instance — the dedupe key of both
+/// grounders and the provenance-count key of the incremental one.
+struct GroundRuleSig {
+  AtomId head;
+  std::vector<AtomId> pos;
+  std::vector<AtomId> neg;
+  bool operator==(const GroundRuleSig& o) const {
+    return head == o.head && pos == o.pos && neg == o.neg;
+  }
+};
+struct GroundRuleSigHash {
+  std::size_t operator()(const GroundRuleSig& s) const {
+    std::size_t h = s.head;
+    for (AtomId a : s.pos) h = h * 1000003u + a;
+    for (AtomId a : s.neg) h = h * 999979u + a + 1;
+    return h;
+  }
+};
+
+}  // namespace afp
+
+#endif  // AFP_GROUND_GROUND_MATCH_H_

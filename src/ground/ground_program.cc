@@ -79,6 +79,33 @@ GroundProgram::FactRemoval GroundProgram::RemoveFact(AtomId atom) {
   return out;
 }
 
+GroundProgram::FactRemoval GroundProgram::RemoveRuleAt(std::uint32_t rule) {
+  assert(sealed_ && "rule mutation requires a sealed program");
+  assert(rule < rules_.size());
+  FactRemoval out;
+  out.removed = true;
+  out.erased_rule = rule;
+  out.moved_rule = static_cast<std::uint32_t>(rules_.size() - 1);
+  const GroundRule& erased = rules_[rule];
+  if (fact_index_built_ && erased.pos_len == 0 && erased.neg_len == 0) {
+    auto it = fact_index_.find(erased.head);
+    if (it != fact_index_.end() && it->second == rule) fact_index_.erase(it);
+  }
+  if (out.erased_rule != out.moved_rule) {
+    const GroundRule moved = rules_.back();
+    rules_[out.erased_rule] = moved;
+    if (fact_index_built_ && moved.pos_len == 0 && moved.neg_len == 0) {
+      auto it = fact_index_.find(moved.head);
+      if (it != fact_index_.end() && it->second == out.moved_rule) {
+        it->second = out.erased_rule;
+      }
+    }
+  }
+  rules_.pop_back();
+  ++mutation_epoch_;
+  return out;
+}
+
 std::string GroundProgram::RuleToString(std::size_t i) const {
   const GroundRule& r = rules_[i];
   std::string out = AtomName(r.head);

@@ -108,6 +108,17 @@ class GroundProgram {
   /// (rule ids are otherwise stable). No-op when the fact is absent.
   FactRemoval RemoveFact(AtomId atom);
 
+  /// --- Post-seal rule mutation (Solver::AddRule / RemoveRule) ---
+  ///
+  /// Removes the rule with id `rule` — fact or proper rule — by the same
+  /// swap-remove discipline as RemoveFact; `erased_rule == rule` and
+  /// `moved_rule` is the previous last rule now occupying that slot. The
+  /// fact index (if built) is kept current for both the erased and the
+  /// moved rule. Body-pool storage of the removed rule is orphaned, not
+  /// reclaimed — the pool is append-only; a long-lived session compacts by
+  /// re-grounding, not in place.
+  FactRemoval RemoveRuleAt(std::uint32_t rule);
+
   /// Monotone counter bumped by every post-seal mutation of the rule set
   /// (AddRule, AddFact, RemoveFact). Caches derived from the rule set —
   /// compiled rule kernels in particular (core/rule_kernel.h) — record the

@@ -7,11 +7,13 @@
 #include <unordered_set>
 #include <vector>
 
+#include "ground/ground_match.h"
+
 namespace afp {
 
 namespace {
 
-using Binding = std::unordered_map<SymbolId, TermId>;
+using Binding = GroundBinding;
 
 /// A fully instantiated rule awaiting final assembly.
 struct PendingRule {
@@ -22,22 +24,10 @@ struct PendingRule {
 
 /// Structural signature used to suppress duplicate instances during
 /// enumeration (the naive mode re-discovers instances every round).
-struct RuleSig {
-  AtomId head;
-  std::vector<AtomId> pos;
-  std::vector<AtomId> neg;
-  bool operator==(const RuleSig& o) const {
-    return head == o.head && pos == o.pos && neg == o.neg;
-  }
-};
-struct RuleSigHash {
-  std::size_t operator()(const RuleSig& s) const {
-    std::size_t h = s.head;
-    for (AtomId a : s.pos) h = h * 1000003u + a;
-    for (AtomId a : s.neg) h = h * 999979u + a + 1;
-    return h;
-  }
-};
+/// Matching and signature types are shared with the incremental
+/// delta-grounder (ground/ground_match.h).
+using RuleSig = GroundRuleSig;
+using RuleSigHash = GroundRuleSigHash;
 
 /// Which derivation rounds a join position may draw candidates from.
 enum class RoundFilter { kOld, kDelta, kUpTo };
@@ -273,46 +263,8 @@ class GrounderImpl {
 
   bool MatchAtom(const Atom& pattern, AtomId cand, Binding& binding,
                  std::vector<SymbolId>& trail) {
-    auto cand_args = atoms_.args(cand);
-    if (cand_args.size() != pattern.args.size()) return false;
-    for (std::size_t i = 0; i < cand_args.size(); ++i) {
-      if (!MatchTerm(pattern.args[i], cand_args[i], binding, trail)) {
-        return false;
-      }
-    }
-    return true;
-  }
-
-  bool MatchTerm(TermId pattern, TermId ground, Binding& binding,
-                 std::vector<SymbolId>& trail) {
-    const TermTable& tt = program_.terms();
-    switch (tt.kind(pattern)) {
-      case TermKind::kVariable: {
-        SymbolId v = tt.symbol(pattern);
-        auto [it, inserted] = binding.emplace(v, ground);
-        if (inserted) {
-          trail.push_back(v);
-          return true;
-        }
-        return it->second == ground;
-      }
-      case TermKind::kConstant:
-        return pattern == ground;
-      case TermKind::kCompound: {
-        if (tt.kind(ground) != TermKind::kCompound ||
-            tt.symbol(ground) != tt.symbol(pattern) ||
-            tt.args(ground).size() != tt.args(pattern).size()) {
-          return false;
-        }
-        auto pa = tt.args(pattern);
-        auto ga = tt.args(ground);
-        for (std::size_t i = 0; i < pa.size(); ++i) {
-          if (!MatchTerm(pa[i], ga[i], binding, trail)) return false;
-        }
-        return true;
-      }
-    }
-    return false;
+    return GroundMatchAtom(program_.terms(), atoms_, pattern.args, cand,
+                           binding, trail);
   }
 
   // --- instance emission ---

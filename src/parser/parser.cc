@@ -12,14 +12,18 @@ namespace {
 class ParserImpl {
  public:
   explicit ParserImpl(std::vector<Token> tokens)
-      : tokens_(std::move(tokens)) {}
+      : tokens_(std::move(tokens)), program_(&owned_) {}
+  /// Parses into a caller-owned program instead of the internal scratch
+  /// one (the ParseRulesInto session-append path).
+  ParserImpl(std::vector<Token> tokens, Program* into)
+      : tokens_(std::move(tokens)), program_(into) {}
 
   StatusOr<Program> Run() {
     while (!At(TokenKind::kEof)) {
       AFP_RETURN_IF_ERROR(ParseRule());
     }
-    AFP_RETURN_IF_ERROR(program_.Validate());
-    return std::move(program_);
+    AFP_RETURN_IF_ERROR(program_->Validate());
+    return std::move(*program_);
   }
 
   /// Parses exactly one atom and wraps it as a body-free rule, skipping
@@ -30,8 +34,26 @@ class ParserImpl {
         !(At(TokenKind::kDot) && tokens_[pos_ + 1].kind == TokenKind::kEof)) {
       return ErrorHere("expected a single atom");
     }
-    program_.AddRule(std::move(atom));
-    return std::move(program_);
+    program_->AddRule(std::move(atom));
+    return std::move(*program_);
+  }
+
+  /// Appends parsed rules to the external program, validating the combined
+  /// result; rolls the rule list back on any failure so the live program
+  /// is semantically unchanged. Returns the index of the first new rule.
+  StatusOr<std::size_t> RunInto() {
+    const std::size_t first = program_->rules().size();
+    Status st = Status::Ok();
+    while (!At(TokenKind::kEof)) {
+      st = ParseRule();
+      if (!st.ok()) break;
+    }
+    if (st.ok()) st = program_->Validate();
+    if (!st.ok()) {
+      program_->TruncateRules(first);
+      return st;
+    }
+    return first;
   }
 
  private:
@@ -69,9 +91,9 @@ class ParserImpl {
         Advance();
       }
       AFP_RETURN_IF_ERROR(Expect(TokenKind::kDot, "'.'"));
-      Atom bot = program_.MakeAtom(kConstraintAtomName);
+      Atom bot = program_->MakeAtom(kConstraintAtomName);
       body.push_back(Literal{bot, false});
-      program_.AddRule(std::move(bot), std::move(body));
+      program_->AddRule(std::move(bot), std::move(body));
       return Status::Ok();
     }
     AFP_ASSIGN_OR_RETURN(Atom head, ParseAtom());
@@ -86,7 +108,7 @@ class ParserImpl {
       }
     }
     AFP_RETURN_IF_ERROR(Expect(TokenKind::kDot, "'.'"));
-    program_.AddRule(std::move(head), std::move(body));
+    program_->AddRule(std::move(head), std::move(body));
     return Status::Ok();
   }
 
@@ -102,7 +124,7 @@ class ParserImpl {
 
   StatusOr<Atom> ParseAtom() {
     if (!At(TokenKind::kIdent)) return ErrorHere("expected a predicate name");
-    SymbolId pred = program_.Symbol(Cur().text);
+    SymbolId pred = program_->Symbol(Cur().text);
     Advance();
     std::vector<TermId> args;
     if (At(TokenKind::kLParen)) {
@@ -120,19 +142,19 @@ class ParserImpl {
 
   StatusOr<TermId> ParseTerm() {
     if (At(TokenKind::kVariable)) {
-      TermId t = program_.Var(Cur().text);
+      TermId t = program_->Var(Cur().text);
       Advance();
       return t;
     }
     if (At(TokenKind::kInteger)) {
-      TermId t = program_.Const(Cur().text);
+      TermId t = program_->Const(Cur().text);
       Advance();
       return t;
     }
     if (At(TokenKind::kIdent)) {
       std::string name = Cur().text;
       Advance();
-      if (!At(TokenKind::kLParen)) return program_.Const(name);
+      if (!At(TokenKind::kLParen)) return program_->Const(name);
       Advance();
       std::vector<TermId> args;
       while (true) {
@@ -142,14 +164,15 @@ class ParserImpl {
         Advance();
       }
       AFP_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
-      return program_.Compound(name, std::move(args));
+      return program_->Compound(name, std::move(args));
     }
     return ErrorHere("expected a term");
   }
 
   std::vector<Token> tokens_;
   std::size_t pos_ = 0;
-  Program program_;
+  Program owned_;
+  Program* program_;
 };
 
 }  // namespace
@@ -164,6 +187,13 @@ StatusOr<Program> Parser::ParseAtomPattern(std::string_view text) {
   AFP_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lexer::Tokenize(text));
   ParserImpl impl(std::move(tokens));
   return impl.RunAtomPattern();
+}
+
+StatusOr<std::size_t> Parser::ParseRulesInto(Program& program,
+                                             std::string_view text) {
+  AFP_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lexer::Tokenize(text));
+  ParserImpl impl(std::move(tokens), &program);
+  return impl.RunInto();
 }
 
 StatusOr<Program> ParseProgram(std::string_view text) {

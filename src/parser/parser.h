@@ -36,6 +36,17 @@ class Parser {
   /// into a scratch Program whose single (body-free) rule head is the atom.
   /// Skips validation, so unsafe patterns are fine; used by the query API.
   static StatusOr<Program> ParseAtomPattern(std::string_view text);
+
+  /// Parses `text` appending its rules to `program`, interning symbols and
+  /// terms into the program's own tables, then re-validates the combined
+  /// program. On any error the rule list is rolled back to its prior length
+  /// and `program` is semantically unchanged (interned symbols/terms may
+  /// remain; they are inert). Returns the index of the first appended rule.
+  /// This is the session-mutation entry point (Solver::AddRule): the live
+  /// program's interner must be shared so new rules can refer to existing
+  /// constants and predicates by the same ids.
+  static StatusOr<std::size_t> ParseRulesInto(Program& program,
+                                              std::string_view text);
 };
 
 }  // namespace afp

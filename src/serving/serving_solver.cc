@@ -64,15 +64,23 @@ void ServingSolver::StoreSnapshot(SnapshotPtr snap) {
 }
 
 StatusOr<AtomId> ServingSolver::Resolve(const std::string& atom_text) const {
-  // ResolveAtom reads only the atom table and source program, both frozen
-  // at construction (EDB mutation interns no atoms) — safe against the
-  // writer without a lock.
+  // EDB mutation interns no atoms, but rule mutations DO grow the atom
+  // table, so text resolution synchronizes with the writer. Ids are
+  // append-only: once resolved, an id stays valid forever and the
+  // id-based read paths below remain lock-free.
+  std::lock_guard<std::mutex> lk(solver_mu_);
   return ResolveAtom(solver_.ground(), atom_text);
 }
 
 TruthValue ServingSolver::Query(AtomId id) const {
   if (id == kInvalidAtom) return TruthValue::kFalse;  // closed world
-  return snapshot()->model.Value(id);
+  const SnapshotPtr snap = snapshot();
+  // An id interned after this snapshot published (concurrent rule op):
+  // at this version the atom did not exist — closed-world false.
+  if (id >= snap->model.true_atoms().universe_size()) {
+    return TruthValue::kFalse;
+  }
+  return snap->model.Value(id);
 }
 
 StatusOr<TruthValue> ServingSolver::Query(
@@ -84,11 +92,13 @@ StatusOr<TruthValue> ServingSolver::Query(
 std::vector<TruthValue> ServingSolver::QueryBatchIds(
     std::span<const AtomId> ids) const {
   const SnapshotPtr snap = snapshot();
+  const std::size_t universe = snap->model.true_atoms().universe_size();
   std::vector<TruthValue> out;
   out.reserve(ids.size());
   for (AtomId id : ids) {
-    out.push_back(id == kInvalidAtom ? TruthValue::kFalse
-                                     : snap->model.Value(id));
+    out.push_back(id == kInvalidAtom || id >= universe
+                      ? TruthValue::kFalse
+                      : snap->model.Value(id));
   }
   return out;
 }
@@ -96,13 +106,14 @@ std::vector<TruthValue> ServingSolver::QueryBatchIds(
 std::vector<StatusOr<TruthValue>> ServingSolver::QueryBatch(
     const std::vector<std::string>& atom_texts) const {
   const SnapshotPtr snap = snapshot();
+  const std::size_t universe = snap->model.true_atoms().universe_size();
   std::vector<StatusOr<TruthValue>> out;
   out.reserve(atom_texts.size());
   for (const std::string& text : atom_texts) {
     StatusOr<AtomId> id = Resolve(text);
     if (!id.ok()) {
       out.push_back(id.status());
-    } else if (*id == kInvalidAtom) {
+    } else if (*id == kInvalidAtom || *id >= universe) {
       out.push_back(TruthValue::kFalse);
     } else {
       out.push_back(snap->model.Value(*id));
@@ -132,17 +143,24 @@ StatusOr<std::vector<AtomId>> ResolveBatchStrict(const GroundProgram& gp,
 }  // namespace
 
 Status ServingSolver::AssertFacts(const std::vector<std::string>& atoms) {
-  AFP_ASSIGN_OR_RETURN(
-      std::vector<AtomId> ids,
-      ResolveBatchStrict(solver_.ground(), atoms, "assert"));
+  std::vector<AtomId> ids;
+  {
+    // Text resolution reads the atom table, which rule ops grow.
+    std::lock_guard<std::mutex> lk(solver_mu_);
+    AFP_ASSIGN_OR_RETURN(ids,
+                         ResolveBatchStrict(solver_.ground(), atoms, "assert"));
+  }
   EnqueueOps(ids, /*add=*/true);
   return Status::Ok();
 }
 
 Status ServingSolver::RetractFacts(const std::vector<std::string>& atoms) {
-  AFP_ASSIGN_OR_RETURN(
-      std::vector<AtomId> ids,
-      ResolveBatchStrict(solver_.ground(), atoms, "retract"));
+  std::vector<AtomId> ids;
+  {
+    std::lock_guard<std::mutex> lk(solver_mu_);
+    AFP_ASSIGN_OR_RETURN(
+        ids, ResolveBatchStrict(solver_.ground(), atoms, "retract"));
+  }
   EnqueueOps(ids, /*add=*/false);
   return Status::Ok();
 }
@@ -155,7 +173,16 @@ void ServingSolver::RetractFactsById(std::span<const AtomId> ids) {
   EnqueueOps(ids, /*add=*/false);
 }
 
+void ServingSolver::AddRule(std::string rule_text) {
+  EnqueueRuleOp(Op{Op::Kind::kAddRule, kInvalidAtom, std::move(rule_text)});
+}
+
+void ServingSolver::RemoveRule(std::string rule_text) {
+  EnqueueRuleOp(Op{Op::Kind::kRemoveRule, kInvalidAtom, std::move(rule_text)});
+}
+
 void ServingSolver::EnqueueOps(std::span<const AtomId> ids, bool add) {
+  const Op::Kind kind = add ? Op::Kind::kAssert : Op::Kind::kRetract;
   bool overflow = false;
   {
     std::unique_lock<std::mutex> lk(mu_);
@@ -169,7 +196,7 @@ void ServingSolver::EnqueueOps(std::span<const AtomId> ids, bool add) {
           cv_not_full_.wait(lk);
         }
       }
-      pending_.push_back(Op{id, add});
+      pending_.push_back(Op{kind, id, {}});
       ++enqueued_seq_;
       ++stats_.updates_enqueued;
     }
@@ -179,6 +206,27 @@ void ServingSolver::EnqueueOps(std::span<const AtomId> ids, bool add) {
   cv_work_.notify_one();
   // Without a background writer the bound still holds: the producer that
   // fills the queue drains it inline.
+  if (overflow) Pump();
+}
+
+void ServingSolver::EnqueueRuleOp(Op op) {
+  bool overflow = false;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (opts_.background) {
+      while (pending_.size() >= opts_.max_pending_updates && !stop_) {
+        ++stats_.enqueue_blocks;
+        cv_work_.notify_one();
+        cv_not_full_.wait(lk);
+      }
+    }
+    pending_.push_back(std::move(op));
+    ++enqueued_seq_;
+    ++stats_.rule_ops_enqueued;
+    overflow =
+        !opts_.background && pending_.size() >= opts_.max_pending_updates;
+  }
+  cv_work_.notify_one();
   if (overflow) Pump();
 }
 
@@ -208,36 +256,74 @@ bool ServingSolver::Pump() {
   return true;
 }
 
-void ServingSolver::ApplyBatch(const std::vector<Op>& batch) {
-  // Coalesce: the LAST op per atom wins; earlier ops in the batch are
-  // superseded before the solver ever sees them. Application order among
-  // distinct atoms is irrelevant (UpdateFactsById retracts then asserts,
-  // and each atom has exactly one final op).
+void ServingSolver::ApplyBatch(std::vector<Op>& batch) {
+  // Rule ops are coalescing BARRIERS: the batch splits into maximal fact
+  // segments separated by rule ops, applied strictly in queue order.
+  // Within one fact segment the LAST op per atom wins and the segment
+  // folds into ONE UpdateFactsById pass; coalescing never crosses a
+  // barrier, so a fact op enqueued after a rule op is applied to the
+  // post-mutation program, exactly as the producer observed it.
+  UpdateStats up;  // accumulated across segments, published once
+  std::uint64_t fact_ops = 0, coalesced = 0, rules_applied = 0,
+                rules_failed = 0;
+  Status last_error;
   std::unordered_map<AtomId, std::size_t> last;
-  last.reserve(batch.size());
-  for (std::size_t i = 0; i < batch.size(); ++i) last[batch[i].id] = i;
   std::vector<AtomId> asserts, retracts;
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    if (last[batch[i].id] != i) continue;
-    (batch[i].add ? asserts : retracts).push_back(batch[i].id);
-  }
 
-  UpdateStats up;
-  {
-    std::lock_guard<std::mutex> lk(solver_mu_);
-    up = solver_.UpdateFactsById(asserts, retracts);
-    {
-      std::lock_guard<std::mutex> slk(mu_);
-      ++stats_.repair_passes;
-      stats_.updates_applied += batch.size();
-      stats_.updates_coalesced +=
-          batch.size() - asserts.size() - retracts.size();
-      stats_.max_batch =
-          std::max<std::uint64_t>(stats_.max_batch, batch.size());
-      stats_.facts_changed += up.facts_changed;
+  std::lock_guard<std::mutex> lk(solver_mu_);
+  std::size_t i = 0;
+  while (i < batch.size()) {
+    if (batch[i].is_rule()) {
+      StatusOr<RuleUpdateStats> r =
+          batch[i].kind == Op::Kind::kAddRule
+              ? solver_.AddRule(batch[i].rule_text)
+              : solver_.RemoveRule(batch[i].rule_text);
+      if (r.ok()) {
+        ++rules_applied;
+        up.model_changed |= r->model_changed;
+        up.components_downstream += r->components_downstream;
+        up.components_resolved += r->components_resolved;
+      } else {
+        ++rules_failed;
+        last_error = r.status();
+      }
+      ++i;
+      continue;
     }
-    PublishLocked(up, batch.size());
+    std::size_t j = i;
+    while (j < batch.size() && !batch[j].is_rule()) ++j;
+    last.clear();
+    for (std::size_t k = i; k < j; ++k) last[batch[k].id] = k;
+    asserts.clear();
+    retracts.clear();
+    for (std::size_t k = i; k < j; ++k) {
+      if (last[batch[k].id] != k) continue;
+      (batch[k].kind == Op::Kind::kAssert ? asserts : retracts)
+          .push_back(batch[k].id);
+    }
+    UpdateStats seg = solver_.UpdateFactsById(asserts, retracts);
+    up.facts_changed += seg.facts_changed;
+    up.components_downstream += seg.components_downstream;
+    up.components_resolved += seg.components_resolved;
+    up.components_skipped += seg.components_skipped;
+    up.components_reused += seg.components_reused;
+    up.model_changed |= seg.model_changed;
+    fact_ops += j - i;
+    coalesced += (j - i) - asserts.size() - retracts.size();
+    i = j;
   }
+  {
+    std::lock_guard<std::mutex> slk(mu_);
+    ++stats_.repair_passes;
+    stats_.updates_applied += fact_ops;
+    stats_.updates_coalesced += coalesced;
+    stats_.max_batch = std::max<std::uint64_t>(stats_.max_batch, batch.size());
+    stats_.facts_changed += up.facts_changed;
+    stats_.rule_ops_applied += rules_applied;
+    stats_.rule_ops_failed += rules_failed;
+    if (!last_error.ok()) stats_.last_rule_error = last_error;
+  }
+  PublishLocked(up, batch.size());
 }
 
 void ServingSolver::PublishLocked(const UpdateStats& up,

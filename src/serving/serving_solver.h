@@ -100,6 +100,16 @@ struct ServingStats {
   std::uint64_t snapshots_published = 0;
   /// Cumulative facts actually added/removed by repair passes.
   std::uint64_t facts_changed = 0;
+  /// Rule mutations accepted into the queue (AddRule/RemoveRule).
+  std::uint64_t rule_ops_enqueued = 0;
+  /// Rule mutations applied by the writer.
+  std::uint64_t rule_ops_applied = 0;
+  /// Rule mutations the wrapped Solver rejected (parse error, no live
+  /// match, simplify precondition). The failed op is dropped; the last
+  /// failure's status is retained in last_rule_error.
+  std::uint64_t rule_ops_failed = 0;
+  /// Status of the most recent failed rule op (Ok when none ever failed).
+  Status last_rule_error;
 };
 
 /// The serving facade. Owns the wrapped Solver session, the update queue,
@@ -134,10 +144,16 @@ class ServingSolver {
 
   /// Resolves atom text to its id in the grounded base (kInvalidAtom →
   /// outside the universe, i.e. false closed-world). Ids are stable for
-  /// the session lifetime; resolve once, query by id forever.
+  /// the session lifetime; resolve once, query by id forever. Rule
+  /// mutations can GROW the universe, so resolution synchronizes with the
+  /// writer (a brief lock); the id-based query path below stays
+  /// lock-free.
   StatusOr<AtomId> Resolve(const std::string& atom_text) const;
 
   /// Truth value of `id` in the current snapshot (kInvalidAtom → false).
+  /// An id interned after the snapshot was published (a concurrent rule
+  /// op grew the universe) reads false — the closed-world answer at that
+  /// snapshot's version.
   TruthValue Query(AtomId id) const;
 
   /// As Query(AtomId) for atom text (parse errors surface; unknown atoms
@@ -161,6 +177,20 @@ class ServingSolver {
   /// caller's bug, excluded by Resolve-then-check).
   void AssertFactsById(std::span<const AtomId> ids);
   void RetractFactsById(std::span<const AtomId> ids);
+
+  /// Enqueues a rule mutation (Solver::AddRule / RemoveRule semantics:
+  /// non-fact rules, session grounded with simplify=false). The call
+  /// returns once the op is ACCEPTED; the writer applies it as a
+  /// coalescing barrier — fact ops on either side of a rule op in the
+  /// queue are coalesced within their side only, and application order
+  /// (facts, rule, facts, ...) is preserved, so a retract enqueued after
+  /// an AddRule is never folded into the state the rule was grounded
+  /// against. Application errors (parse, no live match, simplify
+  /// precondition) surface through Stats().rule_ops_failed /
+  /// last_rule_error, not here; validate rule text on the producer side
+  /// when rejection must be synchronous.
+  void AddRule(std::string rule_text);
+  void RemoveRule(std::string rule_text);
 
   /// Blocks until every mutation enqueued before the call is applied and
   /// its snapshot published. With `background` off, drains inline.
@@ -197,25 +227,34 @@ class ServingSolver {
 
  private:
   struct Op {
-    AtomId id;
-    bool add;
+    enum class Kind : std::uint8_t { kAssert, kRetract, kAddRule, kRemoveRule };
+    Kind kind;
+    AtomId id = kInvalidAtom;  // fact ops only
+    std::string rule_text;     // rule ops only
+    bool is_rule() const {
+      return kind == Kind::kAddRule || kind == Kind::kRemoveRule;
+    }
   };
 
   ServingSolver(Solver solver, ServingOptions opts);
 
   void EnqueueOps(std::span<const AtomId> ids, bool add);
-  /// Coalesces and applies one drained batch, then publishes. Runs on
-  /// the writer thread or inside Pump().
-  void ApplyBatch(const std::vector<Op>& batch);
+  void EnqueueRuleOp(Op op);
+  /// Applies one drained batch — fact segments coalesced last-write-wins,
+  /// rule ops as in-order barriers between them — then publishes ONE
+  /// snapshot. Runs on the writer thread or inside Pump().
+  void ApplyBatch(std::vector<Op>& batch);
   /// Publishes the solver's current model (solver_mu_ must be held).
   void PublishLocked(const UpdateStats& up, std::uint64_t batch_ops);
   void StoreSnapshot(SnapshotPtr snap);
   void WriterLoop();
 
   ServingOptions opts_;
-  /// Serializes solver access: the writer's repair passes, Pump(), and
-  /// RestoreState(). Readers never take it.
-  std::mutex solver_mu_;
+  /// Serializes solver access: the writer's repair passes, Pump(),
+  /// RestoreState(), and — because rule mutations grow the atom table —
+  /// every text-resolution read (Resolve and the producers' strict
+  /// resolution). Id-based readers never take it.
+  mutable std::mutex solver_mu_;
   Solver solver_;
 
   /// Queue state under mu_: pending ops, sequence numbers, counters.

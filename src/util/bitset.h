@@ -32,6 +32,16 @@ class Bitset {
     words_.assign((universe + 63) / 64, 0ULL);
   }
 
+  /// Grows the universe to `universe` bits, preserving every existing bit
+  /// (new bits are clear). Shrinking is not supported; the universe of a
+  /// live session only ever grows (rule-level delta grounding interns new
+  /// atoms but never un-interns). Contrast Resize, which clears.
+  void GrowTo(std::size_t universe) {
+    if (universe <= size_) return;
+    size_ = universe;
+    words_.resize((universe + 63) / 64, 0ULL);
+  }
+
   /// Bytes of backing storage currently reserved (diagnostics: the
   /// EvalContext scratch high-water mark).
   std::size_t CapacityBytes() const {

@@ -6,6 +6,18 @@
 //   %! <ground atom> = true|false|undef    point query on the WFS model
 //   %! total = yes|no                      totality of the partial model
 //
+// Files may additionally script a session-mutation replay (rule-level
+// incremental view maintenance, including universe growth):
+//
+//   %! step: add-rule <rule>               Solver::AddRule (delta-grounded)
+//   %! step: remove-rule <rule>            Solver::RemoveRule
+//   %! step: assert <atom>                 Solver::AssertFact
+//   %! step: retract <atom>                Solver::RetractFact
+//   %! after: <ground atom> = verdict      point query AFTER all steps
+//
+// Plain `%!` verdicts always describe the pre-mutation model, so the
+// static engines keep using mutation fixtures as ordinary programs.
+//
 // Each file is additionally cross-checked across all four well-founded
 // engines, so the corpus doubles as a differential fixture.
 
@@ -18,6 +30,9 @@
 #include <vector>
 
 #include "afp/afp.h"
+#include "afp/solver.h"
+#include "analysis/atom_graph.h"
+#include "core/eval_context.h"
 #include "core/residual.h"
 #include "core/scc_engine.h"
 
@@ -33,8 +48,16 @@ struct QueryDirective {
   TruthValue expected;
 };
 
+struct MutationStep {
+  enum class Kind { kAssert, kRetract, kAddRule, kRemoveRule };
+  Kind kind;
+  std::string text;  // atom for fact ops, rule text for rule ops
+};
+
 struct Directives {
   std::vector<QueryDirective> queries;
+  std::vector<MutationStep> steps;
+  std::vector<QueryDirective> after;
   bool has_total = false;
   bool expect_total = false;
 };
@@ -57,6 +80,31 @@ Directives ParseDirectives(const std::string& text) {
     line = Trim(line);
     if (line.rfind("%!", 0) != 0) continue;
     std::string body = Trim(line.substr(2));
+    if (body.rfind("step:", 0) == 0) {
+      std::string rest = Trim(body.substr(5));
+      auto sp = rest.find(' ');
+      EXPECT_NE(sp, std::string::npos) << "malformed step: " << line;
+      if (sp == std::string::npos) continue;
+      std::string op = rest.substr(0, sp);
+      std::string arg = Trim(rest.substr(sp + 1));
+      if (op == "add-rule") {
+        d.steps.push_back({MutationStep::Kind::kAddRule, arg});
+      } else if (op == "remove-rule") {
+        d.steps.push_back({MutationStep::Kind::kRemoveRule, arg});
+      } else if (op == "assert") {
+        d.steps.push_back({MutationStep::Kind::kAssert, arg});
+      } else if (op == "retract") {
+        d.steps.push_back({MutationStep::Kind::kRetract, arg});
+      } else {
+        ADD_FAILURE() << "unknown step op '" << op << "' in: " << line;
+      }
+      continue;
+    }
+    std::vector<QueryDirective>* sink = &d.queries;
+    if (body.rfind("after:", 0) == 0) {
+      body = Trim(body.substr(6));
+      sink = &d.after;
+    }
     auto eq = body.rfind('=');
     EXPECT_NE(eq, std::string::npos) << "malformed directive: " << line;
     if (eq == std::string::npos) continue;
@@ -77,7 +125,7 @@ Directives ParseDirectives(const std::string& text) {
     } else {
       EXPECT_EQ(rhs, "undef") << "bad verdict '" << rhs << "' in: " << line;
     }
-    d.queries.push_back({lhs, v});
+    sink->push_back({lhs, v});
   }
   return d;
 }
@@ -141,6 +189,76 @@ TEST(LpCorpus, AllFourEnginesAgreeOnEveryFile) {
     EXPECT_EQ(afp_model, WellFoundedResidual(*ground).model);
     EXPECT_EQ(afp_model, WellFoundedScc(*ground).model);
   }
+}
+
+// Mutation scripts: files with `%! step:` directives replay against a
+// live Solver session (rule edits delta-grounded against the session's
+// derived set, so the atom universe may grow mid-session). The `after:`
+// verdicts pin the final model, and a from-scratch component-wise solve
+// of the session's spliced ground program must reproduce it bit for bit.
+TEST(LpCorpus, MutationScriptsReplayAndAgreeWithFromScratch) {
+  bool found_script = false;
+  for (const auto& path : CorpusFiles()) {
+    const std::string text = ReadFile(path);
+    Directives d = ParseDirectives(text);
+    if (d.steps.empty()) continue;
+    found_script = true;
+    SCOPED_TRACE(path.filename().string());
+    EXPECT_FALSE(d.after.empty())
+        << "mutation script without %! after: verdicts in " << path;
+
+    SolverOptions opts;
+    opts.engine = SolverEngine::kScc;
+    // Rule ops need every source rule addressable in the ground program.
+    opts.ground.simplify = false;
+    auto session = Solver::FromText(text, opts);
+    ASSERT_TRUE(session.ok()) << session.status().ToString();
+    Solver& solver = *session;
+    solver.Solve();
+
+    for (std::size_t i = 0; i < d.steps.size(); ++i) {
+      const MutationStep& step = d.steps[i];
+      Status st;
+      switch (step.kind) {
+        case MutationStep::Kind::kAssert:
+          st = solver.AssertFact(step.text).status();
+          break;
+        case MutationStep::Kind::kRetract:
+          st = solver.RetractFact(step.text).status();
+          break;
+        case MutationStep::Kind::kAddRule:
+          st = solver.AddRule(step.text).status();
+          break;
+        case MutationStep::Kind::kRemoveRule:
+          st = solver.RemoveRule(step.text).status();
+          break;
+      }
+      ASSERT_TRUE(st.ok())
+          << "step " << i << " (" << step.text << "): " << st.ToString();
+      ASSERT_TRUE(solver.ValidateRuleBuckets()) << "after step " << i;
+    }
+
+    // From-scratch differential on the spliced ground program.
+    const PartialModel& inc = solver.Solve();
+    EvalContext ctx;
+    const RuleView view = solver.ground().View();
+    AtomDependencyGraph fresh_graph(view);
+    auto fresh_buckets = ComponentRuleBuckets(view, fresh_graph);
+    SccWfsResult fresh =
+        WellFoundedSccOnGraph(ctx, view, fresh_graph, fresh_buckets, {});
+    EXPECT_EQ(fresh.model.true_atoms(), inc.true_atoms());
+    EXPECT_EQ(fresh.model.false_atoms(), inc.false_atoms());
+
+    for (const auto& q : d.after) {
+      auto v = solver.Query(q.atom);
+      ASSERT_TRUE(v.ok()) << q.atom << ": " << v.status().ToString();
+      EXPECT_EQ(*v, q.expected)
+          << q.atom << " expected " << TruthValueName(q.expected)
+          << " got " << TruthValueName(*v);
+    }
+  }
+  EXPECT_TRUE(found_script)
+      << "no mutation-script fixtures (growth_*.lp) in the corpus";
 }
 
 // The parallel acceptance bar: for every corpus file, every thread count,

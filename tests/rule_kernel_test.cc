@@ -372,6 +372,63 @@ TEST(KernelStaleness, BareAddRuleDropsTheCacheThroughTheEpochCheck) {
   EXPECT_FALSE(cache.SyncEpoch(gp.mutation_epoch()));
 }
 
+TEST(KernelStaleness, SessionRoutedRuleEditsKeepUntouchedKernelsCompiled) {
+  // The counterpart of the bare-AddRule drop above: a rule edit routed
+  // through Solver::AddRule/RemoveRule explains its mutation epochs and
+  // invalidates precisely the touched components, so every other compiled
+  // kernel survives the edit — no epoch-triggered cache drop, no
+  // recompilation of untouched buckets.
+  SolverOptions o;
+  o.engine = SolverEngine::kScc;
+  o.compile = CompileMode::kAlways;
+  o.ground.simplify = false;
+  auto solver = Solver::FromText(
+      "f(a). w(X) :- f(X), not w2(X). w2(X) :- f(X), not w(X).\n"
+      "g(b). y(X) :- g(X), not y2(X). y2(X) :- g(X), not y(X).",
+      o);
+  ASSERT_TRUE(solver.ok());
+  solver->Solve();
+  EXPECT_EQ(solver->Stats().eval.kernel_components, 2u);
+
+  ASSERT_TRUE(solver->AddRule("warm :- f(a).").ok());  // provenance init
+  auto edit = solver->AddRule("w(X) :- f(X).");
+  ASSERT_TRUE(edit.ok()) << edit.status().ToString();
+  EXPECT_FALSE(edit->graph_rebuilt);
+  EXPECT_EQ(edit->kernels_invalidated, 1u);  // the w-cycle only
+  EXPECT_EQ(edit->kernels_recompiled, 1u);
+
+  // The y-cycle's kernel was neither dropped nor recompiled: a fact
+  // repair that re-solves it runs on the surviving kernel with zero
+  // compile time.
+  auto up = solver->RetractFact("g(b)");
+  ASSERT_TRUE(up.ok()) << up.status().ToString();
+  EXPECT_EQ(up->eval.kernel_compile_ns, 0u);
+  EXPECT_GE(up->eval.kernel_components, 1u);
+  EXPECT_EQ(*solver->Query("y(b)"), TruthValue::kFalse);
+  EXPECT_EQ(*solver->Query("w(a)"), TruthValue::kTrue);
+  auto down = solver->AssertFact("g(b)");
+  ASSERT_TRUE(down.ok()) << down.status().ToString();
+  EXPECT_EQ(down->eval.kernel_compile_ns, 0u);
+  EXPECT_EQ(*solver->Query("y(b)"), TruthValue::kUndefined);
+
+  // Differential close: interpreted from-scratch twin of the final text,
+  // compared atom-by-name (the grown session's atom ids are ordered by
+  // mutation history, not by the twin's grounding order).
+  SolverOptions off = o;
+  off.compile = CompileMode::kOff;
+  auto twin = Solver::FromText(
+      "f(a). w(X) :- f(X), not w2(X). w2(X) :- f(X), not w(X).\n"
+      "g(b). y(X) :- g(X), not y2(X). y2(X) :- g(X), not y(X).\n"
+      "warm :- f(a). w(X) :- f(X).",
+      off);
+  ASSERT_TRUE(twin.ok());
+  twin->Solve();
+  for (AtomId a = 0; a < solver->ground().num_atoms(); ++a) {
+    const std::string name = solver->ground().AtomName(a);
+    EXPECT_EQ(*solver->Query(name), *twin->Query(name)) << name;
+  }
+}
+
 TEST(KernelCacheShape, OnlyGeneralPathComponentsAreEligible) {
   // Figure 4(a) is acyclic: every component is a non-self-dependent
   // singleton decided by the fast path, so nothing is eligible and a

@@ -296,5 +296,136 @@ TEST(ServingParallel, BackpressureBoundsTheQueue) {
   EXPECT_EQ(*srv->Query("e"), TruthValue::kTrue);
 }
 
+SolverOptions Mutable() {
+  SolverOptions o;
+  o.engine = SolverEngine::kScc;
+  o.ground.simplify = false;  // rule ops require unsimplified grounding
+  return o;
+}
+
+TEST(Serving, RuleOpsApplyThroughTheWriterQueue) {
+  auto srv = MustServe("e. p :- e, not q.", Manual(), Mutable());
+  EXPECT_EQ(*srv->Query("p"), TruthValue::kTrue);
+
+  srv->AddRule("z :- p.");
+  // Enqueued, not applied: still version 0, z not in the universe yet.
+  EXPECT_EQ(srv->snapshot()->version, 0u);
+  EXPECT_EQ(*srv->Query("z"), TruthValue::kFalse);  // closed world
+  EXPECT_TRUE(srv->Pump());
+  EXPECT_EQ(*srv->Query("z"), TruthValue::kTrue);
+  ServingStats st = srv->Stats();
+  EXPECT_EQ(st.rule_ops_enqueued, 1u);
+  EXPECT_EQ(st.rule_ops_applied, 1u);
+  EXPECT_EQ(st.rule_ops_failed, 0u);
+
+  // Removal leaves the dead atom behind, false — and the id resolved
+  // after the growth keeps answering through the id-based path.
+  auto z = srv->Resolve("z");
+  ASSERT_TRUE(z.ok());
+  ASSERT_NE(*z, kInvalidAtom);
+  srv->RemoveRule("z :- p.");
+  srv->Flush();
+  EXPECT_EQ(srv->Query(*z), TruthValue::kFalse);
+
+  // A failing op (no live match) is dropped and accounted, later ops in
+  // the same batch still apply.
+  srv->RemoveRule("never(X) :- was(X).");
+  ASSERT_TRUE(srv->RetractFacts({"e"}).ok());
+  srv->Flush();
+  st = srv->Stats();
+  EXPECT_EQ(st.rule_ops_failed, 1u);
+  EXPECT_EQ(st.last_rule_error.code(), StatusCode::kNotFound);
+  EXPECT_EQ(*srv->Query("p"), TruthValue::kFalse);  // the retract ran
+}
+
+TEST(Serving, RuleOpsAreCoalescingBarriers) {
+  auto srv = MustServe("e. f. p :- e, not q. q :- f.", Manual(), Mutable());
+  // Without barriers, last-write-wins would fold retract(f)+assert(f)
+  // into a no-op and one repair. With the AddRule between them, the
+  // segments stay separate and the batch still publishes ONE snapshot.
+  ASSERT_TRUE(srv->RetractFacts({"f"}).ok());
+  srv->AddRule("saw_p :- p.");
+  ASSERT_TRUE(srv->AssertFacts({"f"}).ok());
+  EXPECT_TRUE(srv->Pump());
+  ServingStats st = srv->Stats();
+  EXPECT_EQ(st.repair_passes, 1u);
+  EXPECT_EQ(st.rule_ops_applied, 1u);
+  EXPECT_EQ(st.updates_applied, 2u);
+  EXPECT_EQ(st.updates_coalesced, 0u);  // the barrier kept both ops live
+  // Final state: f back, so q true, p false (and saw_p with it).
+  EXPECT_EQ(*srv->Query("p"), TruthValue::kFalse);
+  EXPECT_EQ(*srv->Query("saw_p"), TruthValue::kFalse);
+  EXPECT_EQ(srv->snapshot()->version, 1u);
+}
+
+TEST(Serving, SimplifiedSessionRejectsRuleOpsIntoStats) {
+  auto srv = MustServe("e. p :- e.", Manual());  // default: simplify on
+  srv->AddRule("z :- p.");
+  EXPECT_TRUE(srv->Pump());
+  ServingStats st = srv->Stats();
+  EXPECT_EQ(st.rule_ops_applied, 0u);
+  EXPECT_EQ(st.rule_ops_failed, 1u);
+  EXPECT_EQ(st.last_rule_error.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(*srv->Query("p"), TruthValue::kTrue);  // session untouched
+}
+
+TEST(ServingParallel, RuleOpsUnderLockFreeReaders) {
+  // Background-writer stress for the TSan lane: one producer cycles rule
+  // mutations (universe growth + removal) interleaved with fact toggles
+  // while reader threads hammer the id-based snapshot path and
+  // text-resolution path concurrently. Asserts: versions stay monotone
+  // per reader, snapshots stay internally consistent, and the final
+  // state matches the net program.
+  auto srv = MustServe(
+      "e(a). e(b). f(a). p(X) :- e(X), not q(X). q(X) :- f(X).",
+      ServingOptions{}, Mutable());
+  auto pa = srv->Resolve("p(a)");
+  auto pb = srv->Resolve("p(b)");
+  auto fa = srv->Resolve("f(a)");
+  ASSERT_TRUE(pa.ok() && pb.ok() && fa.ok());
+  const std::vector<AtomId> ids = {*pa, *pb, *fa};
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> reads{0};
+  auto reader = [&] {
+    std::uint64_t last_version = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      SnapshotPtr snap = srv->snapshot();
+      EXPECT_GE(snap->version, last_version);
+      last_version = snap->version;
+      EXPECT_TRUE(snap->model.IsConsistent());
+      (void)srv->QueryBatchIds(ids);
+      (void)srv->Query("z(a)");  // text path: may or may not exist yet
+      reads.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+  std::thread r1(reader), r2(reader), r3(reader);
+
+  for (int i = 0; i < 30; ++i) {
+    srv->AddRule("z(X) :- p(X).");
+    ASSERT_TRUE(srv->RetractFacts({"f(a)"}).ok());
+    srv->Flush();
+    srv->RemoveRule("z(X) :- p(X).");
+    ASSERT_TRUE(srv->AssertFacts({"f(a)"}).ok());
+    srv->Flush();
+  }
+  stop.store(true);
+  r1.join();
+  r2.join();
+  r3.join();
+
+  EXPECT_GT(reads.load(), 0u);
+  ServingStats st = srv->Stats();
+  EXPECT_EQ(st.rule_ops_enqueued, 60u);
+  EXPECT_EQ(st.rule_ops_applied, 60u);
+  EXPECT_EQ(st.rule_ops_failed, 0u);
+  // Net state: rule removed, facts restored — p(a) false under q(a),
+  // p(b) true, and the dead z atoms false.
+  EXPECT_EQ(*srv->Query("p(a)"), TruthValue::kFalse);
+  EXPECT_EQ(*srv->Query("p(b)"), TruthValue::kTrue);
+  EXPECT_EQ(*srv->Query("z(a)"), TruthValue::kFalse);
+  EXPECT_EQ(*srv->Query("z(b)"), TruthValue::kFalse);
+}
+
 }  // namespace
 }  // namespace afp

@@ -14,6 +14,17 @@
 //                                      Solver's incremental re-solve
 //                                      (repeat the flag for several facts;
 //                                      --stats prints the update receipt)
+//   --add-rule=RULE / --remove-rule=RULE
+//                                      rule-level mutations over the live
+//                                      session, interleaved with
+//                                      --assert/--retract in command-line
+//                                      order; new rules are delta-grounded
+//                                      against the session's derived set
+//                                      (the universe may grow) and the
+//                                      repair is component-wise. Rule flags
+//                                      force simplification off so source
+//                                      rules stay addressable; --stats
+//                                      prints the RuleUpdateStats receipt
 //   --sp=delta|scratch                 S_P enablement recomputation
 //                                      (default delta; scratch = ablation)
 //   --gus=delta|scratch                T_P / unfounded-set witness
@@ -58,6 +69,25 @@
 
 namespace {
 
+/// One session mutation in command-line order.
+struct Mutation {
+  enum class Kind { kAssert, kRetract, kAddRule, kRemoveRule };
+  Kind kind;
+  std::string text;  // atom for fact ops, rule text for rule ops
+  bool is_rule() const {
+    return kind == Kind::kAddRule || kind == Kind::kRemoveRule;
+  }
+  const char* Name() const {
+    switch (kind) {
+      case Kind::kAssert: return "assert";
+      case Kind::kRetract: return "retract";
+      case Kind::kAddRule: return "add-rule";
+      case Kind::kRemoveRule: return "remove-rule";
+    }
+    return "?";
+  }
+};
+
 struct Options {
   std::string semantics = "wfs";
   std::string engine = "afp";
@@ -73,8 +103,9 @@ struct Options {
   bool threads_given = false;
   std::vector<std::string> queries;
   std::vector<std::string> selects;
-  /// EDB mutations in command-line order: (atom, true=assert).
-  std::vector<std::pair<std::string, bool>> mutations;
+  /// Session mutations (facts and rules) in command-line order.
+  std::vector<Mutation> mutations;
+  bool has_rule_ops = false;
   bool trace = false;
   bool ground_only = false;
   bool stats = false;
@@ -181,11 +212,21 @@ int main(int argc, char** argv) {
     if (ParseFlag(arg, "assert", &value)) {
       // No comma-splitting: atom arguments contain commas. Repeat the
       // flag to mutate several facts; flags apply in command-line order.
-      opts.mutations.emplace_back(value, true);
+      opts.mutations.push_back({Mutation::Kind::kAssert, value});
       continue;
     }
     if (ParseFlag(arg, "retract", &value)) {
-      opts.mutations.emplace_back(value, false);
+      opts.mutations.push_back({Mutation::Kind::kRetract, value});
+      continue;
+    }
+    if (ParseFlag(arg, "add-rule", &value)) {
+      opts.mutations.push_back({Mutation::Kind::kAddRule, value});
+      opts.has_rule_ops = true;
+      continue;
+    }
+    if (ParseFlag(arg, "remove-rule", &value)) {
+      opts.mutations.push_back({Mutation::Kind::kRemoveRule, value});
+      opts.has_rule_ops = true;
       continue;
     }
     if (ParseFlag(arg, "max-models", &value)) {
@@ -332,6 +373,10 @@ int main(int argc, char** argv) {
   if (opts.semantics == "fitting" || opts.semantics == "ifp") {
     sopts.ground.mode = afp::GroundMode::kFull;
   }
+  // Rule-level mutations need every source rule addressable in the ground
+  // program; grounding-time simplification folds rules away and the Solver
+  // rejects AddRule/RemoveRule on simplified sessions.
+  if (opts.has_rule_ops) sopts.ground.simplify = false;
   auto session = afp::Solver::FromProgram(std::move(parsed).value(), sopts);
   if (!session.ok()) return Fail(session.status());
   afp::Solver& solver = *session;
@@ -347,8 +392,8 @@ int main(int argc, char** argv) {
               << "  size: " << gp.TotalSize() << "\n";
   }
   if (!opts.mutations.empty() && opts.semantics != "wfs") {
-    std::cerr << "afp: note: --assert/--retract apply only to "
-                 "--semantics=wfs\n";
+    std::cerr << "afp: note: --assert/--retract/--add-rule/--remove-rule "
+                 "apply only to --semantics=wfs\n";
   }
 
   if (opts.semantics == "wfs") {
@@ -398,13 +443,40 @@ int main(int argc, char** argv) {
           break;
       }
     }
-    // EDB mutations in command-line order, each repaired by the
-    // incremental downstream re-solve.
-    for (const auto& [atom, add] : opts.mutations) {
-      auto up = add ? solver.AssertFact(atom) : solver.RetractFact(atom);
+    // Session mutations in command-line order: fact edits repaired by the
+    // incremental downstream re-solve, rule edits delta-grounded and
+    // repaired component-wise.
+    for (const Mutation& m : opts.mutations) {
+      if (m.is_rule()) {
+        auto up = m.kind == Mutation::Kind::kAddRule
+                      ? solver.AddRule(m.text)
+                      : solver.RemoveRule(m.text);
+        if (!up.ok()) return Fail(up.status());
+        if (opts.stats) {
+          std::cout << "% " << m.Name() << " " << m.text << ": rules "
+                    << up->source_rules_changed << "  ground +"
+                    << up->ground_rules_added << "/-"
+                    << up->ground_rules_removed << "  atoms +"
+                    << up->atoms_added << "  reground " << up->rules_reground
+                    << (up->graph_rebuilt ? "  (graph rebuilt)" : "")
+                    << "\n";
+          std::cout << "%   kernels invalidated "
+                    << up->kernels_invalidated << "  recompiled "
+                    << up->kernels_recompiled << "  downstream "
+                    << up->components_downstream << "  re-solved "
+                    << up->components_resolved << "  skipped "
+                    << up->components_skipped << "  reused "
+                    << up->components_reused
+                    << (up->model_changed ? "  (model changed)" : "")
+                    << "\n";
+        }
+        continue;
+      }
+      const bool add = m.kind == Mutation::Kind::kAssert;
+      auto up = add ? solver.AssertFact(m.text) : solver.RetractFact(m.text);
       if (!up.ok()) return Fail(up.status());
       if (opts.stats) {
-        std::cout << "% " << (add ? "assert" : "retract") << " " << atom
+        std::cout << "% " << m.Name() << " " << m.text
                   << ": facts " << up->facts_changed << "  downstream "
                   << up->components_downstream << "  re-solved "
                   << up->components_resolved << "  skipped "
