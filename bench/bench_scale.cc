@@ -1,0 +1,205 @@
+// Scale bench: grounding + solving wall time and peak memory of the
+// interning pipeline at 64k-1M ground rules, per memory layout
+// (GroundOptions::layout, flat vs node). This is the bench behind the
+// `layout` axis of BENCH_ablation_axis.json: tools/run_benches.sh stores
+// the report as BENCH_scale.json and distills per-workload flat/node rows,
+// and tools/check_ablation_axis.py gates CI on the flagship speedup.
+//
+// Like bench_serving this binary is self-timed and prints a native JSON
+// report on stdout (no Google Benchmark). Each (workload, layout) config
+// runs in a forked child that reports one JSON row through a pipe: peak
+// RSS is process-monotone, so measuring the node layout after the flat one
+// in the same process would only ever report the max of the two.
+//
+// Workloads: win-move over Erdos-Renyi digraphs (the unstratified
+// flagship; grounding is interning-dominated) and transitive-closure
+// complement (stratified; the n^2 ntc stratum pushes the rule count to the
+// million rung). The true/undefined atom counts are recorded per row so
+// the distiller can assert the two layouts solved identical models.
+
+#include <unistd.h>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "afp/solver.h"
+#include "workload/graphs.h"
+#include "workload/programs.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Config {
+  const char* workload;
+  // Program factory, deterministic (seeded generators only).
+  afp::Program (*make)();
+};
+
+afp::Program WinMove64k() {
+  // ~8k nodes, 4 edges/node: ~33k wins instances + 33k move facts.
+  return afp::workload::WinMove(afp::graphs::ErdosRenyi(8192, 32768, 17));
+}
+
+afp::Program WinMoveFlagship() {
+  // The layout-axis flagship: ~16k nodes, 6 edges/node. Grounding interns
+  // ~100k wins/move atoms and emits ~200k ground rules — comfortably over
+  // the >= 64k-rule floor the CI gate requires of the flagship row.
+  return afp::workload::WinMove(afp::graphs::ErdosRenyi(16384, 98304, 17));
+}
+
+afp::Program TcComplement262k() {
+  // ntc stratum alone is n^2 = 262k instances. The edge set is kept
+  // subcritical (avg degree 1/4) so the recursive tc closure stays tiny:
+  // the grounder's join is an unindexed per-predicate candidate scan, and
+  // at supercritical densities that layout-independent scan cost (rounds x
+  // |e| x |tc|) drowns the interning signal this axis measures.
+  return afp::workload::TransitiveClosureComplement(
+      afp::graphs::ErdosRenyi(512, 128, 29));
+}
+
+afp::Program TcComplement1M() {
+  // The million-rule rung: n^2 = 1M ntc instances plus a small tc closure.
+  return afp::workload::TransitiveClosureComplement(
+      afp::graphs::ErdosRenyi(1024, 256, 29));
+}
+
+constexpr Config kConfigs[] = {
+    {"winmove_er_64k", &WinMove64k},
+    {"winmove_er_flagship", &WinMoveFlagship},
+    {"tc_complement_262k", &TcComplement262k},
+    {"tc_complement_1m", &TcComplement1M},
+};
+
+double Ms(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+             b - a)
+      .count();
+}
+
+/// Runs one (workload, layout) config and returns its JSON row. Called in
+/// a forked child; must not touch the parent's report state.
+std::string RunConfig(const Config& cfg, afp::IndexLayout layout) {
+  afp::Program program = cfg.make();
+  afp::SolverOptions sopts;
+  sopts.ground.layout = layout;
+
+  const auto t0 = Clock::now();
+  auto solver = afp::Solver::FromProgram(std::move(program), sopts);
+  const auto t1 = Clock::now();
+  if (!solver.ok()) {
+    std::fprintf(stderr, "bench_scale: %s/%s: %s\n", cfg.workload,
+                 afp::IndexLayoutName(layout),
+                 std::string(solver.status().message()).c_str());
+    return {};
+  }
+  const afp::PartialModel& model = solver->Solve();
+  const auto t2 = Clock::now();
+
+  const afp::GroundStats& g = solver->Stats().ground;
+  char buf[640];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"workload\": \"%s\", \"layout\": \"%s\", \"atoms\": %llu, "
+      "\"ground_rules\": %llu, \"ground_ms\": %.2f, \"solve_ms\": %.2f, "
+      "\"total_ms\": %.2f, \"intern_probes\": %llu, "
+      "\"intern_collisions\": %llu, \"intern_allocs\": %llu, "
+      "\"arena_bytes\": %llu, \"index_bytes\": %llu, "
+      "\"peak_rss_bytes\": %llu, \"true_atoms\": %llu, "
+      "\"undef_atoms\": %llu}",
+      cfg.workload, afp::IndexLayoutName(layout),
+      static_cast<unsigned long long>(g.atoms),
+      static_cast<unsigned long long>(g.rules), Ms(t0, t1), Ms(t1, t2),
+      Ms(t0, t2), static_cast<unsigned long long>(g.intern_probes),
+      static_cast<unsigned long long>(g.intern_collisions),
+      static_cast<unsigned long long>(g.intern_allocs),
+      static_cast<unsigned long long>(g.arena_bytes),
+      static_cast<unsigned long long>(g.index_bytes),
+      static_cast<unsigned long long>(g.peak_rss_bytes),
+      static_cast<unsigned long long>(model.num_true()),
+      static_cast<unsigned long long>(g.atoms - model.num_true() -
+                                      model.num_false()));
+  return buf;
+}
+
+/// Forks a child to run one config; the child writes its row to a pipe and
+/// exits without running atexit handlers. Returns the row, or "" on any
+/// child failure (reported on stderr by the child).
+std::string RunConfigForked(const Config& cfg, afp::IndexLayout layout) {
+  int fds[2];
+  if (pipe(fds) != 0) {
+    std::perror("bench_scale: pipe");
+    return {};
+  }
+  const pid_t pid = fork();
+  if (pid < 0) {
+    std::perror("bench_scale: fork");
+    close(fds[0]);
+    close(fds[1]);
+    return {};
+  }
+  if (pid == 0) {
+    close(fds[0]);
+    const std::string row = RunConfig(cfg, layout);
+    std::size_t off = 0;
+    while (off < row.size()) {
+      const ssize_t n = write(fds[1], row.data() + off, row.size() - off);
+      if (n <= 0) break;
+      off += static_cast<std::size_t>(n);
+    }
+    close(fds[1]);
+    _exit(row.empty() ? 1 : 0);
+  }
+  close(fds[1]);
+  std::string row;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = read(fds[0], buf, sizeof(buf));
+    if (n <= 0) break;
+    row.append(buf, static_cast<std::size_t>(n));
+  }
+  close(fds[0]);
+  int status = 0;
+  waitpid(pid, &status, 0);
+  if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) return {};
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::vector<std::string> rows;
+  for (const Config& cfg : kConfigs) {
+    for (afp::IndexLayout layout :
+         {afp::IndexLayout::kFlat, afp::IndexLayout::kNode}) {
+      std::string row = RunConfigForked(cfg, layout);
+      if (row.empty()) {
+        std::fprintf(stderr, "bench_scale: config %s/%s failed\n",
+                     cfg.workload, afp::IndexLayoutName(layout));
+        return 1;
+      }
+      rows.push_back(std::move(row));
+    }
+  }
+
+  std::printf("{\n");
+  std::printf("  \"bench\": \"bench_scale\",\n");
+  std::printf("  \"hardware_concurrency\": %u,\n",
+              std::thread::hardware_concurrency());
+  std::printf("  \"rows\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::printf("    %s%s\n", rows[i].c_str(),
+                i + 1 < rows.size() ? "," : "");
+  }
+  std::printf("  ]\n");
+  std::printf("}\n");
+  return 0;
+}

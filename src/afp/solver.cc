@@ -6,6 +6,7 @@
 #include "core/relevance.h"
 #include "core/residual.h"
 #include "parser/parser.h"
+#include "util/rss.h"
 #include "wfs/wp_engine.h"
 
 namespace afp {
@@ -48,6 +49,21 @@ Solver::Solver(std::unique_ptr<Program> program, GroundProgram ground,
   stats_.num_atoms = ground_.num_atoms();
   stats_.num_rules = ground_.num_rules();
   stats_.ground_size = ground_.TotalSize();
+  RefreshGroundStats();
+}
+
+void Solver::RefreshGroundStats() {
+  // Grounding-time receipt (scratch structures the grounder destroyed),
+  // plus the live tables' counters as of now. The live counters keep
+  // growing as queries/mutations intern, so this recomposes from the
+  // stored receipt each time rather than accumulating in place.
+  GroundStats g = ground_.grounding_stats();
+  g.Absorb(ground_.atoms().index_stats());
+  g.Absorb(program_->terms().index_stats());
+  g.atoms = ground_.num_atoms();
+  g.rules = ground_.num_rules();
+  g.peak_rss_bytes = PeakRssBytes();
+  stats_.ground = g;
 }
 
 void Solver::EnsureGraph() {
@@ -95,6 +111,7 @@ const PartialModel& Solver::Solve() {
   stats_.engine = options_.engine;
   stats_.num_rules = ground_.num_rules();
   stats_.ground_size = ground_.TotalSize();
+  RefreshGroundStats();
 
   switch (options_.engine) {
     case SolverEngine::kAfp: {
@@ -374,6 +391,7 @@ UpdateStats Solver::UpdateFactsById(std::span<const AtomId> asserts,
   up.facts_changed = touched.size();
   stats_.num_rules = ground_.num_rules();
   stats_.ground_size = ground_.TotalSize();
+  RefreshGroundStats();
   if (touched.empty() || !solved_) {
     // Nothing changed, or no model exists yet (the first Solve() will be
     // full and sees the mutated program).
@@ -546,6 +564,7 @@ RuleUpdateStats Solver::FinishRuleMutation(
   stats_.num_atoms = ground_.num_atoms();
   stats_.num_rules = ground_.num_rules();
   stats_.ground_size = ground_.TotalSize();
+  RefreshGroundStats();
 
   if (delta.added_rules.empty() && delta.removals.empty()) {
     if (kernels_) kernels_->AcknowledgeEpoch(ground_.mutation_epoch());

@@ -117,6 +117,13 @@ struct SolverStats {
   /// Session counters.
   std::size_t full_solves = 0;
   std::size_t incremental_updates = 0;
+  /// Memory-layout receipt of the grounding pipeline: the grounding-time
+  /// scratch counters recorded by the grounder, plus the live atom/term
+  /// table index counters (which keep accumulating as queries and
+  /// mutations intern), plus current peak RSS. Probe/collision/alloc
+  /// counters are zero under GroundOptions::layout == kNode (std
+  /// containers expose none). Refreshed with the rest of the stats.
+  GroundStats ground;
 };
 
 /// What one AssertFacts / RetractFacts call did. The component counts are
@@ -395,6 +402,10 @@ class Solver {
   /// Creates (or, after a session move, recreates) the compiled-kernel
   /// cache when the session's options call for one. EnsureGraph tail.
   void EnsureKernels();
+
+  /// Recomputes stats_.ground: grounding receipt + live table counters +
+  /// peak RSS. Called wherever the sibling shape counters refresh.
+  void RefreshGroundStats();
 
   /// Applies one batch of fact mutations and repairs the model.
   StatusOr<UpdateStats> MutateFacts(const std::vector<std::string>& atoms,

@@ -3,56 +3,124 @@
 #include <algorithm>
 #include <cassert>
 
+#include "util/span_hash.h"
+
 namespace afp {
 
-TermId TermTable::Intern(Key key) {
-  auto it = index_.find(key);
-  if (it != index_.end()) return it->second;
+std::size_t TermTable::KeyHash::operator()(const Key& k) const {
+  return static_cast<std::size_t>(HashTerm(k.kind, k.symbol, k.args));
+}
 
+std::uint64_t TermTable::HashTerm(TermKind kind, SymbolId symbol,
+                                  std::span<const TermId> args) {
+  std::uint64_t h = HashMixWord(kSpanHashSeed, static_cast<std::uint64_t>(kind));
+  h = HashMixWord(h, symbol);
+  h = HashMixSpan(h, args);
+  return HashAvalanche(h);
+}
+
+bool TermTable::TermEquals(TermId id, TermKind kind, SymbolId symbol,
+                           std::span<const TermId> args) const {
+  const Node& n = nodes_[id];
+  if (n.kind != kind || n.symbol != symbol || n.args_len != args.size()) {
+    return false;
+  }
+  return std::equal(args.begin(), args.end(), args_.data() + n.args_offset);
+}
+
+TermId TermTable::AppendNode(TermKind kind, SymbolId symbol,
+                             std::span<const TermId> args) {
   Node node;
-  node.kind = key.kind;
-  node.symbol = key.symbol;
+  node.kind = kind;
+  node.symbol = symbol;
   node.args_offset = static_cast<std::uint32_t>(args_.size());
-  node.args_len = static_cast<std::uint32_t>(key.args.size());
-  node.ground = key.kind != TermKind::kVariable;
+  node.args_len = static_cast<std::uint32_t>(args.size());
+  node.ground = kind != TermKind::kVariable;
   node.depth = 0;
-  for (TermId a : key.args) {
+  for (TermId a : args) {
     node.ground = node.ground && nodes_[a].ground;
     node.depth = std::max(node.depth, nodes_[a].depth + 1);
   }
-  args_.insert(args_.end(), key.args.begin(), key.args.end());
-
+  args_.insert(args_.end(), args.begin(), args.end());
   TermId id = static_cast<TermId>(nodes_.size());
   nodes_.push_back(node);
-  index_.emplace(std::move(key), id);
   return id;
 }
 
+TermId TermTable::Intern(TermKind kind, SymbolId symbol,
+                         std::span<const TermId> args) {
+  if (layout_ == IndexLayout::kFlat) {
+    const std::uint64_t h = HashTerm(kind, symbol, args);
+    const TermId next = static_cast<TermId>(nodes_.size());
+    const TermId got = flat_.FindOrInsert(h, next, [&](std::uint32_t id) {
+      return TermEquals(id, kind, symbol, args);
+    });
+    if (got == next) AppendNode(kind, symbol, args);
+    return got;
+  }
+  Key key{kind, symbol, {args.begin(), args.end()}};
+  auto it = node_.find(key);
+  if (it != node_.end()) return it->second;
+  TermId id = AppendNode(kind, symbol, args);
+  node_.emplace(std::move(key), id);
+  return id;
+}
+
+TermId TermTable::Find(TermKind kind, SymbolId symbol,
+                       std::span<const TermId> args) const {
+  if (layout_ == IndexLayout::kFlat) {
+    const std::uint64_t h = HashTerm(kind, symbol, args);
+    const std::uint32_t got = flat_.Find(h, [&](std::uint32_t id) {
+      return TermEquals(id, kind, symbol, args);
+    });
+    return got == FlatIndex::kNotFound ? kInvalidTerm : got;
+  }
+  auto it = node_.find(Key{kind, symbol, {args.begin(), args.end()}});
+  return it == node_.end() ? kInvalidTerm : it->second;
+}
+
+void TermTable::SetLayout(IndexLayout layout) {
+  if (layout == layout_) return;
+  layout_ = layout;
+  flat_.Clear();
+  node_.clear();
+  if (layout_ == IndexLayout::kFlat) {
+    flat_.Reserve(nodes_.size());
+    for (TermId id = 0; id < nodes_.size(); ++id) {
+      const Node& n = nodes_[id];
+      flat_.InsertUnique(HashTerm(n.kind, n.symbol, args(id)), id);
+    }
+  } else {
+    node_.reserve(nodes_.size());
+    for (TermId id = 0; id < nodes_.size(); ++id) {
+      const Node& n = nodes_[id];
+      auto as = args(id);
+      node_.emplace(Key{n.kind, n.symbol, {as.begin(), as.end()}}, id);
+    }
+  }
+}
+
 TermId TermTable::MakeConstant(SymbolId symbol) {
-  return Intern(Key{TermKind::kConstant, symbol, {}});
+  return Intern(TermKind::kConstant, symbol, {});
 }
 
 TermId TermTable::MakeVariable(SymbolId symbol) {
-  return Intern(Key{TermKind::kVariable, symbol, {}});
+  return Intern(TermKind::kVariable, symbol, {});
 }
 
 TermId TermTable::MakeCompound(SymbolId functor,
                                std::span<const TermId> args) {
   assert(!args.empty() && "zero-arity compounds must be constants");
-  return Intern(Key{TermKind::kCompound, functor,
-                    std::vector<TermId>(args.begin(), args.end())});
+  return Intern(TermKind::kCompound, functor, args);
 }
 
 TermId TermTable::FindConstant(SymbolId symbol) const {
-  auto it = index_.find(Key{TermKind::kConstant, symbol, {}});
-  return it == index_.end() ? kInvalidTerm : it->second;
+  return Find(TermKind::kConstant, symbol, {});
 }
 
 TermId TermTable::FindCompound(SymbolId functor,
                                std::span<const TermId> args) const {
-  auto it = index_.find(Key{TermKind::kCompound, functor,
-                            std::vector<TermId>(args.begin(), args.end())});
-  return it == index_.end() ? kInvalidTerm : it->second;
+  return Find(TermKind::kCompound, functor, args);
 }
 
 std::string TermTable::ToString(TermId t, const Interner& symbols) const {

@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/flat_index.h"
 #include "util/interner.h"
 
 namespace afp {
@@ -29,9 +30,24 @@ enum class TermKind : std::uint8_t {
 /// The Herbrand universe of a program (paper §3) is the set of ground terms
 /// formed from its constants and function symbols; TermTable is the concrete
 /// machinery backing it.
+///
+/// Interning is indexed by a FlatIndex probing the node/argument pools in
+/// place (IndexLayout::kFlat, the default): Make*/Find* hash the candidate
+/// (kind, symbol, args) directly from the caller's span and compare against
+/// resident terms through nodes_/args_, so a compound lookup materializes
+/// no key and performs no steady-state allocation. IndexLayout::kNode keeps
+/// the historical std::unordered_map<Key{vector}> index as the ablation
+/// baseline of the grounding `layout` bench axis.
 class TermTable {
  public:
-  TermTable() = default;
+  explicit TermTable(IndexLayout layout = IndexLayout::kFlat)
+      : layout_(layout) {}
+
+  /// Switches the index implementation, rebuilding the index over the
+  /// already interned terms (ids are unaffected — they are positional).
+  /// Grounding applies GroundOptions::layout to the program's table here.
+  void SetLayout(IndexLayout layout);
+  IndexLayout layout() const { return layout_; }
 
   /// Returns the (unique) constant term with the given symbol.
   TermId MakeConstant(SymbolId symbol);
@@ -62,6 +78,9 @@ class TermTable {
 
   std::size_t size() const { return nodes_.size(); }
 
+  /// Probe/allocation counters of the flat index (zero under kNode).
+  FlatIndexStats index_stats() const { return flat_.stats(); }
+
   /// Renders `t` using `symbols` for names, e.g. "f(a,g(X))".
   std::string ToString(TermId t, const Interner& symbols) const;
 
@@ -89,6 +108,9 @@ class TermTable {
     std::uint32_t args_len;
   };
 
+  /// kNode index key: an owning copy of the term structure (one heap
+  /// allocation per interned term, plus one per compound lookup). Kept
+  /// verbatim as the layout-axis baseline.
   struct Key {
     TermKind kind;
     SymbolId symbol;
@@ -98,18 +120,27 @@ class TermTable {
     }
   };
   struct KeyHash {
-    std::size_t operator()(const Key& k) const {
-      std::size_t h = static_cast<std::size_t>(k.kind) * 1000003u + k.symbol;
-      for (TermId a : k.args) h = h * 1000003u + a;
-      return h;
-    }
+    std::size_t operator()(const Key& k) const;
   };
 
-  TermId Intern(Key key);
+  static std::uint64_t HashTerm(TermKind kind, SymbolId symbol,
+                                std::span<const TermId> args);
+  /// True iff resident term `id` is (kind, symbol, args).
+  bool TermEquals(TermId id, TermKind kind, SymbolId symbol,
+                  std::span<const TermId> args) const;
 
+  TermId Intern(TermKind kind, SymbolId symbol, std::span<const TermId> args);
+  TermId Find(TermKind kind, SymbolId symbol,
+              std::span<const TermId> args) const;
+  /// Appends the node + argument payload; returns the new dense id.
+  TermId AppendNode(TermKind kind, SymbolId symbol,
+                    std::span<const TermId> args);
+
+  IndexLayout layout_ = IndexLayout::kFlat;
   std::vector<Node> nodes_;
   std::vector<TermId> args_;
-  std::unordered_map<Key, TermId, KeyHash> index_;
+  FlatIndex flat_;                                 // kFlat
+  std::unordered_map<Key, TermId, KeyHash> node_;  // kNode
 };
 
 }  // namespace afp

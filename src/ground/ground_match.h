@@ -2,11 +2,13 @@
 #define AFP_GROUND_GROUND_MATCH_H_
 
 #include <cstddef>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "ast/term.h"
 #include "ground/atom_table.h"
+#include "util/span_hash.h"
 
 namespace afp {
 
@@ -70,6 +72,19 @@ inline bool GroundMatchAtom(const TermTable& tt, const AtomTable& atoms,
   return true;
 }
 
+/// Shared hash of a ground rule instance (head :- pos..., not neg...),
+/// consumed both by the node-based signature sets below and by the flat
+/// in-place dedupe paths that hash the same structure straight out of a
+/// body pool without materializing a signature (ground/grounder.cc,
+/// ground/ground_program.cc).
+inline std::uint64_t HashGroundRule(AtomId head, std::span<const AtomId> pos,
+                                    std::span<const AtomId> neg) {
+  std::uint64_t h = HashMixWord(kSpanHashSeed, head);
+  h = HashMixSpan(h, pos);
+  h = HashMixSpan(h, neg);
+  return HashAvalanche(h);
+}
+
 /// Structural signature of a ground rule instance — the dedupe key of both
 /// grounders and the provenance-count key of the incremental one.
 struct GroundRuleSig {
@@ -82,10 +97,7 @@ struct GroundRuleSig {
 };
 struct GroundRuleSigHash {
   std::size_t operator()(const GroundRuleSig& s) const {
-    std::size_t h = s.head;
-    for (AtomId a : s.pos) h = h * 1000003u + a;
-    for (AtomId a : s.neg) h = h * 999979u + a + 1;
-    return h;
+    return static_cast<std::size_t>(HashGroundRule(s.head, s.pos, s.neg));
   }
 };
 

@@ -10,8 +10,42 @@
 
 #include "ast/program.h"
 #include "ground/atom_table.h"
+#include "util/flat_index.h"
 
 namespace afp {
+
+/// What grounding cost in memory-layout terms: the receipt of the flat
+/// interning pipeline (AtomTable / TermTable / instance dedupe / rule
+/// dedupe), surfaced through Solver::Stats and the CLI's --stats, and
+/// recorded per layout by bench_scale. Under IndexLayout::kNode the
+/// index counters stay zero (std containers expose no probe counts);
+/// atoms/rules/arena/RSS are layout-independent.
+struct GroundStats {
+  std::size_t atoms = 0;
+  std::size_t rules = 0;
+  /// Flat-index slots inspected / rejected across every interning lookup.
+  std::uint64_t intern_probes = 0;
+  std::uint64_t intern_collisions = 0;
+  /// Slot-array (re)allocations — the ONLY allocations the flat interning
+  /// path performs. A lookup of a present key (every AtomTable::Find, every
+  /// re-intern, every duplicate-rule rejection) allocates nothing; this
+  /// counter is the steady-state-zero-allocation regression guard.
+  std::uint64_t intern_allocs = 0;
+  /// Bytes handed out by the grounder's candidate-index arena.
+  std::size_t arena_bytes = 0;
+  /// Flat-index slot-array footprint across the live tables.
+  std::size_t index_bytes = 0;
+  /// Process peak RSS when the receipt was filled (0 where unavailable).
+  std::size_t peak_rss_bytes = 0;
+
+  /// Folds one index's counters into the receipt.
+  void Absorb(const FlatIndexStats& s) {
+    intern_probes += s.probes;
+    intern_collisions += s.collisions;
+    intern_allocs += s.grow_allocs;
+    index_bytes += s.capacity_bytes;
+  }
+};
 
 /// One instantiated rule of P_H: head :- pos..., not neg....
 /// Offsets index into the owning container's shared body pool.
@@ -47,8 +81,12 @@ struct RuleView {
 class GroundProgram {
  public:
   /// `source` provides the interner/term table used for rendering atom
-  /// names. Must outlive this object.
-  explicit GroundProgram(const Program* source) : source_(source) {}
+  /// names. Must outlive this object. `layout` selects the interning index
+  /// implementation for the atom table and the pre-seal rule dedupe
+  /// (GroundOptions::layout; kNode is the bench-axis ablation baseline).
+  explicit GroundProgram(const Program* source,
+                         IndexLayout layout = IndexLayout::kFlat)
+      : source_(source), layout_(layout), atoms_(layout) {}
 
   AtomTable& atoms() { return atoms_; }
   const AtomTable& atoms() const { return atoms_; }
@@ -70,14 +108,27 @@ class GroundProgram {
   bool AddRule(AtomId head, std::span<const AtomId> pos,
                std::span<const AtomId> neg, bool dedupe = true);
 
-  /// Releases the dedupe bookkeeping — a structural copy of every rule
-  /// body, easily rivaling the program itself in size — once construction
-  /// is complete. Called by the grounder before handing the program out;
-  /// rules added afterwards are appended without duplicate checks.
+  /// Releases the dedupe bookkeeping once construction is complete —
+  /// under kNode a structural copy of every rule body, easily rivaling the
+  /// program itself in size; under kFlat just the (hash, id) slot arrays,
+  /// whose probe counters are folded into the grounding receipt first.
+  /// Called by the grounder before handing the program out; rules added
+  /// afterwards are appended without duplicate checks.
   void SealRules() {
+    grounding_stats_.Absorb(seen_flat_.stats());
+    seen_flat_.Release();
     decltype(seen_rules_)().swap(seen_rules_);
     sealed_ = true;
   }
+
+  /// The flat-layout receipt of the grounding run that built this program
+  /// (counters of scratch structures the grounder destroys on completion;
+  /// the live atom/term table counters are read separately — see
+  /// Solver::Stats). Filled by the grounder; mutable access for it.
+  const GroundStats& grounding_stats() const { return grounding_stats_; }
+  GroundStats& grounding_stats_mutable() { return grounding_stats_; }
+
+  IndexLayout layout() const { return layout_; }
 
   /// --- Post-seal EDB mutation (Solver::AssertFacts / RetractFacts) ---
   ///
@@ -151,6 +202,10 @@ class GroundProgram {
   std::string ToString() const;
 
  private:
+  /// kNode dedupe key: an owning, sorted copy of the rule (two heap
+  /// allocations per candidate). Kept verbatim as the layout baseline;
+  /// the kFlat path hashes the sorted candidate from reusable scratch and
+  /// compares against rules_/body_pool_ in place.
   struct RuleKey {
     AtomId head;
     std::vector<AtomId> pos;
@@ -160,22 +215,30 @@ class GroundProgram {
     }
   };
   struct RuleKeyHash {
-    std::size_t operator()(const RuleKey& k) const {
-      std::size_t h = k.head;
-      for (AtomId a : k.pos) h = h * 1000003u + a;
-      for (AtomId a : k.neg) h = h * 999979u + a + 1;
-      return h;
-    }
+    std::size_t operator()(const RuleKey& k) const;
   };
+
+  /// True iff rule `id`, with its pos/neg bodies sorted, equals the sorted
+  /// candidate (sort_pos_/sort_neg_ + `head`). Reads body_pool_ in place;
+  /// the sort of the resident rule runs in eq_scratch_ and only on a full
+  /// 64-bit hash match (i.e. almost always on a genuine duplicate).
+  bool SortedRuleEquals(std::uint32_t id, AtomId head) const;
 
   /// Rebuilds fact_index_ (fact head -> rule id) on first mutation query.
   void EnsureFactIndex() const;
 
   const Program* source_;
+  IndexLayout layout_;
   AtomTable atoms_;
   std::vector<GroundRule> rules_;
   std::vector<AtomId> body_pool_;
-  std::unordered_set<RuleKey, RuleKeyHash> seen_rules_;
+  std::unordered_set<RuleKey, RuleKeyHash> seen_rules_;  // kNode
+  FlatIndex seen_flat_;                                  // kFlat
+  /// Reusable dedupe scratch (kFlat): sorted candidate bodies and the
+  /// sorted-resident comparison buffer. Steady-state allocation-free once
+  /// warmed to the longest body seen.
+  mutable std::vector<AtomId> sort_pos_, sort_neg_, eq_scratch_;
+  GroundStats grounding_stats_;
   bool sealed_ = false;
   std::uint64_t mutation_epoch_ = 0;
   mutable bool fact_index_built_ = false;

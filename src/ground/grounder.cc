@@ -2,12 +2,13 @@
 
 #include <algorithm>
 #include <cassert>
-#include <set>
+#include <new>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "ground/ground_match.h"
+#include "util/arena.h"
 
 namespace afp {
 
@@ -15,19 +16,53 @@ namespace {
 
 using Binding = GroundBinding;
 
-/// A fully instantiated rule awaiting final assembly.
+/// A fully instantiated rule awaiting final assembly (kNode layout: one
+/// node per rule, two owning vectors). The kFlat layout stores the same
+/// data as PendingMeta offsets into a shared AtomId pool.
 struct PendingRule {
   AtomId head;
   std::vector<AtomId> pos;
   std::vector<AtomId> neg;
 };
 
+/// kFlat pending-rule record: body literals live in pending_pool_.
+struct PendingMeta {
+  AtomId head;
+  std::uint32_t pos_offset;
+  std::uint32_t pos_len;
+  std::uint32_t neg_offset;
+  std::uint32_t neg_len;
+};
+
 /// Structural signature used to suppress duplicate instances during
 /// enumeration (the naive mode re-discovers instances every round).
 /// Matching and signature types are shared with the incremental
-/// delta-grounder (ground/ground_match.h).
+/// delta-grounder (ground/ground_match.h). kNode only; the kFlat path
+/// hashes the scratch instance and compares against the pending pool in
+/// place, materializing nothing.
 using RuleSig = GroundRuleSig;
 using RuleSigHash = GroundRuleSigHash;
+
+/// One growable arena-backed segment of a per-predicate candidate list.
+/// Chunks never move once allocated, so Join may keep walking a list while
+/// EmitInstance appends to it — the same append-during-iteration tolerance
+/// the kNode std::vector gets from index-based iteration.
+struct CandChunk {
+  CandChunk* next;
+  std::uint32_t count;
+  std::uint32_t cap;
+  AtomId* items() { return reinterpret_cast<AtomId*>(this + 1); }
+  const AtomId* items() const {
+    return reinterpret_cast<const AtomId*>(this + 1);
+  }
+};
+
+/// Head/tail of one predicate's chunk list (kFlat candidate index, indexed
+/// densely by SymbolId).
+struct PredList {
+  CandChunk* head = nullptr;
+  CandChunk* tail = nullptr;
+};
 
 /// Which derivation rounds a join position may draw candidates from.
 enum class RoundFilter { kOld, kDelta, kUpTo };
@@ -35,9 +70,14 @@ enum class RoundFilter { kOld, kDelta, kUpTo };
 class GrounderImpl {
  public:
   GrounderImpl(Program& program, const GroundOptions& opts)
-      : program_(program), opts_(opts) {}
+      : program_(program), opts_(opts), atoms_(opts.layout) {}
 
   StatusOr<GroundProgram> Run() {
+    // Ground instantiation interns one term per substituted argument; the
+    // program's term table is on the hot path and follows the same layout
+    // toggle as the atom tables (ids are insertion-ordered either way).
+    program_.terms().SetLayout(opts_.layout);
+
     // Split facts from proper rules; facts seed round 0.
     for (const Rule& r : program_.rules()) {
       if (r.IsFact(program_.terms())) {
@@ -79,8 +119,35 @@ class GrounderImpl {
   void MarkDerived(AtomId id, std::uint32_t round) {
     derived_[id] = true;
     round_[id] = round;
-    by_pred_[atoms_.predicate(id)].push_back(id);
+    const SymbolId pred = atoms_.predicate(id);
+    if (opts_.layout == IndexLayout::kFlat) {
+      if (pred >= by_pred_flat_.size()) by_pred_flat_.resize(pred + 1);
+      PredAppend(by_pred_flat_[pred], id);
+    } else {
+      by_pred_[pred].push_back(id);
+    }
     derived_log_.push_back(id);
+  }
+
+  CandChunk* NewChunk(std::uint32_t cap) {
+    void* mem = cand_arena_.Allocate(
+        sizeof(CandChunk) + cap * sizeof(AtomId), alignof(CandChunk));
+    return new (mem) CandChunk{nullptr, 0, cap};
+  }
+
+  void PredAppend(PredList& pl, AtomId id) {
+    if (pl.tail == nullptr || pl.tail->count == pl.tail->cap) {
+      const std::uint32_t cap =
+          pl.tail == nullptr ? 8u : std::min(pl.tail->cap * 2u, 4096u);
+      CandChunk* c = NewChunk(cap);
+      if (pl.tail == nullptr) {
+        pl.head = c;
+      } else {
+        pl.tail->next = c;
+      }
+      pl.tail = c;
+    }
+    pl.tail->items()[pl.tail->count++] = id;
   }
 
   // --- full (active-domain) instantiation ---
@@ -185,11 +252,18 @@ class GrounderImpl {
       } else {
         // Semi-naive: fire only the rules whose bodies mention a predicate
         // that gained atoms in the previous round, at that delta position.
-        std::set<SymbolId> delta_preds;
+        // Sorted-unique scratch, iterated in the same ascending-SymbolId
+        // order the historical std::set produced (rule firing order — and
+        // therefore atom/rule ids — must not depend on layout or hashing).
+        delta_preds_.clear();
         for (std::size_t i = delta_begin; i < delta_end; ++i) {
-          delta_preds.insert(atoms_.predicate(derived_log_[i]));
+          delta_preds_.push_back(atoms_.predicate(derived_log_[i]));
         }
-        for (SymbolId pred : delta_preds) {
+        std::sort(delta_preds_.begin(), delta_preds_.end());
+        delta_preds_.erase(
+            std::unique(delta_preds_.begin(), delta_preds_.end()),
+            delta_preds_.end());
+        for (SymbolId pred : delta_preds_) {
           auto it = triggers.find(pred);
           if (it == triggers.end()) continue;
           for (const auto& [r, dp] : it->second) {
@@ -236,28 +310,60 @@ class GrounderImpl {
       }
     }
 
-    auto it = by_pred_.find(lit->atom.predicate);
-    if (it == by_pred_.end()) return Status::Ok();
-    // Candidates derived in later rounds were appended later, so the list is
-    // sorted by round; we simply filter. Index-based iteration: EmitInstance
-    // may append to this same vector (atoms derived this round), which the
-    // round filter then rejects.
-    const std::vector<AtomId>& candidates = it->second;
-    for (std::size_t ci = 0; ci < candidates.size(); ++ci) {
-      AtomId cand = candidates[ci];
-      std::uint32_t cr = round_[cand];
-      if (cr > round - 1) break;  // derived this round; not visible yet
-      if (filter == RoundFilter::kOld && cr >= round - 1) break;
-      if (filter == RoundFilter::kDelta && cr != round - 1) continue;
-      std::vector<SymbolId> trail;
-      if (MatchAtom(lit->atom, cand, binding, trail)) {
-        matched.push_back(cand);
-        AFP_RETURN_IF_ERROR(Join(r, delta_pos, pos_index + 1, round, binding,
-                                 matched));
-        matched.pop_back();
+    // Candidates derived in later rounds were appended later, so either
+    // list form is sorted by round; we simply filter, and stop at the first
+    // atom of the current round. Both iterations tolerate EmitInstance
+    // appending to the very list being walked (atoms derived this round,
+    // which the round filter then rejects): the kNode vector is walked by
+    // index, the kFlat chunk list never relocates a chunk.
+    bool stop = false;
+    if (opts_.layout == IndexLayout::kFlat) {
+      const SymbolId pred = lit->atom.predicate;
+      if (pred >= by_pred_flat_.size()) return Status::Ok();
+      for (const CandChunk* c = by_pred_flat_[pred].head;
+           c != nullptr && !stop; c = c->next) {
+        for (std::uint32_t i = 0; i < c->count && !stop; ++i) {
+          AFP_RETURN_IF_ERROR(VisitCandidate(r, *lit, c->items()[i],
+                                             delta_pos, pos_index, round,
+                                             filter, binding, matched, stop));
+        }
       }
-      for (SymbolId v : trail) binding.erase(v);
+    } else {
+      auto it = by_pred_.find(lit->atom.predicate);
+      if (it == by_pred_.end()) return Status::Ok();
+      const std::vector<AtomId>& candidates = it->second;
+      for (std::size_t ci = 0; ci < candidates.size() && !stop; ++ci) {
+        AFP_RETURN_IF_ERROR(VisitCandidate(r, *lit, candidates[ci], delta_pos,
+                                           pos_index, round, filter, binding,
+                                           matched, stop));
+      }
     }
+    return Status::Ok();
+  }
+
+  /// Round-filters one candidate atom and, on a successful match, recurses
+  /// into the next join position. Sets `stop` when the candidate list has
+  /// advanced past the rounds this position may see.
+  Status VisitCandidate(const Rule& r, const Literal& lit, AtomId cand,
+                        std::size_t delta_pos, std::size_t pos_index,
+                        std::uint32_t round, RoundFilter filter,
+                        Binding& binding, std::vector<AtomId>& matched,
+                        bool& stop) {
+    const std::uint32_t cr = round_[cand];
+    if (cr > round - 1 ||  // derived this round; not visible yet
+        (filter == RoundFilter::kOld && cr >= round - 1)) {
+      stop = true;
+      return Status::Ok();
+    }
+    if (filter == RoundFilter::kDelta && cr != round - 1) return Status::Ok();
+    std::vector<SymbolId> trail;
+    if (MatchAtom(lit.atom, cand, binding, trail)) {
+      matched.push_back(cand);
+      Status s = Join(r, delta_pos, pos_index + 1, round, binding, matched);
+      if (!s.ok()) return s;
+      matched.pop_back();
+    }
+    for (SymbolId v : trail) binding.erase(v);
     return Status::Ok();
   }
 
@@ -269,34 +375,103 @@ class GrounderImpl {
 
   // --- instance emission ---
 
+  /// Substitutes `binding` into `a`'s arguments; every result must be
+  /// ground (guaranteed by rule safety for head and body alike).
+  Status SubstArgs(const Rule& r, const Atom& a, const Binding& binding,
+                   const char* what, std::vector<TermId>& out) {
+    out.clear();
+    out.reserve(a.args.size());
+    for (TermId t : a.args) {
+      TermId g = program_.terms().Substitute(t, binding);
+      if (!program_.terms().IsGround(g)) {
+        return Status::Internal(std::string("non-ground ") + what +
+                                " after substitution in '" +
+                                program_.RuleToString(r) + "'");
+      }
+      out.push_back(g);
+    }
+    return Status::Ok();
+  }
+
   Status EmitInstance(const Rule& r, const Binding& binding) {
+    return opts_.layout == IndexLayout::kFlat ? EmitInstanceFlat(r, binding)
+                                              : EmitInstanceNode(r, binding);
+  }
+
+  /// kFlat emission: substitute into reusable scratch, dedupe by hashing
+  /// the scratch instance against the pending pool in place, then append
+  /// to the pool. Steady state (duplicate instance, warmed scratch) touches
+  /// the allocator zero times.
+  Status EmitInstanceFlat(const Rule& r, const Binding& binding) {
+    AFP_RETURN_IF_ERROR(SubstArgs(r, r.head, binding, "head", emit_args_));
+    AtomId head;
+    AFP_ASSIGN_OR_RETURN(head, InternAtom(r.head.predicate, emit_args_));
+    emit_pos_.clear();
+    emit_neg_.clear();
+    for (const Literal& l : r.body) {
+      AFP_RETURN_IF_ERROR(
+          SubstArgs(r, l.atom, binding, "body literal", emit_args_));
+      AFP_ASSIGN_OR_RETURN(AtomId id, InternAtom(l.atom.predicate,
+                                                 emit_args_));
+      (l.positive ? emit_pos_ : emit_neg_).push_back(id);
+    }
+
+    const std::uint64_t h = HashGroundRule(head, emit_pos_, emit_neg_);
+    const std::uint32_t next =
+        static_cast<std::uint32_t>(pending_meta_.size());
+    const std::uint32_t got = emitted_flat_.FindOrInsert(
+        h, next, [&](std::uint32_t id) { return PendingEquals(id, head); });
+    if (got != next) return Status::Ok();
+    if (pending_meta_.size() >= opts_.max_rules) {
+      return Status::ResourceExhausted(
+          "grounding exceeded max_rules=" + std::to_string(opts_.max_rules));
+    }
+    if (!derived_[head]) MarkDerived(head, current_emit_round_);
+    PendingMeta m;
+    m.head = head;
+    m.pos_offset = static_cast<std::uint32_t>(pending_pool_.size());
+    m.pos_len = static_cast<std::uint32_t>(emit_pos_.size());
+    pending_pool_.insert(pending_pool_.end(), emit_pos_.begin(),
+                         emit_pos_.end());
+    m.neg_offset = static_cast<std::uint32_t>(pending_pool_.size());
+    m.neg_len = static_cast<std::uint32_t>(emit_neg_.size());
+    pending_pool_.insert(pending_pool_.end(), emit_neg_.begin(),
+                         emit_neg_.end());
+    pending_meta_.push_back(m);
+    return Status::Ok();
+  }
+
+  /// True iff pending instance `id` equals the scratch instance
+  /// (emit_pos_/emit_neg_ + `head`). Order-sensitive, like the RuleSig it
+  /// replaces — body reordering is collapsed later by GroundProgram's
+  /// structural dedupe. Reads pending_pool_ in place.
+  bool PendingEquals(std::uint32_t id, AtomId head) const {
+    const PendingMeta& m = pending_meta_[id];
+    if (m.head != head || m.pos_len != emit_pos_.size() ||
+        m.neg_len != emit_neg_.size()) {
+      return false;
+    }
+    const AtomId* pool = pending_pool_.data();
+    return std::equal(emit_pos_.begin(), emit_pos_.end(),
+                      pool + m.pos_offset) &&
+           std::equal(emit_neg_.begin(), emit_neg_.end(),
+                      pool + m.neg_offset);
+  }
+
+  /// kNode emission, kept verbatim as the layout-axis baseline: one owning
+  /// PendingRule plus a structural RuleSig copy per unique instance, and a
+  /// discarded RuleSig copy per duplicate.
+  Status EmitInstanceNode(const Rule& r, const Binding& binding) {
     PendingRule pr;
-    // Head: substitute and intern; must be ground by safety.
     {
       std::vector<TermId> args;
-      args.reserve(r.head.args.size());
-      for (TermId t : r.head.args) {
-        TermId g = program_.terms().Substitute(t, binding);
-        if (!program_.terms().IsGround(g)) {
-          return Status::Internal("non-ground head after substitution in '" +
-                                  program_.RuleToString(r) + "'");
-        }
-        args.push_back(g);
-      }
+      AFP_RETURN_IF_ERROR(SubstArgs(r, r.head, binding, "head", args));
       AFP_ASSIGN_OR_RETURN(pr.head, InternAtom(r.head.predicate, args));
     }
     for (const Literal& l : r.body) {
       std::vector<TermId> args;
-      args.reserve(l.atom.args.size());
-      for (TermId t : l.atom.args) {
-        TermId g = program_.terms().Substitute(t, binding);
-        if (!program_.terms().IsGround(g)) {
-          return Status::Internal(
-              "non-ground body literal after substitution in '" +
-              program_.RuleToString(r) + "'");
-        }
-        args.push_back(g);
-      }
+      AFP_RETURN_IF_ERROR(SubstArgs(r, l.atom, binding, "body literal",
+                                    args));
       AFP_ASSIGN_OR_RETURN(AtomId id, InternAtom(l.atom.predicate, args));
       (l.positive ? pr.pos : pr.neg).push_back(id);
     }
@@ -316,7 +491,7 @@ class GrounderImpl {
 
   StatusOr<GroundProgram> Assemble() {
     const bool simplify = opts_.simplify && opts_.mode != GroundMode::kFull;
-    GroundProgram gp(&program_);
+    GroundProgram gp(&program_, opts_.layout);
 
     // Compact the atom table: in simplify mode, only derivable atoms remain
     // in the base (everything else is certainly false and gets erased from
@@ -332,19 +507,45 @@ class GrounderImpl {
       gp.AddRule(remap[f], {}, {});
     }
     std::vector<AtomId> pos, neg;
-    for (const PendingRule& pr : pending_) {
+    auto add_pending = [&](AtomId head, std::span<const AtomId> ppos,
+                           std::span<const AtomId> pneg) {
       pos.clear();
       neg.clear();
-      for (AtomId a : pr.pos) pos.push_back(remap[a]);
-      for (AtomId a : pr.neg) {
+      for (AtomId a : ppos) pos.push_back(remap[a]);
+      for (AtomId a : pneg) {
         if (simplify && !derived_[a]) continue;  // certainly-true literal
         neg.push_back(remap[a]);
       }
-      gp.AddRule(remap[pr.head], pos, neg);
+      gp.AddRule(remap[head], pos, neg);
+    };
+    if (opts_.layout == IndexLayout::kFlat) {
+      for (const PendingMeta& m : pending_meta_) {
+        add_pending(m.head,
+                    {pending_pool_.data() + m.pos_offset, m.pos_len},
+                    {pending_pool_.data() + m.neg_offset, m.neg_len});
+      }
+    } else {
+      for (const PendingRule& pr : pending_) {
+        add_pending(pr.head, pr.pos, pr.neg);
+      }
     }
-    // Grounding is done: drop the dedupe set (it holds a structural copy
-    // of every rule body) before the program starts its long life.
+
+    // The grounding receipt: fold in the counters of every scratch
+    // structure this grounder is about to destroy (its own atom table, the
+    // instance-dedupe index, the candidate-index arena). The live tables
+    // the program keeps (gp.atoms(), program_.terms()) are read separately
+    // by Solver::Stats so their counters keep accumulating.
+    GroundStats& gs = gp.grounding_stats_mutable();
+    gs.Absorb(atoms_.index_stats());
+    gs.Absorb(emitted_flat_.stats());
+    gs.arena_bytes = cand_arena_.total_allocated();
+
+    // Grounding is done: drop the dedupe bookkeeping (under kNode a
+    // structural copy of every rule body) before the program starts its
+    // long life. Folds the rule-dedupe index counters into the receipt.
     gp.SealRules();
+    gs.atoms = gp.num_atoms();
+    gs.rules = gp.num_rules();
     return gp;
   }
 
@@ -356,11 +557,29 @@ class GrounderImpl {
   std::vector<bool> derived_;
   std::vector<std::uint32_t> round_;
   std::vector<AtomId> derived_log_;  // derivation order, grouped by round
-  std::unordered_map<SymbolId, std::vector<AtomId>> by_pred_;
   std::vector<AtomId> fact_atoms_;
+  std::uint32_t current_emit_round_ = 1;
+
+  // Per-predicate candidate index. kNode: hash map of owning vectors.
+  // kFlat: dense-by-SymbolId chunk lists bump-allocated from an arena.
+  std::unordered_map<SymbolId, std::vector<AtomId>> by_pred_;
+  std::vector<PredList> by_pred_flat_;
+  Arena cand_arena_;
+
+  // Emitted-instance dedupe + pending storage. kNode: signature set plus
+  // one PendingRule node per instance. kFlat: (hash, id) index over a
+  // shared AtomId pool.
   std::vector<PendingRule> pending_;
   std::unordered_set<RuleSig, RuleSigHash> emitted_;
-  std::uint32_t current_emit_round_ = 1;
+  std::vector<PendingMeta> pending_meta_;
+  std::vector<AtomId> pending_pool_;
+  FlatIndex emitted_flat_;
+
+  // Reusable emission scratch (kFlat; also SmartInstantiation's per-round
+  // delta-predicate set, both layouts).
+  std::vector<TermId> emit_args_;
+  std::vector<AtomId> emit_pos_, emit_neg_;
+  std::vector<SymbolId> delta_preds_;
 };
 
 }  // namespace

@@ -5,6 +5,7 @@
 
 #include "ast/program.h"
 #include "ground/ground_program.h"
+#include "util/flat_index.h"
 #include "util/status.h"
 
 namespace afp {
@@ -40,6 +41,15 @@ struct GroundOptions {
   /// universes reachable through function symbols).
   std::size_t max_atoms = 5'000'000;
   std::size_t max_rules = 20'000'000;
+  /// Memory layout of every hot interning structure along the pipeline:
+  /// the program's TermTable, the grounder's scratch AtomTable, instance
+  /// dedupe and per-predicate candidate index, and the produced
+  /// GroundProgram's atom table and pre-seal rule dedupe. kFlat (default)
+  /// is the pool-probing FlatIndex + arena layout; kNode preserves the
+  /// node-based std::unordered_map/set structures with heap-copied keys as
+  /// the `layout` bench-axis ablation baseline. Atom ids, rule order and
+  /// models are bit-identical across the two (pinned by grounder_test).
+  IndexLayout layout = IndexLayout::kFlat;
 };
 
 /// Computes the (relevant) Herbrand instantiation of `program`.

@@ -1,0 +1,32 @@
+#ifndef AFP_UTIL_RSS_H_
+#define AFP_UTIL_RSS_H_
+
+#include <cstddef>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace afp {
+
+/// Peak resident set size of this process in bytes (getrusage ru_maxrss),
+/// or 0 where unavailable. Monotone for the process lifetime — comparing
+/// two configurations needs one process per configuration (bench_scale
+/// forks a child per run for exactly this reason).
+inline std::size_t PeakRssBytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::size_t>(ru.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<std::size_t>(ru.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
+}  // namespace afp
+
+#endif  // AFP_UTIL_RSS_H_

@@ -1,0 +1,233 @@
+// FlatIndex tests: randomized differential fuzz against std::unordered_map,
+// dense-id stability across growth, and the kFlat-vs-kNode interning
+// lockstep stress on AtomTable (the two layouts must hand out bit-identical
+// ids in every interleaving).
+
+#include "util/flat_index.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <unordered_map>
+#include <vector>
+
+#include "ground/atom_table.h"
+#include "util/span_hash.h"
+
+namespace afp {
+namespace {
+
+// A minimal owning pool in the style FlatIndex is designed for: keys live
+// here, the index stores only (hash, id).
+struct Pool {
+  std::vector<std::uint64_t> keys;
+  FlatIndex index;
+
+  static std::uint64_t Hash(std::uint64_t key) {
+    return HashAvalanche(key + kSpanHashSeed);
+  }
+
+  std::uint32_t Intern(std::uint64_t key) {
+    const std::uint32_t next = static_cast<std::uint32_t>(keys.size());
+    const std::uint32_t id = index.FindOrInsert(
+        Hash(key), next, [&](std::uint32_t id) { return keys[id] == key; });
+    if (id == next) keys.push_back(key);
+    return id;
+  }
+
+  std::uint32_t Find(std::uint64_t key) const {
+    return index.Find(Hash(key),
+                      [&](std::uint32_t id) { return keys[id] == key; });
+  }
+};
+
+TEST(FlatIndex, EmptyIndexFindsNothing) {
+  Pool pool;
+  EXPECT_TRUE(pool.index.empty());
+  EXPECT_EQ(pool.Find(42), FlatIndex::kNotFound);
+  EXPECT_EQ(pool.index.stats().grow_allocs, 0u);
+}
+
+TEST(FlatIndex, InternIsIdempotentAndDense) {
+  Pool pool;
+  EXPECT_EQ(pool.Intern(7), 0u);
+  EXPECT_EQ(pool.Intern(9), 1u);
+  EXPECT_EQ(pool.Intern(7), 0u);
+  EXPECT_EQ(pool.Find(9), 1u);
+  EXPECT_EQ(pool.Find(8), FlatIndex::kNotFound);
+  EXPECT_EQ(pool.index.size(), 2u);
+}
+
+TEST(FlatIndex, DenseIdsSurviveGrowth) {
+  // Insert well past several doublings; every id handed out early must
+  // still resolve after the rehashes (which re-place from stored hashes).
+  Pool pool;
+  constexpr std::uint32_t kN = 10000;
+  for (std::uint32_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(pool.Intern(i * 2654435761u), i);
+  }
+  EXPECT_GT(pool.index.stats().grow_allocs, 5u);
+  for (std::uint32_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(pool.Find(i * 2654435761u), i);
+  }
+  EXPECT_EQ(pool.Find(1), FlatIndex::kNotFound);
+}
+
+TEST(FlatIndex, ReservePreventsIntermediateGrowth) {
+  Pool pool;
+  pool.index.Reserve(10000);
+  const std::uint64_t allocs_after_reserve = pool.index.stats().grow_allocs;
+  EXPECT_EQ(allocs_after_reserve, 1u);
+  for (std::uint32_t i = 0; i < 10000; ++i) pool.Intern(i * 2654435761u);
+  EXPECT_EQ(pool.index.stats().grow_allocs, allocs_after_reserve)
+      << "Reserve(n) must pre-size so n inserts trigger no rehash";
+}
+
+TEST(FlatIndex, SteadyStateLookupsNeverGrow) {
+  Pool pool;
+  for (std::uint32_t i = 0; i < 1000; ++i) pool.Intern(i * 2654435761u);
+  const std::uint64_t allocs = pool.index.stats().grow_allocs;
+  // Hits via both Find and FindOrInsert, plus misses: no growth.
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    pool.Find(i * 2654435761u);
+    pool.Intern(i * 2654435761u);
+    pool.Find(i * 2654435761u + 1);
+  }
+  EXPECT_EQ(pool.index.stats().grow_allocs, allocs);
+}
+
+TEST(FlatIndex, InsertUniqueRebuildMatchesFindOrInsert) {
+  // Index rebuild path (SetLayout): InsertUnique over known-distinct keys
+  // must produce a probeable index identical to the incremental build.
+  Pool incremental;
+  for (std::uint32_t i = 0; i < 500; ++i) incremental.Intern(i * 7919u);
+
+  Pool rebuilt;
+  rebuilt.keys = incremental.keys;
+  rebuilt.index.Reserve(rebuilt.keys.size());
+  for (std::uint32_t i = 0; i < rebuilt.keys.size(); ++i) {
+    rebuilt.index.InsertUnique(Pool::Hash(rebuilt.keys[i]), i);
+  }
+  for (std::uint32_t i = 0; i < 500; ++i) {
+    ASSERT_EQ(rebuilt.Find(i * 7919u), incremental.Find(i * 7919u));
+  }
+}
+
+TEST(FlatIndex, ClearAndReleaseResetState) {
+  Pool pool;
+  for (std::uint32_t i = 0; i < 100; ++i) pool.Intern(i);
+  pool.index.Clear();
+  pool.keys.clear();
+  EXPECT_EQ(pool.index.size(), 0u);
+  EXPECT_EQ(pool.Find(5), FlatIndex::kNotFound);
+  EXPECT_EQ(pool.Intern(5), 0u);  // reusable after Clear
+
+  pool.index.Release();
+  EXPECT_EQ(pool.index.size(), 0u);
+  EXPECT_EQ(pool.index.stats().capacity_bytes, 0u)
+      << "Release must drop the slot arrays, not just forget the entries";
+}
+
+TEST(FlatIndex, RandomizedDifferentialAgainstUnorderedMap) {
+  // Drive the pool and a std::unordered_map<key, id> reference through the
+  // same randomized op stream; they must agree on every result. Keys are
+  // drawn from a small-ish domain so hits, misses and collisions all occur.
+  std::mt19937_64 rng(20260808);
+  for (int round = 0; round < 4; ++round) {
+    Pool pool;
+    std::unordered_map<std::uint64_t, std::uint32_t> ref;
+    std::uniform_int_distribution<std::uint64_t> key_dist(
+        0, 1u << (10 + 2 * round));
+    for (int op = 0; op < 20000; ++op) {
+      const std::uint64_t key = key_dist(rng);
+      if (rng() % 3 == 0) {
+        const auto it = ref.find(key);
+        const std::uint32_t expect =
+            it == ref.end() ? FlatIndex::kNotFound : it->second;
+        ASSERT_EQ(pool.Find(key), expect) << "round " << round << " op " << op;
+      } else {
+        const auto [it, inserted] =
+            ref.emplace(key, static_cast<std::uint32_t>(ref.size()));
+        ASSERT_EQ(pool.Intern(key), it->second)
+            << "round " << round << " op " << op;
+      }
+    }
+    ASSERT_EQ(pool.index.size(), ref.size());
+  }
+}
+
+TEST(FlatIndex, AdversarialHashCollisionsStayCorrect) {
+  // Force identical stored hashes: correctness must come from eq() alone.
+  std::vector<std::uint64_t> keys;
+  FlatIndex index;
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    const std::uint32_t next = static_cast<std::uint32_t>(keys.size());
+    const std::uint32_t id = index.FindOrInsert(
+        /*hash=*/12345, next, [&](std::uint32_t id) { return keys[id] == i; });
+    ASSERT_EQ(id, next);
+    keys.push_back(i);
+  }
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    ASSERT_EQ(index.Find(12345,
+                         [&](std::uint32_t id) { return keys[id] == i; }),
+              i);
+  }
+  EXPECT_EQ(
+      index.Find(12345, [&](std::uint32_t id) { return keys[id] == 999; }),
+      FlatIndex::kNotFound);
+}
+
+// ---------------------------------------------------------------------------
+// AtomTable layout lockstep
+// ---------------------------------------------------------------------------
+
+TEST(FlatIndexLayout, MillionInternLockstep) {
+  // The layout toggle must be invisible in ids: drive a kFlat and a kNode
+  // AtomTable through the same million-op intern/find stream (heavy repeat
+  // rate, varying arities) and require identical results at every step.
+  AtomTable flat(IndexLayout::kFlat);
+  AtomTable node(IndexLayout::kNode);
+  std::mt19937_64 rng(89);
+  std::uniform_int_distribution<std::uint32_t> pred_dist(0, 15);
+  std::uniform_int_distribution<std::uint32_t> term_dist(0, 199);
+  std::uniform_int_distribution<std::uint32_t> arity_dist(0, 3);
+
+  TermId args[3];
+  for (int op = 0; op < 1000000; ++op) {
+    const SymbolId pred = pred_dist(rng);
+    const std::uint32_t arity = arity_dist(rng);
+    for (std::uint32_t i = 0; i < arity; ++i) args[i] = term_dist(rng);
+    const std::span<const TermId> span(args, arity);
+    if (op % 4 == 0) {
+      ASSERT_EQ(flat.Find(pred, span), node.Find(pred, span)) << "op " << op;
+    } else {
+      ASSERT_EQ(flat.Intern(pred, span), node.Intern(pred, span))
+          << "op " << op;
+    }
+  }
+  ASSERT_EQ(flat.size(), node.size());
+  // kNode performed no flat-index work; kFlat allocated only on growth.
+  EXPECT_EQ(node.index_stats().probes, 0u);
+  EXPECT_GT(flat.index_stats().probes, 0u);
+}
+
+TEST(FlatIndexLayout, SetLayoutRebuildsWithoutRenumbering) {
+  // Intern under kNode, flip to kFlat (the Grounder does this when the
+  // program's tables were populated before GroundOptions were known), and
+  // require every id to resolve unchanged — then keep interning.
+  AtomTable table(IndexLayout::kNode);
+  std::vector<TermId> args = {3, 4};
+  const AtomId a = table.Intern(1, args);
+  const AtomId b = table.Intern(2, args);
+  table.SetLayout(IndexLayout::kFlat);
+  EXPECT_EQ(table.Find(1, args), a);
+  EXPECT_EQ(table.Find(2, args), b);
+  const AtomId c = table.Intern(3, args);
+  EXPECT_EQ(c, 2u);
+  table.SetLayout(IndexLayout::kNode);
+  EXPECT_EQ(table.Find(3, args), c);
+}
+
+}  // namespace
+}  // namespace afp

@@ -169,6 +169,84 @@ TEST(Grounder, TotalSizeAccounting) {
   EXPECT_EQ(gp.TotalSize(), 4u);
 }
 
+TEST(Grounder, LayoutsProduceBitIdenticalGroundPrograms) {
+  // GroundOptions::layout is a constant-factor toggle: kFlat and kNode must
+  // produce the same atoms, same ids, same rules in the same order — so the
+  // rendered programs compare equal as strings.
+  auto programs = [] {
+    std::vector<std::pair<Program, Program>> ps;
+    ps.emplace_back(workload::WinMove(graphs::ErdosRenyi(64, 256, 7)),
+                    workload::WinMove(graphs::ErdosRenyi(64, 256, 7)));
+    ps.emplace_back(
+        workload::TransitiveClosureComplement(graphs::ErdosRenyi(24, 48, 3)),
+        workload::TransitiveClosureComplement(graphs::ErdosRenyi(24, 48, 3)));
+    auto parsed = ParseProgram(R"(
+      n(z). bound(z). bound(s(z)).
+      n(s(X)) :- n(X), bound(X).
+      odd(s(X)) :- n(s(X)), not odd(X).
+    )");
+    EXPECT_TRUE(parsed.ok());
+    auto parsed2 = ParseProgram(R"(
+      n(z). bound(z). bound(s(z)).
+      n(s(X)) :- n(X), bound(X).
+      odd(s(X)) :- n(s(X)), not odd(X).
+    )");
+    EXPECT_TRUE(parsed2.ok());
+    ps.emplace_back(std::move(parsed).value(), std::move(parsed2).value());
+    return ps;
+  }();
+  for (auto& [p_flat, p_node] : programs) {
+    GroundOptions flat;
+    flat.layout = IndexLayout::kFlat;
+    GroundOptions node;
+    node.layout = IndexLayout::kNode;
+    GroundProgram g1 = MustGround(p_flat, flat);
+    GroundProgram g2 = MustGround(p_node, node);
+    ASSERT_EQ(g1.num_atoms(), g2.num_atoms());
+    ASSERT_EQ(g1.num_rules(), g2.num_rules());
+    EXPECT_EQ(g1.ToString(), g2.ToString());
+  }
+}
+
+TEST(Grounder, SteadyStateLookupsDoNotAllocate) {
+  // Regression guard for the AtomTable::Find fast path: Find used to build
+  // a Key{pred, std::vector<TermId>} per call — one heap allocation per
+  // negative-literal probe. Under kFlat, lookups on a populated table must
+  // move the probe counters without ever touching grow_allocs (the only
+  // counter that increments when the index allocates).
+  Program p = workload::WinMove(graphs::ErdosRenyi(128, 512, 11));
+  GroundProgram gp = MustGround(p);
+  const AtomTable& atoms = gp.atoms();
+  ASSERT_GT(atoms.size(), 0u);
+
+  const FlatIndexStats before = atoms.index_stats();
+  for (AtomId a = 0; a < gp.num_atoms(); ++a) {
+    ASSERT_EQ(atoms.Find(atoms.predicate(a), atoms.args(a)), a);
+  }
+  const FlatIndexStats after = atoms.index_stats();
+  EXPECT_GT(after.probes, before.probes) << "counters should be live";
+  EXPECT_EQ(after.grow_allocs, before.grow_allocs)
+      << "a steady-state Find must never allocate";
+  EXPECT_EQ(after.capacity_bytes, before.capacity_bytes);
+}
+
+TEST(Grounder, GroundStatsReceiptIsFilled) {
+  Program p = workload::WinMove(graphs::ErdosRenyi(64, 256, 7));
+  GroundProgram gp = MustGround(p);
+  const GroundStats& g = gp.grounding_stats();
+  EXPECT_EQ(g.atoms, gp.num_atoms());
+  EXPECT_EQ(g.rules, gp.num_rules());
+  EXPECT_GT(g.intern_probes, 0u);
+  EXPECT_GT(g.arena_bytes, 0u);
+
+  // The kNode ablation baseline runs no flat index at all.
+  Program p2 = workload::WinMove(graphs::ErdosRenyi(64, 256, 7));
+  GroundOptions node;
+  node.layout = IndexLayout::kNode;
+  GroundProgram gp2 = MustGround(p2, node);
+  EXPECT_EQ(gp2.grounding_stats().intern_probes, 0u);
+}
+
 TEST(Grounder, PostSealAddRuleMaintainsFactIndex) {
   // Regression: AddRule is public, and calling it on a sealed program with
   // an empty body is an EDB fact append by another name. The lazily built

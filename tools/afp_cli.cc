@@ -48,6 +48,12 @@
 //                                      to N workers, each with its own
 //                                      pooled context (default 1; models
 //                                      are identical at every N)
+//   --layout=flat|node                 memory layout of the grounding
+//                                      pipeline's interning structures
+//                                      (default flat; node = the node-based
+//                                      ablation baseline of the bench
+//                                      `layout` axis; models and ids are
+//                                      identical in both)
 //   --query=ATOM                       point query (repeatable via commas)
 //   --select=PATTERN                   enumerate matches, e.g. wins(X)
 //   --trace                            print the Table-I style trace (wfs)
@@ -99,6 +105,7 @@ struct Options {
   bool inner_given = false;
   std::string compile = "hot";
   bool compile_given = false;
+  std::string layout = "flat";
   int threads = 1;
   bool threads_given = false;
   std::vector<std::string> queries;
@@ -191,6 +198,7 @@ int main(int argc, char** argv) {
       opts.compile_given = true;
       continue;
     }
+    if (ParseFlag(arg, "layout", &opts.layout)) continue;
     if (ParseFlag(arg, "threads", &value)) {
       try {
         opts.threads = std::stoi(value);
@@ -368,6 +376,13 @@ int main(int argc, char** argv) {
   sopts.num_threads = opts.threads;
   sopts.compile = compile_mode;
   sopts.record_trace = opts.trace;
+  if (opts.layout == "node") {
+    sopts.ground.layout = afp::IndexLayout::kNode;
+  } else if (opts.layout != "flat") {
+    std::cerr << "afp: bad --layout value '" << opts.layout
+              << "' (flat|node)\n";
+    return 1;
+  }
   // Fitting/IFP need the rule instances whose positive bodies are
   // underivable (see GroundMode documentation).
   if (opts.semantics == "fitting" || opts.semantics == "ifp") {
@@ -390,6 +405,14 @@ int main(int argc, char** argv) {
     std::cout << "% atoms: " << gp.num_atoms()
               << "  rules: " << gp.num_rules()
               << "  size: " << gp.TotalSize() << "\n";
+    const afp::GroundStats& g = solver.Stats().ground;
+    std::cout << "% layout: " << afp::IndexLayoutName(gp.layout())
+              << "  intern probes: " << g.intern_probes
+              << "  intern collisions: " << g.intern_collisions
+              << "  intern grow allocs: " << g.intern_allocs << "\n";
+    std::cout << "% arena bytes: " << g.arena_bytes
+              << "  index bytes: " << g.index_bytes
+              << "  peak rss bytes: " << g.peak_rss_bytes << "\n";
   }
   if (!opts.mutations.empty() && opts.semantics != "wfs") {
     std::cerr << "afp: note: --assert/--retract/--add-rule/--remove-rule "
