@@ -1,0 +1,227 @@
+// Parallel stable-model search bench: wall time of the branch-tree engine
+// (src/search/) at 1/2/4/8 worker threads, per workload. This is the bench
+// behind the `search` axis of BENCH_ablation_axis.json: tools/run_benches.sh
+// stores the report as BENCH_search.json and distills per-workload thread
+// rows (speedup over the 1-thread run, which takes the exact sequential
+// in-line path of the work pool), and tools/check_ablation_axis.py gates CI
+// on the flagship 4-thread speedup.
+//
+// Like bench_scale this binary is self-timed and prints a native JSON
+// report on stdout. Each (workload, threads, variant) config runs in a
+// forked child so allocator and registry state never leak between timings;
+// within the child the same engine is run twice and the faster run is
+// reported (enumeration is deterministic, so the second run does identical
+// work on warm pools).
+//
+// Every row carries the model count, the node count, and an FNV-1a hash of
+// the full emission sequence (model set AND order), so the distiller can
+// assert that every thread count produced the bit-identical enumeration —
+// the subsystem's core contract — before any wall-clock ratio is trusted.
+//
+// Workloads: EvenCycleClusters(k, chain_len) — k independent even negative
+// cycles (2^k stable models, a full depth-k branch tree) with a chain of
+// chain_len alternating atoms per cluster so each node's propagation does
+// real per-node fixpoint work. The `seeded` variant rows re-run the
+// 1-thread flagship with the root propagation seeded from a precomputed
+// well-founded model (the Solver::StableModels warm path); info only, not
+// gated.
+
+#include <unistd.h>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/alternating.h"
+#include "ground/grounder.h"
+#include "search/stable_search.h"
+#include "workload/programs.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Config {
+  const char* workload;
+  int clusters;
+  int chain_len;
+};
+
+// The flagship row is EvenCycleClusters/12x24: 4096 stable models over a
+// 4096-leaf branch tree, ~300 atoms of per-node propagation. The second
+// row trades tree width for per-node propagation depth.
+constexpr Config kConfigs[] = {
+    {"EvenCycleClusters/12x24", 12, 24},
+    {"EvenCycleClusters/9x48", 9, 48},
+};
+
+constexpr int kThreadCounts[] = {1, 2, 4, 8};
+
+double Ms(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+             b - a)
+      .count();
+}
+
+/// FNV-1a over the emission sequence: model index boundaries and the set
+/// bits of each model, in order. Identical across thread counts iff the
+/// enumeration (set and order) is identical.
+std::uint64_t HashModels(const std::vector<afp::Bitset>& models) {
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  for (const afp::Bitset& m : models) {
+    mix(0xFFFFFFFFFFFFFFFFull);  // model boundary
+    m.ForEach([&](std::size_t a) { mix(a); });
+  }
+  return h;
+}
+
+/// Runs one (workload, threads, variant) config and returns its JSON row.
+/// Called in a forked child; must not touch the parent's report state.
+std::string RunConfig(const Config& cfg, int threads, bool seeded) {
+  afp::Program program =
+      afp::workload::EvenCycleClusters(cfg.clusters, cfg.chain_len);
+  afp::GroundOptions gopts;
+  gopts.mode = afp::GroundMode::kFull;
+  auto ground = afp::Grounder::Ground(program, gopts);
+  if (!ground.ok()) {
+    std::fprintf(stderr, "bench_search: %s: %s\n", cfg.workload,
+                 ground.status().ToString().c_str());
+    return {};
+  }
+  afp::GroundProgram gp = std::move(ground).value();
+
+  afp::ParallelSearchOptions popts;
+  popts.num_threads = threads;
+  afp::ParallelStableSearch engine(gp, popts);
+  if (seeded) {
+    // The Solver warm path: root propagation replaced by the session's
+    // cached well-founded model. Computed outside the timed region.
+    afp::AfpResult wfs = afp::AlternatingFixpoint(gp);
+    engine.SeedRoot(wfs.model.true_atoms(), wfs.model.false_atoms());
+  }
+
+  // Two runs on the same engine; keep the faster (the enumeration is
+  // deterministic, so both runs do identical work).
+  double wall_ms = 0;
+  afp::ParallelSearchResult result;
+  for (int run = 0; run < 2; ++run) {
+    const auto t0 = Clock::now();
+    afp::ParallelSearchResult r = engine.Enumerate();
+    const auto t1 = Clock::now();
+    const double ms = Ms(t0, t1);
+    if (run == 0 || ms < wall_ms) {
+      wall_ms = ms;
+      result = std::move(r);
+    }
+  }
+
+  const afp::StableSearchStats& s = result.search;
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"workload\": \"%s\", \"threads\": %d, \"variant\": \"%s\", "
+      "\"wall_ms\": %.2f, \"models\": %llu, \"nodes\": %llu, "
+      "\"afp_calls\": %llu, \"implied_atoms\": %llu, \"steals\": %llu, "
+      "\"idle_waits\": %llu, \"model_hash\": \"%016llx\"}",
+      cfg.workload, threads, seeded ? "seeded" : "unseeded", wall_ms,
+      static_cast<unsigned long long>(s.models),
+      static_cast<unsigned long long>(s.nodes),
+      static_cast<unsigned long long>(s.afp_calls),
+      static_cast<unsigned long long>(s.implied_atoms),
+      static_cast<unsigned long long>(s.steals),
+      static_cast<unsigned long long>(s.idle_waits),
+      static_cast<unsigned long long>(HashModels(result.models)));
+  return buf;
+}
+
+/// Forks a child to run one config; the child writes its row to a pipe and
+/// exits without running atexit handlers. Returns the row, or "" on any
+/// child failure (reported on stderr by the child).
+std::string RunConfigForked(const Config& cfg, int threads, bool seeded) {
+  int fds[2];
+  if (pipe(fds) != 0) {
+    std::perror("bench_search: pipe");
+    return {};
+  }
+  const pid_t pid = fork();
+  if (pid < 0) {
+    std::perror("bench_search: fork");
+    close(fds[0]);
+    close(fds[1]);
+    return {};
+  }
+  if (pid == 0) {
+    close(fds[0]);
+    const std::string row = RunConfig(cfg, threads, seeded);
+    std::size_t off = 0;
+    while (off < row.size()) {
+      const ssize_t n = write(fds[1], row.data() + off, row.size() - off);
+      if (n <= 0) break;
+      off += static_cast<std::size_t>(n);
+    }
+    close(fds[1]);
+    _exit(row.empty() ? 1 : 0);
+  }
+  close(fds[1]);
+  std::string row;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = read(fds[0], buf, sizeof(buf));
+    if (n <= 0) break;
+    row.append(buf, static_cast<std::size_t>(n));
+  }
+  close(fds[0]);
+  int status = 0;
+  waitpid(pid, &status, 0);
+  if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) return {};
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::vector<std::string> rows;
+  for (const Config& cfg : kConfigs) {
+    for (int threads : kThreadCounts) {
+      std::string row = RunConfigForked(cfg, threads, /*seeded=*/false);
+      if (row.empty()) {
+        std::fprintf(stderr, "bench_search: config %s/%d failed\n",
+                     cfg.workload, threads);
+        return 1;
+      }
+      rows.push_back(std::move(row));
+    }
+    // Seeded-root info row (the Solver warm path) at 1 thread.
+    std::string row = RunConfigForked(cfg, 1, /*seeded=*/true);
+    if (row.empty()) {
+      std::fprintf(stderr, "bench_search: config %s seeded failed\n",
+                   cfg.workload);
+      return 1;
+    }
+    rows.push_back(std::move(row));
+  }
+
+  std::printf("{\n");
+  std::printf("  \"bench\": \"bench_search\",\n");
+  std::printf("  \"hardware_concurrency\": %u,\n",
+              std::thread::hardware_concurrency());
+  std::printf("  \"rows\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::printf("    %s%s\n", rows[i].c_str(),
+                i + 1 < rows.size() ? "," : "");
+  }
+  std::printf("  ]\n");
+  std::printf("}\n");
+  return 0;
+}

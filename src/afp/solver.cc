@@ -224,26 +224,59 @@ StatusOr<Justification> Solver::Explain(const std::string& atom_text) {
   return afp::Explain(ground_, Solve(), atom_text);
 }
 
+ParallelStableSearch& Solver::EnsureSearch() {
+  if (search_ != nullptr &&
+      (&search_->ground() != &ground_ ||
+       search_epoch_ != ground_.mutation_epoch())) {
+    search_.reset();
+  }
+  if (search_ == nullptr) {
+    ParallelSearchOptions po;
+    po.num_threads = options_.search_threads;
+    po.sp_mode = options_.sp_mode;
+    po.horn_mode = options_.horn_mode;
+    po.registry = registry_.get();
+    search_ = std::make_unique<ParallelStableSearch>(ground_, po);
+    search_epoch_ = ground_.mutation_epoch();
+  }
+  // The seed must be THE well-founded model of the CURRENT program: a
+  // session that mutated since its last solve has solved_ == false (or a
+  // repaired-in-place model_, which is exactly current), so this re-arms
+  // or disarms the seed on every call.
+  if (solved_ && options_.seed_search) {
+    search_->SeedRoot(model_.true_atoms(), model_.false_atoms());
+  } else {
+    search_->ClearSeed();
+  }
+  return *search_;
+}
+
 StableResult Solver::StableModels(std::size_t max_models) {
-  StableSearchOptions so;
-  so.max_models = max_models;
-  so.sp_mode = options_.sp_mode;
-  so.horn_mode = options_.horn_mode;
-  StableModelSearch search(ground_, so);
-  StableResult r;
-  r.models = search.Enumerate();
-  r.search = search.stats();
-  r.eval = search.eval_stats();
-  return r;
+  StableSearchControl control;
+  control.max_models = max_models;
+  return StableModels(control);
+}
+
+StableResult Solver::StableModels(const StableSearchControl& control) {
+  ParallelSearchResult r = EnsureSearch().Enumerate(control);
+  stats_.search = r.search;
+  StableResult out;
+  out.models = std::move(r.models);
+  out.search = std::move(r.search);
+  out.eval = r.eval;
+  return out;
 }
 
 std::size_t Solver::CountStableModels(std::size_t max_models) {
-  StableSearchOptions so;
-  so.max_models = max_models;
-  so.sp_mode = options_.sp_mode;
-  so.horn_mode = options_.horn_mode;
-  StableModelSearch search(ground_, so);
-  return search.Count();
+  StableSearchControl control;
+  control.max_models = max_models;
+  return CountStableModels(control);
+}
+
+std::size_t Solver::CountStableModels(const StableSearchControl& control) {
+  ParallelSearchResult r = EnsureSearch().Count(control);
+  stats_.search = std::move(r.search);
+  return stats_.search.models;
 }
 
 std::string Solver::ModelText(const ModelPrintOptions& opts) {

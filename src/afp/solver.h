@@ -43,6 +43,7 @@
 #include "ground/ground_program.h"
 #include "ground/grounder.h"
 #include "ground/incremental_grounder.h"
+#include "search/stable_search.h"
 #include "stable/backtracking.h"
 #include "util/status.h"
 
@@ -89,6 +90,16 @@ struct SolverOptions {
   /// Heat units (inner iterations + 1 per interpreted general-path solve
   /// of a component) before CompileMode::kHot compiles that component.
   std::uint32_t compile_hot_threshold = 32;
+  /// Worker threads for StableModels/CountStableModels (the parallel
+  /// branch-tree search, src/search/). Enumeration is bit-identical —
+  /// model set and order — at every value; independent of num_threads so
+  /// a serving session can size its solve pool and its search pool apart.
+  int search_threads = 1;
+  /// Seed the search's root from the session's cached well-founded model
+  /// when one is current (Solve() ran and incremental updates kept it
+  /// fresh), skipping the root's alternating fixpoint. Off = the pinned
+  /// ablation baseline: every StableModels call re-derives the root.
+  bool seed_search = true;
   /// Grounding controls (instantiation mode, semi-naive, simplification).
   GroundOptions ground;
   /// Record the Table-I style trace on kAfp solves (costly; debugging).
@@ -117,6 +128,10 @@ struct SolverStats {
   /// Session counters.
   std::size_t full_solves = 0;
   std::size_t incremental_updates = 0;
+  /// Receipt of the last StableModels/CountStableModels run: tree shape,
+  /// per-worker work sharing, whether the root was seeded from the cached
+  /// model, and whether the run completed (see StableSearchStats).
+  StableSearchStats search;
   /// Memory-layout receipt of the grounding pipeline: the grounding-time
   /// scratch counters recorded by the grounder, plus the live atom/term
   /// table index counters (which keep accumulating as queries and
@@ -248,15 +263,27 @@ class Solver {
   /// Why `atom_text` has its well-founded value (solves on demand).
   StatusOr<Justification> Explain(const std::string& atom_text);
 
-  /// Enumerates stable models by the backtracking search with
-  /// well-founded pruning, honoring the session's sp_mode/horn_mode.
+  /// Enumerates stable models with the parallel branch-tree search
+  /// (src/search/), honoring the session's sp_mode / horn_mode /
+  /// search_threads. Models arrive in the canonical (sequential
+  /// depth-first) order at every thread count. On a solved session the
+  /// root is seeded from the cached well-founded model (see
+  /// SolverOptions::seed_search); the engine itself is cached across
+  /// calls and dropped whenever the ground program mutates
+  /// (AssertFacts / RetractFacts / AddRule / RemoveRule), so a mutated
+  /// session never reuses a stale ground-program view.
   StableResult StableModels(
       std::size_t max_models = static_cast<std::size_t>(-1));
+
+  /// As above with the full per-run controls (max_models, timeout,
+  /// cancellation token).
+  StableResult StableModels(const StableSearchControl& control);
 
   /// Counts stable models without materializing them (the search still
   /// runs; only the O(models × atoms) storage is skipped).
   std::size_t CountStableModels(
       std::size_t max_models = static_cast<std::size_t>(-1));
+  std::size_t CountStableModels(const StableSearchControl& control);
 
   /// --- Incremental EDB updates -------------------------------------
   ///
@@ -431,6 +458,13 @@ class Solver {
 
   SccOptions SccOptionsFromSession();
 
+  /// Returns the cached stable-model search engine, first dropping it when
+  /// the ground program mutated (epoch mismatch) or the session moved
+  /// (address mismatch) since it was built — the engine's solvers and
+  /// indexes reference the rule storage directly, so reuse across either
+  /// would read a stale ground-program view.
+  ParallelStableSearch& EnsureSearch();
+
   SolverOptions options_;
   std::unique_ptr<Program> program_;
   GroundProgram ground_;
@@ -462,6 +496,12 @@ class Solver {
   /// Heads of facts asserted since the delta grounder initialized, not
   /// yet folded into its derived set (consumed by the next rule op).
   std::vector<AtomId> pending_asserted_;
+  /// Cached stable-model search engine (worker contexts + evaluator pairs
+  /// stay warm across StableModels calls). Guarded by EnsureSearch's
+  /// epoch/address staleness check; null until the first call.
+  std::unique_ptr<ParallelStableSearch> search_;
+  /// GroundProgram::mutation_epoch() at the time search_ was built.
+  std::uint64_t search_epoch_ = 0;
   bool solved_ = false;
   PartialModel model_;
   std::vector<std::uint32_t> component_iterations_;

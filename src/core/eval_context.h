@@ -160,6 +160,10 @@ class EvalContext {
 
   /// Returns a cleared bitset over `universe` atoms.
   Bitset AcquireBitset(std::size_t universe);
+  /// Returns a pooled copy of `src` (same universe, same bits). The
+  /// branch-tree search ships assumption sets and the session's
+  /// well-founded seed into pooled scratch through this.
+  Bitset AcquireBitsetCopy(const Bitset& src);
   void ReleaseBitset(Bitset&& b);
 
   /// Returns an empty uint32 vector with whatever capacity the pool has.

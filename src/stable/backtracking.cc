@@ -8,15 +8,9 @@
 
 namespace afp {
 
-namespace {
-
-/// Conditions the program on a set of assumptions into `*out` (cleared
-/// here): atoms in `assumed_true` become facts; rules whose head is in
-/// `assumed_false` are deleted (so those atoms are unfounded in the
-/// conditioned program).
-void Condition(const RuleView& base, const Bitset& assumed_true,
-               const Bitset& assumed_false, bool delete_false_heads,
-               OwnedRules* out) {
+void ConditionOnAssumptions(const RuleView& base, const Bitset& assumed_true,
+                            const Bitset& assumed_false,
+                            bool delete_false_heads, OwnedRules* out) {
   out->rules.clear();
   out->pool.clear();
   out->num_atoms = base.num_atoms;
@@ -28,8 +22,6 @@ void Condition(const RuleView& base, const Bitset& assumed_true,
     out->Add(static_cast<AtomId>(a), {}, {});
   });
 }
-
-}  // namespace
 
 StableModelSearch::StableModelSearch(const GroundProgram& gp,
                                      StableSearchOptions options)
@@ -78,8 +70,8 @@ void StableModelSearch::Search(const Bitset& assumed_true,
     // their indexes, and the fixpoint scratch all come from the pool and
     // return to it before the recursion below.
     OwnedRules conditioned = ctx_.AcquireRules();
-    Condition(gp_.View(), assumed_true, assumed_false,
-              /*delete_false_heads=*/true, &conditioned);
+    ConditionOnAssumptions(gp_.View(), assumed_true, assumed_false,
+                           /*delete_false_heads=*/true, &conditioned);
     {
       HornSolver solver(conditioned.View(), &ctx_);
       AfpOptions afp_opts;
@@ -95,6 +87,7 @@ void StableModelSearch::Search(const Bitset& assumed_true,
       // pool cycle (released or handed out below), so adopt them back.
       ctx_.NoteAdoptedBytes(decided_true.CapacityBytes() +
                             decided_false.CapacityBytes());
+      ++stats_.afp_calls;
     }
     ctx_.ReleaseRules(std::move(conditioned));
   } else {
@@ -102,8 +95,8 @@ void StableModelSearch::Search(const Bitset& assumed_true,
     // what follows from the assumed-false set, detect direct conflicts, and
     // leave everything else to branching.
     OwnedRules conditioned = ctx_.AcquireRules();
-    Condition(gp_.View(), assumed_true, assumed_false,
-              /*delete_false_heads=*/false, &conditioned);
+    ConditionOnAssumptions(gp_.View(), assumed_true, assumed_false,
+                           /*delete_false_heads=*/false, &conditioned);
     {
       HornSolver solver(conditioned.View(), &ctx_);
       // Single-shot evaluation: scratch mode, regardless of the search's
@@ -116,12 +109,16 @@ void StableModelSearch::Search(const Bitset& assumed_true,
     ctx_.ReleaseRules(std::move(conditioned));
     if (!decided_true.IsDisjointWith(assumed_false)) {  // conflict
       ctx_.ReleaseBitset(std::move(decided_true));
+      ++stats_.pruned_nodes;
       return;
     }
     decided_false = ctx_.AcquireBitset(n);
     decided_false |= assumed_false;
     decided_false |= statically_false_;
   }
+
+  stats_.implied_atoms += (decided_true.Count() + decided_false.Count()) -
+                          (assumed_true.Count() + assumed_false.Count());
 
   // Find an undecided atom to branch on.
   AtomId branch = kInvalidAtom;

@@ -1,12 +1,15 @@
 #ifndef AFP_STABLE_BACKTRACKING_H_
 #define AFP_STABLE_BACKTRACKING_H_
 
+#include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <vector>
 
 #include "core/eval_context.h"
 #include "core/horn_solver.h"
 #include "ground/ground_program.h"
+#include "ground/owned_rules.h"
 #include "util/bitset.h"
 
 namespace afp {
@@ -27,13 +30,66 @@ struct StableSearchOptions {
   SpMode sp_mode = SpMode::kDelta;
 };
 
-/// Search statistics.
+/// Per-run controls of a stable-model search, separate from the
+/// construction-time StableSearchOptions so one engine (with its warm
+/// worker pools) serves many differently-bounded runs.
+struct StableSearchControl {
+  /// Stop after this many models (SIZE_MAX = all). The emitted set is
+  /// exactly the first max_models models of the canonical (sequential
+  /// depth-first) enumeration order at every thread count.
+  std::size_t max_models = static_cast<std::size_t>(-1);
+  /// Wall-clock budget; zero = none. On expiry the run stops expanding
+  /// and returns the models emitted so far — always a prefix of the
+  /// canonical order, but how long a prefix is timing-dependent
+  /// (StableSearchStats::complete reports the cut).
+  std::chrono::nanoseconds timeout{0};
+  /// Optional external cancellation token, read with relaxed loads at
+  /// node granularity. Same prefix semantics as timeout.
+  const std::atomic<bool>* cancel = nullptr;
+};
+
+/// Search statistics. Shared by the sequential StableModelSearch and the
+/// parallel branch-tree engine (src/search/stable_search.h); on sequential
+/// runs the pool fields stay at their one-worker defaults.
 struct StableSearchStats {
   std::size_t nodes = 0;        // search tree nodes visited
   std::size_t leaves = 0;       // total candidates reached
   std::size_t stable_checks = 0;
   std::size_t models = 0;
+  /// Alternating-fixpoint propagations run — one per node under
+  /// wfs_propagation, minus a root seeded from a session's cached model.
+  std::size_t afp_calls = 0;
+  /// Atoms decided by per-node propagation beyond the assumptions
+  /// themselves — the paper's pruning at work: every implied atom halves
+  /// the subtree a blind guess-and-check would have explored.
+  std::size_t implied_atoms = 0;
+  /// Nodes cut without branching or a leaf check (positive-closure
+  /// conflicts under wfs_propagation = false).
+  std::size_t pruned_nodes = 0;
+  /// Parallel-run receipt (ParallelStableSearch): pool shape and
+  /// work-sharing behavior of the run that produced these counts.
+  std::size_t num_workers = 1;
+  std::size_t steals = 0;
+  std::size_t idle_waits = 0;
+  std::vector<std::size_t> per_worker_nodes;
+  std::vector<std::size_t> per_worker_steals;
+  /// Whether the root node's propagation was seeded from the session's
+  /// cached well-founded model instead of being re-derived.
+  bool seeded = false;
+  /// False when the run stopped early on timeout or external cancellation
+  /// (exhausting max_models still counts as complete).
+  bool complete = true;
 };
+
+/// Conditions `base` on an assumption pair into `*out` (cleared here):
+/// atoms in `assumed_true` become facts; when `delete_false_heads`, rules
+/// whose head is in `assumed_false` are deleted (making those atoms
+/// unfounded in the conditioned program). The one conditioning routine
+/// shared by the sequential search below and the parallel branch-tree
+/// engine — a node's meaning must not depend on which engine expands it.
+void ConditionOnAssumptions(const RuleView& base, const Bitset& assumed_true,
+                            const Bitset& assumed_false,
+                            bool delete_false_heads, OwnedRules* out);
 
 /// Constructs stable models by backtracking search over assumed literals.
 ///

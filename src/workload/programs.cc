@@ -74,6 +74,26 @@ Program EvenNegativeCycles(int k) {
   return p;
 }
 
+Program EvenCycleClusters(int k, int chain_len) {
+  Program p;
+  for (int i = 0; i < k; ++i) {
+    const std::string suffix = std::to_string(i);
+    p.AddRule(p.MakeAtom("a" + suffix),
+              {Program::Neg(p.MakeAtom("b" + suffix))});
+    p.AddRule(p.MakeAtom("b" + suffix),
+              {Program::Neg(p.MakeAtom("a" + suffix))});
+    const std::string chain_base = "c" + suffix + "_";
+    std::string prev = chain_base + "0";
+    p.AddFact(prev, {});
+    for (int j = 1; j < chain_len; ++j) {
+      std::string cur = chain_base + std::to_string(j);
+      p.AddRule(p.MakeAtom(cur), {Program::Neg(p.MakeAtom(prev))});
+      prev = std::move(cur);
+    }
+  }
+  return p;
+}
+
 Program RandomPropositional(int num_atoms, int num_rules, int body_len,
                             int neg_prob_percent, std::uint64_t seed) {
   Program p;

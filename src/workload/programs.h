@@ -44,6 +44,17 @@ Program Example31();
 /// 2^k stable models. The workload behind bench_stable_np.
 Program EvenNegativeCycles(int k);
 
+/// EvenNegativeCycles(k) with a stratified negation chain of length
+/// `chain_len` attached to every cluster:
+///   a_i :- not b_i.   b_i :- not a_i.
+///   c_i_0.   c_i_j :- not c_i_{j-1}.        (j = 1..chain_len-1)
+/// Still exactly 2^k stable models (the chains are deterministic), but
+/// every node of the stable-model branch tree pays a propagation over
+/// k * chain_len extra rules — the workload behind bench_search, where
+/// per-node alternating-fixpoint cost is what the parallel branch-tree
+/// engine amortizes across workers.
+Program EvenCycleClusters(int k, int chain_len);
+
 /// A random propositional normal program: `num_atoms` atoms p0..p_{n-1},
 /// `num_rules` rules with bodies of length `body_len`, each literal negated
 /// with probability `neg_prob` (in percent). Used by the property tests and

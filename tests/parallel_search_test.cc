@@ -1,0 +1,406 @@
+// The parallel stable-model search (src/search/): bit-identical
+// enumeration — model set AND emission order — at every thread count,
+// differential against the sequential search and the brute-force
+// enumerator, prefix-exact max_models / cancellation / timeout, and the
+// Solver integration (well-founded seeding, cached-engine invalidation
+// on session mutation). The suite names match the TSan CI lane regex
+// ('(Scheduler|Parallel|Serving)'), so every differential here also runs
+// under ThreadSanitizer.
+
+#include "search/stable_search.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "afp/solver.h"
+#include "ast/program.h"
+#include "ground/grounder.h"
+#include "stable/backtracking.h"
+#include "stable/enumerate.h"
+#include "workload/graphs.h"
+#include "workload/programs.h"
+
+#ifndef AFP_LP_CORPUS_DIR
+#error "AFP_LP_CORPUS_DIR must point at the .lp corpus directory"
+#endif
+
+namespace afp {
+namespace {
+
+constexpr int kThreadCounts[] = {1, 2, 4, 8};
+
+GroundProgram MustGround(Program& p) {
+  GroundOptions opts;
+  opts.mode = GroundMode::kFull;
+  auto g = Grounder::Ground(p, opts);
+  EXPECT_TRUE(g.ok()) << g.status().ToString();
+  return std::move(g).value();
+}
+
+std::vector<std::string> CorpusTexts() {
+  std::vector<std::string> texts;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(AFP_LP_CORPUS_DIR)) {
+    if (entry.path().extension() != ".lp") continue;
+    std::ifstream in(entry.path());
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    texts.push_back(ss.str());
+  }
+  return texts;
+}
+
+// Canonicalizes a model list as sorted atom-name sets — the only valid
+// comparison across two solvers whose atom universes (sizes and id
+// assignment) differ, e.g. a mutated session vs a fresh one.
+std::vector<std::vector<std::string>> NamedModels(
+    const GroundProgram& gp, const std::vector<Bitset>& models) {
+  std::vector<std::vector<std::string>> out;
+  for (const Bitset& m : models) {
+    std::vector<std::string> names;
+    m.ForEach([&](std::size_t a) {
+      names.push_back(gp.AtomName(static_cast<AtomId>(a)));
+    });
+    std::sort(names.begin(), names.end());
+    out.push_back(std::move(names));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// Canonicalizes a model list for set comparison (order-insensitive).
+std::vector<Bitset> Sorted(std::vector<Bitset> models) {
+  std::sort(models.begin(), models.end(), [](const Bitset& a, const Bitset& b) {
+    for (std::size_t i = 0; i < a.universe_size(); ++i) {
+      if (a.Test(i) != b.Test(i)) return b.Test(i);
+    }
+    return false;
+  });
+  return models;
+}
+
+// The core differential: the parallel engine must reproduce the
+// sequential search's model list EXACTLY (set and order) at every thread
+// count, and — on full enumerations — grow the identical branch tree.
+void ExpectMatchesSequential(const GroundProgram& gp, bool wfs_propagation) {
+  StableSearchOptions seq_opts;
+  seq_opts.wfs_propagation = wfs_propagation;
+  StableModelSearch seq(gp, seq_opts);
+  const std::vector<Bitset> expected = seq.Enumerate();
+
+  for (int threads : kThreadCounts) {
+    ParallelSearchOptions po;
+    po.num_threads = threads;
+    po.wfs_propagation = wfs_propagation;
+    ParallelStableSearch par(gp, po);
+    ParallelSearchResult r = par.Enumerate();
+    ASSERT_EQ(r.models.size(), expected.size())
+        << "threads=" << threads << " wfs=" << wfs_propagation;
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(r.models[i], expected[i])
+          << "model " << i << " threads=" << threads;
+    }
+    // Same propagation + same canonical branch atom => the same tree,
+    // regardless of how it was carved up across workers.
+    EXPECT_EQ(r.search.nodes, seq.stats().nodes) << "threads=" << threads;
+    EXPECT_EQ(r.search.leaves, seq.stats().leaves) << "threads=" << threads;
+    EXPECT_EQ(r.search.implied_atoms, seq.stats().implied_atoms)
+        << "threads=" << threads;
+    EXPECT_TRUE(r.search.complete);
+    EXPECT_EQ(r.search.num_workers, static_cast<std::size_t>(threads));
+  }
+}
+
+TEST(ParallelSearch, MatchesSequentialOnCorpus) {
+  std::size_t covered = 0;
+  for (const std::string& text : CorpusTexts()) {
+    auto parsed = ParseProgram(text);
+    if (!parsed.ok()) continue;  // mutation-script fixtures etc.
+    Program p = std::move(parsed).value();
+    GroundOptions opts;
+    opts.mode = GroundMode::kFull;
+    auto g = Grounder::Ground(p, opts);
+    if (!g.ok()) continue;
+    GroundProgram gp = std::move(g).value();
+    if (gp.num_atoms() > 128) continue;  // keep enumeration cheap
+    ExpectMatchesSequential(gp, /*wfs_propagation=*/true);
+    ++covered;
+  }
+  EXPECT_GE(covered, 5u) << "corpus coverage collapsed";
+}
+
+TEST(ParallelSearch, MatchesSequentialOnRandomFamilies) {
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    Program p = workload::RandomPropositional(
+        /*num_atoms=*/8, /*num_rules=*/14, /*body_len=*/2,
+        /*neg_prob_percent=*/50, seed);
+    GroundProgram gp = MustGround(p);
+    ExpectMatchesSequential(gp, /*wfs_propagation=*/true);
+    ExpectMatchesSequential(gp, /*wfs_propagation=*/false);
+  }
+}
+
+TEST(ParallelSearch, MatchesSequentialOnCycleClusters) {
+  Program p = workload::EvenCycleClusters(/*k=*/5, /*chain_len=*/6);
+  GroundProgram gp = MustGround(p);
+  ExpectMatchesSequential(gp, /*wfs_propagation=*/true);
+}
+
+TEST(ParallelSearch, MatchesBruteForce) {
+  for (std::uint64_t seed = 40; seed < 52; ++seed) {
+    Program p = workload::RandomPropositional(
+        /*num_atoms=*/8, /*num_rules=*/14, /*body_len=*/2,
+        /*neg_prob_percent=*/50, seed);
+    GroundProgram gp = MustGround(p);
+    auto brute = EnumerateStableModelsBruteForce(gp);
+    ASSERT_TRUE(brute.ok());
+    ParallelSearchOptions po;
+    po.num_threads = 4;
+    ParallelStableSearch par(gp, po);
+    // Brute force emits in subset-mask order, not search order: compare
+    // as sets.
+    EXPECT_EQ(Sorted(*brute), Sorted(par.Enumerate().models))
+        << "seed " << seed;
+  }
+}
+
+TEST(ParallelSearch, NoModelsOnOddLoop) {
+  auto parsed = ParseProgram("p :- not p.");
+  ASSERT_TRUE(parsed.ok());
+  Program p = std::move(parsed).value();
+  GroundProgram gp = MustGround(p);
+  for (int threads : kThreadCounts) {
+    ParallelSearchOptions po;
+    po.num_threads = threads;
+    ParallelStableSearch par(gp, po);
+    ParallelSearchResult r = par.Enumerate();
+    EXPECT_TRUE(r.models.empty());
+    EXPECT_TRUE(r.search.complete);
+  }
+}
+
+TEST(ParallelSearch, MaxModelsIsPrefixExact) {
+  Program p = workload::EvenNegativeCycles(6);
+  GroundProgram gp = MustGround(p);
+  StableModelSearch seq(gp);
+  const std::vector<Bitset> all = seq.Enumerate();
+  ASSERT_EQ(all.size(), 64u);
+
+  for (int threads : {1, 4, 8}) {
+    for (std::size_t k : {std::size_t{0}, std::size_t{1}, std::size_t{5},
+                          std::size_t{64}}) {
+      ParallelSearchOptions po;
+      po.num_threads = threads;
+      ParallelStableSearch par(gp, po);
+      StableSearchControl control;
+      control.max_models = k;
+      ParallelSearchResult r = par.Enumerate(control);
+      ASSERT_EQ(r.models.size(), k) << "threads=" << threads;
+      // Not just any k models: the FIRST k of the canonical order.
+      for (std::size_t i = 0; i < k; ++i) {
+        EXPECT_EQ(r.models[i], all[i]) << "threads=" << threads << " i=" << i;
+      }
+      EXPECT_TRUE(r.search.complete);
+      EXPECT_EQ(r.search.models, k);
+    }
+  }
+}
+
+TEST(ParallelSearch, PreCancelledTokenStopsImmediately) {
+  Program p = workload::EvenNegativeCycles(8);
+  GroundProgram gp = MustGround(p);
+  std::atomic<bool> cancel{true};
+  for (int threads : {1, 4}) {
+    ParallelSearchOptions po;
+    po.num_threads = threads;
+    ParallelStableSearch par(gp, po);
+    StableSearchControl control;
+    control.cancel = &cancel;
+    ParallelSearchResult r = par.Enumerate(control);
+    EXPECT_TRUE(r.models.empty());
+    EXPECT_FALSE(r.search.complete);
+  }
+}
+
+TEST(ParallelSearch, ExpiredTimeoutGivesEmptyPrefixAndIncomplete) {
+  Program p = workload::EvenNegativeCycles(8);
+  GroundProgram gp = MustGround(p);
+  for (int threads : {1, 4}) {
+    ParallelSearchOptions po;
+    po.num_threads = threads;
+    ParallelStableSearch par(gp, po);
+    StableSearchControl control;
+    control.timeout = std::chrono::nanoseconds(1);
+    ParallelSearchResult r = par.Enumerate(control);
+    EXPECT_TRUE(r.models.empty());
+    EXPECT_FALSE(r.search.complete);
+  }
+}
+
+TEST(ParallelSearch, CountMatchesEnumerate) {
+  Program p = workload::EvenCycleClusters(/*k=*/6, /*chain_len=*/4);
+  GroundProgram gp = MustGround(p);
+  for (int threads : kThreadCounts) {
+    ParallelSearchOptions po;
+    po.num_threads = threads;
+    ParallelStableSearch par(gp, po);
+    ParallelSearchResult counted = par.Count();
+    EXPECT_TRUE(counted.models.empty());
+    EXPECT_EQ(counted.search.models, 64u) << "threads=" << threads;
+    ParallelSearchResult enumerated = par.Enumerate();  // engine is reusable
+    EXPECT_EQ(enumerated.models.size(), 64u) << "threads=" << threads;
+    EXPECT_EQ(enumerated.search.nodes, counted.search.nodes);
+  }
+}
+
+TEST(ParallelSearch, SeededRootMatchesUnseededAndSkipsOneFixpoint) {
+  Program p = workload::EvenCycleClusters(/*k=*/4, /*chain_len=*/5);
+  GroundProgram gp = MustGround(p);
+  AfpResult wfs = AlternatingFixpoint(gp);
+
+  ParallelSearchOptions po;
+  po.num_threads = 4;
+  ParallelStableSearch unseeded(gp, po);
+  ParallelSearchResult base = unseeded.Enumerate();
+  ASSERT_FALSE(base.search.seeded);
+
+  ParallelStableSearch seeded(gp, po);
+  seeded.SeedRoot(wfs.model.true_atoms(), wfs.model.false_atoms());
+  ParallelSearchResult r = seeded.Enumerate();
+  EXPECT_TRUE(r.search.seeded);
+  ASSERT_EQ(r.models.size(), base.models.size());
+  for (std::size_t i = 0; i < r.models.size(); ++i) {
+    EXPECT_EQ(r.models[i], base.models[i]) << "model " << i;
+  }
+  // Same tree, one fewer alternating fixpoint (the root's).
+  EXPECT_EQ(r.search.nodes, base.search.nodes);
+  EXPECT_EQ(r.search.afp_calls + 1, base.search.afp_calls);
+}
+
+// --- Solver integration -------------------------------------------------
+
+Solver MustCreate(Program program, const SolverOptions& options = {}) {
+  auto s = Solver::FromProgram(std::move(program), options);
+  EXPECT_TRUE(s.ok()) << s.status().ToString();
+  return std::move(s).value();
+}
+
+TEST(ParallelSearchSolver, SolvedSessionSeedsTheRoot) {
+  SolverOptions o;
+  o.search_threads = 4;
+  Solver cold = MustCreate(workload::EvenNegativeCycles(5), o);
+  StableResult cold_r = cold.StableModels();
+  EXPECT_FALSE(cold_r.search.seeded);  // nothing solved yet
+
+  Solver warm = MustCreate(workload::EvenNegativeCycles(5), o);
+  warm.Solve();
+  StableResult warm_r = warm.StableModels();
+  EXPECT_TRUE(warm_r.search.seeded);
+  ASSERT_EQ(warm_r.models.size(), cold_r.models.size());
+  for (std::size_t i = 0; i < warm_r.models.size(); ++i) {
+    EXPECT_EQ(warm_r.models[i], cold_r.models[i]) << "model " << i;
+  }
+  EXPECT_EQ(warm_r.search.afp_calls + 1, cold_r.search.afp_calls);
+  // The receipt is surfaced through the session stats (CLI --stats).
+  EXPECT_EQ(warm.Stats().search.models, warm_r.models.size());
+  EXPECT_EQ(warm.Stats().search.num_workers, 4u);
+
+  SolverOptions ablation = o;
+  ablation.seed_search = false;  // pinned re-solve-from-scratch baseline
+  Solver unseeded = MustCreate(workload::EvenNegativeCycles(5), ablation);
+  unseeded.Solve();
+  StableResult ab_r = unseeded.StableModels();
+  EXPECT_FALSE(ab_r.search.seeded);
+  EXPECT_EQ(ab_r.search.afp_calls, cold_r.search.afp_calls);
+  ASSERT_EQ(ab_r.models.size(), warm_r.models.size());
+  for (std::size_t i = 0; i < ab_r.models.size(); ++i) {
+    EXPECT_EQ(ab_r.models[i], warm_r.models[i]) << "model " << i;
+  }
+}
+
+TEST(ParallelSearchSolver, ThreadCountsAgreeThroughTheFacade) {
+  std::vector<Bitset> expected;
+  for (int threads : kThreadCounts) {
+    SolverOptions o;
+    o.search_threads = threads;
+    Solver solver = MustCreate(workload::EvenCycleClusters(4, 4), o);
+    solver.Solve();
+    StableResult r = solver.StableModels();
+    EXPECT_EQ(r.search.num_workers, static_cast<std::size_t>(threads));
+    if (expected.empty()) {
+      expected = std::move(r.models);
+      continue;
+    }
+    ASSERT_EQ(r.models.size(), expected.size()) << "threads=" << threads;
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(r.models[i], expected[i])
+          << "threads=" << threads << " model " << i;
+    }
+  }
+}
+
+// Regression pair: StableModels on a session mutated after a previous
+// StableModels call must not reuse the stale cached search state — the
+// cached engine's solvers and indexes reference the pre-mutation rule
+// storage. Differential oracle: a fresh solver built over the mutated
+// program.
+
+TEST(ParallelSearchSolver, FactMutationInvalidatesCachedSearch) {
+  const std::string_view text = "e. p :- e, not q. a :- not b. b :- not a.";
+  SolverOptions o;
+  o.search_threads = 2;
+  auto solver = Solver::FromText(text, o);
+  ASSERT_TRUE(solver.ok());
+  solver->Solve();
+  StableResult before = solver->StableModels();
+  EXPECT_EQ(before.models.size(), 2u);  // {e,p,a}, {e,p,b}
+
+  ASSERT_TRUE(solver->RetractFacts({"e"}).ok());
+  StableResult after = solver->StableModels();
+
+  auto fresh = Solver::FromText("p :- e, not q. a :- not b. b :- not a.", o);
+  ASSERT_TRUE(fresh.ok());
+  StableResult oracle = fresh->StableModels();
+  EXPECT_EQ(NamedModels(solver->ground(), after.models),
+            NamedModels(fresh->ground(), oracle.models));
+
+  // And back: re-asserting restores the original answer through yet
+  // another engine rebuild.
+  ASSERT_TRUE(solver->AssertFacts({"e"}).ok());
+  StableResult restored = solver->StableModels();
+  ASSERT_EQ(restored.models.size(), before.models.size());
+  for (std::size_t i = 0; i < before.models.size(); ++i) {
+    EXPECT_EQ(restored.models[i], before.models[i]) << "model " << i;
+  }
+}
+
+TEST(ParallelSearchSolver, RuleMutationInvalidatesCachedSearch) {
+  SolverOptions o;
+  o.search_threads = 2;
+  o.ground.simplify = false;  // rule mutations require unsimplified grounding
+  auto solver = Solver::FromText("a :- not b. b :- not a.", o);
+  ASSERT_TRUE(solver.ok());
+  solver->Solve();
+  EXPECT_EQ(solver->StableModels().models.size(), 2u);
+
+  ASSERT_TRUE(solver->AddRule("c :- not a.").ok());
+  StableResult after = solver->StableModels();
+
+  auto fresh =
+      Solver::FromText("a :- not b. b :- not a. c :- not a.", o);
+  ASSERT_TRUE(fresh.ok());
+  StableResult oracle = fresh->StableModels();
+  EXPECT_EQ(NamedModels(solver->ground(), after.models),
+            NamedModels(fresh->ground(), oracle.models));
+}
+
+}  // namespace
+}  // namespace afp

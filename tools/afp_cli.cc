@@ -48,6 +48,13 @@
 //                                      to N workers, each with its own
 //                                      pooled context (default 1; models
 //                                      are identical at every N)
+//   --search-threads=N                 worker threads for
+//                                      --semantics=stable: the branch tree
+//                                      of the stable-model search is
+//                                      dispatched to N workers through the
+//                                      work-sharing pool (default 1; the
+//                                      model set AND the emission order
+//                                      are identical at every N)
 //   --layout=flat|node                 memory layout of the grounding
 //                                      pipeline's interning structures
 //                                      (default flat; node = the node-based
@@ -108,6 +115,8 @@ struct Options {
   std::string layout = "flat";
   int threads = 1;
   bool threads_given = false;
+  int search_threads = 1;
+  bool search_threads_given = false;
   std::vector<std::string> queries;
   std::vector<std::string> selects;
   /// Session mutations (facts and rules) in command-line order.
@@ -207,6 +216,16 @@ int main(int argc, char** argv) {
         return 1;
       }
       opts.threads_given = true;
+      continue;
+    }
+    if (ParseFlag(arg, "search-threads", &value)) {
+      try {
+        opts.search_threads = std::stoi(value);
+      } catch (const std::exception&) {
+        std::cerr << "afp: bad --search-threads value '" << value << "'\n";
+        return 1;
+      }
+      opts.search_threads_given = true;
       continue;
     }
     if (ParseFlag(arg, "query", &value)) {
@@ -338,6 +357,15 @@ int main(int argc, char** argv) {
               << opts.semantics << " --engine=" << opts.engine
               << " (only --engine=scc runs the wavefront scheduler)\n";
   }
+  if (opts.search_threads < 1) {
+    std::cerr << "afp: --search-threads must be >= 1\n";
+    return 1;
+  }
+  if (opts.search_threads_given && opts.semantics != "stable") {
+    std::cerr << "afp: note: --search-threads has no effect for --semantics="
+              << opts.semantics
+              << " (only --semantics=stable runs the branch-tree search)\n";
+  }
 
   std::string text;
   if (opts.file.empty()) {
@@ -374,6 +402,7 @@ int main(int argc, char** argv) {
   sopts.gus_mode = gus_mode;
   sopts.inner = inner_engine;
   sopts.num_threads = opts.threads;
+  sopts.search_threads = opts.search_threads;
   sopts.compile = compile_mode;
   sopts.record_trace = opts.trace;
   if (opts.layout == "node") {
@@ -527,6 +556,10 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (opts.semantics == "stable") {
+    // Solve first: the session's well-founded model seeds the search's
+    // root node (SolverOptions::seed_search), so enumeration starts from
+    // the partial model this session already paid for.
+    solver.Solve();
     afp::StableResult r = solver.StableModels(opts.max_models);
     std::cout << "% " << r.models.size() << " stable model(s)\n";
     for (std::size_t i = 0; i < r.models.size(); ++i) {
@@ -535,7 +568,17 @@ int main(int argc, char** argv) {
     }
     if (opts.stats) {
       std::cout << "% search nodes: " << r.search.nodes
-                << "  S_P calls: " << r.eval.sp_calls
+                << "  afp calls: " << r.search.afp_calls
+                << "  implied atoms: " << r.search.implied_atoms
+                << "  candidates checked: " << r.search.stable_checks
+                << "\n";
+      std::cout << "% search workers: " << r.search.num_workers
+                << "  steals: " << r.search.steals
+                << "  idle waits: " << r.search.idle_waits
+                << "  seeded: " << (r.search.seeded ? "yes" : "no")
+                << "  complete: " << (r.search.complete ? "yes" : "no")
+                << "\n";
+      std::cout << "% S_P calls: " << r.eval.sp_calls
                 << "  rules rescanned: " << r.eval.rules_rescanned
                 << "  peak scratch bytes: " << r.eval.peak_scratch_bytes
                 << "\n";

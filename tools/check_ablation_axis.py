@@ -40,6 +40,14 @@ regresses:
     COMPILE_FLAGSHIP; the COMPILE_ZERO_ENGAGEMENT chain row must exist
     and report kernel_components == 0 — fast-path singleton workloads
     are never routed through (or taxed by) the kernel machinery;
+  * the parallel stable-model search axis (bench_search: the branch-tree
+    engine at 1/2/4/8 worker threads) must report a bit-identical
+    enumeration — model set AND emission order, receipted by the
+    model_hash / nodes / models fields — at every thread count on every
+    row (always enforced: determinism is counter-like, safe on any
+    machine), keep every thread count the recording machine could
+    actually run in parallel at >= 1x over the 1-thread run, and reach
+    MIN_SEARCH_SPEEDUP (2x) at 4 threads on the SEARCH_FLAGSHIP row;
   * the memory-layout axis (bench_scale: flat pool-probing interning vs
     the node-based baseline) must report bit-identical programs and
     models on every row, beat the node baseline's grounding wall on
@@ -108,6 +116,15 @@ COMPILE_ZERO_ENGAGEMENT = "WfNodes/256"
 LAYOUT_FLAGSHIP = "winmove_er_flagship"
 MIN_LAYOUT_RATIO = 1.5
 LAYOUT_GATED_MIN_RULES = 64000
+# The parallel stable-model search flagship (bench_search): 4096 models
+# over a 4096-leaf branch tree with ~300 atoms of per-node propagation.
+# 4 search threads must enumerate at least 2x faster than the 1-thread
+# run (the exact sequential in-line path of the work pool). Wall-clock
+# gates are per-thread-count hardware-guarded like the scheduler thread
+# axis; the bit-identical-enumeration receipt is enforced everywhere.
+SEARCH_FLAGSHIP = "EvenCycleClusters/12x24"
+GATED_SEARCH_THREAD = "4"
+MIN_SEARCH_SPEEDUP = 2.0
 
 
 def check_thread_row(row, failures, lines):
@@ -143,6 +160,52 @@ def check_thread_row(row, failures, lines):
                 f"{speedups[GATED_THREAD]} < {MIN_THREAD_SPEEDUP}")
 
 
+def check_search_row(row, failures, lines):
+    workload = row.get("workload", "?")
+    label = f"search:{workload}"
+    speedups = row.get("speedup_over_one_thread")
+    hc = row.get("hardware_concurrency")
+    if not speedups or "1" not in speedups:
+        failures.append(f"{label}: no 1-thread baseline recorded")
+        return
+    for t, s in sorted(speedups.items(), key=lambda kv: int(kv[0])):
+        lines.append(f"  {label}: {t} thread(s) speedup {s}x"
+                     f" (hw concurrency {hc})")
+    # Determinism is the subsystem's core contract and is counter-like
+    # (model_hash covers the full emission sequence, set AND order), so it
+    # is enforced regardless of the recording machine's core count.
+    if not row.get("models_identical"):
+        failures.append(
+            f"{label}: enumeration differs across thread counts "
+            f"(models/nodes/model_hash must be bit-identical)")
+    if speedups["1"] < MIN_RATIO:
+        # The 1-thread row is its own baseline; anything but 1.0 means the
+        # distiller broke.
+        failures.append(f"{label}: 1-thread speedup {speedups['1']} != 1.0")
+    if hc is None:
+        lines.append(f"  {label}: wall-clock gates SKIPPED "
+                     f"(no hardware_concurrency recorded)")
+        return
+    # Thread counts beyond the recording machine's cores cannot exhibit
+    # speedup (oversubscription may even cost a little); gate only the
+    # counts the machine could actually run in parallel.
+    for t, s in speedups.items():
+        if int(t) <= hc and s < MIN_RATIO:
+            failures.append(
+                f"{label}: {t} threads slower than 1 (speedup {s} < 1.0)")
+    if workload == SEARCH_FLAGSHIP:
+        if hc < int(GATED_SEARCH_THREAD):
+            lines.append(
+                f"  {label}: flagship speedup gate SKIPPED (recorded with "
+                f"hardware_concurrency {hc} < {GATED_SEARCH_THREAD})")
+        elif GATED_SEARCH_THREAD not in speedups:
+            failures.append(f"{label}: no {GATED_SEARCH_THREAD}-thread row")
+        elif speedups[GATED_SEARCH_THREAD] < MIN_SEARCH_SPEEDUP:
+            failures.append(
+                f"{label}: flagship {GATED_SEARCH_THREAD}-thread speedup "
+                f"{speedups[GATED_SEARCH_THREAD]} < {MIN_SEARCH_SPEEDUP}")
+
+
 def main() -> int:
     path = sys.argv[1] if len(sys.argv) > 1 else "bench-results/BENCH_ablation_axis.json"
     with open(path) as f:
@@ -159,8 +222,10 @@ def main() -> int:
     seen_scratch_workloads = set()
     seen_compile_workloads = set()
     seen_layout_workloads = set()
+    seen_search_workloads = set()
     ratios = []
     thread_lines = []
+    search_lines = []
     incremental_lines = []
     scratch_lines = []
     compile_lines = []
@@ -171,6 +236,10 @@ def main() -> int:
         if axis == "threads":
             seen_thread_workloads.add(workload)
             check_thread_row(row, failures, thread_lines)
+            continue
+        if axis == "search":
+            seen_search_workloads.add(workload)
+            check_search_row(row, failures, search_lines)
             continue
         if axis == "incremental":
             seen_incremental_workloads.add(workload)
@@ -311,10 +380,15 @@ def main() -> int:
             f"compile:{COMPILE_ZERO_ENGAGEMENT}: zero-engagement row missing")
     if LAYOUT_FLAGSHIP not in seen_layout_workloads:
         failures.append(f"layout:{LAYOUT_FLAGSHIP}: layout row missing")
+    if SEARCH_FLAGSHIP not in seen_search_workloads:
+        failures.append(
+            f"search:{SEARCH_FLAGSHIP}: parallel-search row missing")
 
     for label, ratio in sorted(ratios):
         print(f"  {label}: scratch/delta rescan ratio {ratio}")
     for line in thread_lines:
+        print(line)
+    for line in search_lines:
         print(line)
     for line in incremental_lines:
         print(line)
@@ -333,7 +407,8 @@ def main() -> int:
           f"{len(seen_incremental_workloads)} incremental rows + "
           f"{len(seen_scratch_workloads)} scratch rows + "
           f"{len(seen_compile_workloads)} compile rows + "
-          f"{len(seen_layout_workloads)} layout rows OK")
+          f"{len(seen_layout_workloads)} layout rows + "
+          f"{len(seen_search_workloads)} search rows OK")
     return 0
 
 

@@ -321,6 +321,80 @@ with open(dst, "w") as f:
     json.dump(axis, f, indent=1)
 print(f"== layout axis -> {dst}")
 PYEOF
+  elif [[ "${bench}" == "bench_search" ]]; then
+    # Self-timed, native JSON on stdout (fork-per-config so timings never
+    # share allocator state). Stored as BENCH_search.json; then the
+    # per-workload thread rows are merged into the ablation axis report as
+    # the `search` axis, replacing any previous search rows (same
+    # merge-don't-clobber protocol as the layout axis above).
+    # tools/check_ablation_axis.py gates CI on the flagship row.
+    "${bin}" | python3 -c '
+import json, sys
+d = json.load(sys.stdin)
+d["git_rev"] = sys.argv[1]
+d["timestamp"] = sys.argv[2]
+with open(sys.argv[3], "w") as f:
+    json.dump(d, f, indent=1)
+' "${GIT_REV}" "${TIMESTAMP}" "${out_json}"
+    python3 - "${out_json}" "${OUT_DIR}/BENCH_ablation_axis.json" \
+      "${GIT_REV}" "${TIMESTAMP}" <<'PYEOF'
+import json, os, sys
+src, dst, git_rev, timestamp = sys.argv[1:5]
+with open(src) as f:
+    report = json.load(f)
+hc = report.get("hardware_concurrency")
+
+by_workload = {}
+for row in report.get("rows", []):
+    per = by_workload.setdefault(row["workload"], {})
+    cell = {k: v for k, v in row.items()
+            if k not in ("workload", "threads", "variant")}
+    if row.get("variant") == "seeded":
+        per.setdefault("seeded", {})[str(row["threads"])] = cell
+    else:
+        per.setdefault("unseeded", {})[str(row["threads"])] = cell
+
+search_rows = []
+for workload in sorted(by_workload):
+    per = by_workload[workload].get("unseeded", {})
+    entry = {"axis": "search", "workload": workload, "per_thread": per}
+    if hc is not None:
+        entry["hardware_concurrency"] = hc
+    one = per.get("1", {}).get("wall_ms")
+    if one:
+        entry["speedup_over_one_thread"] = {
+            t: round(one / c["wall_ms"], 2)
+            for t, c in sorted(per.items())
+            if c.get("wall_ms")
+        }
+    # The subsystem contract: bit-identical enumeration (model set AND
+    # order) at every thread count. The hash covers the full emission
+    # sequence; nodes/models pin the tree shape too.
+    entry["models_identical"] = len(per) > 0 and all(
+        c.get(k) is not None and c.get(k) == per["1"].get(k)
+        for c in per.values() for k in ("models", "nodes", "model_hash"))
+    seeded = by_workload[workload].get("seeded", {}).get("1")
+    if seeded:
+        entry["seeded"] = seeded
+        if one and seeded.get("wall_ms"):
+            entry["seeded_wall_ratio_unseeded_over_seeded"] = round(
+                one / seeded["wall_ms"], 2)
+    search_rows.append(entry)
+
+if os.path.exists(dst):
+    with open(dst) as f:
+        axis = json.load(f)
+    axis["rows"] = [r for r in axis.get("rows", [])
+                    if r.get("axis") != "search"]
+else:
+    axis = {"bench": "ablation_axis", "rows": []}
+axis["git_rev"] = git_rev
+axis["timestamp"] = timestamp
+axis["rows"].extend(search_rows)
+with open(dst, "w") as f:
+    json.dump(axis, f, indent=1)
+print(f"== search axis -> {dst}")
+PYEOF
   elif [[ "${bench}" == "bench_serving" ]]; then
     # Self-timed but emits native JSON on stdout; inject provenance and
     # store as-is (tools/check_serving.py gates CI on this report).
